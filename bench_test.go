@@ -1,0 +1,172 @@
+// Benchmarks regenerate every evaluation artifact of the paper, one
+// testing.B per figure/table, and report the artifact's headline
+// metric (inflation percentages, billed seconds) via ReportMetric so
+// `go test -bench=.` doubles as the reproduction harness.
+//
+// Benchmarks run at BenchScale (1% of paper scale) so the full suite
+// completes in minutes; `meterlab all -scale 1` produces the
+// full-length numbers recorded in EXPERIMENTS.md.
+package cpumeter
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// BenchScale is the victim/attack scale benchmarks run at.
+const BenchScale = 0.01
+
+func benchOpts() Options {
+	return Options{Seed: 2010, Scale: BenchScale}
+}
+
+// inflationOf extracts victim billed inflation (attack vs normal)
+// from a per-program bar figure, averaged over the four programs.
+func inflationOf(fig *Figure) float64 {
+	var sum float64
+	var n int
+	for i := 0; i+1 < len(fig.Bars); i += 2 {
+		normal := fig.Bars[i].Total()
+		attack := fig.Bars[i+1].Total()
+		if normal > 0 {
+			sum += (attack - normal) / normal * 100
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func benchFigure(b *testing.B, id string, metric func(*Figure) float64, unit string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		fig, err := Reproduce(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = metric(fig)
+	}
+	b.ReportMetric(last, unit)
+}
+
+func BenchmarkFigure4ShellAttack(b *testing.B) {
+	benchFigure(b, "figure4", inflationOf, "mean-inflation-%")
+}
+
+func BenchmarkFigure5CtorAttack(b *testing.B) {
+	benchFigure(b, "figure5", inflationOf, "mean-inflation-%")
+}
+
+func BenchmarkFigure6Substitution(b *testing.B) {
+	benchFigure(b, "figure6", inflationOf, "mean-inflation-%")
+}
+
+// schedulingGradient reports the victim's billed growth from the
+// no-attack pair to the nice -20 pair.
+func schedulingGradient(fig *Figure) float64 {
+	// Bars alternate victim/Fork per group; first group is the
+	// independent baseline.
+	if len(fig.Bars) < 2 {
+		return 0
+	}
+	base := fig.Bars[0].Total()
+	last := fig.Bars[len(fig.Bars)-2].Total()
+	if base == 0 {
+		return 0
+	}
+	return (last - base) / base * 100
+}
+
+func BenchmarkFigure7SchedulingOnW(b *testing.B) {
+	benchFigure(b, "figure7", schedulingGradient, "nice-20-inflation-%")
+}
+
+func BenchmarkFigure8SchedulingOnB(b *testing.B) {
+	benchFigure(b, "figure8", schedulingGradient, "nice-20-inflation-%")
+}
+
+func BenchmarkFigure9Thrashing(b *testing.B) {
+	benchFigure(b, "figure9", inflationOf, "mean-inflation-%")
+}
+
+func BenchmarkFigure10InterruptFlood(b *testing.B) {
+	benchFigure(b, "figure10", inflationOf, "mean-inflation-%")
+}
+
+func BenchmarkFigure11ExceptionFlood(b *testing.B) {
+	benchFigure(b, "figure11", inflationOf, "mean-inflation-%")
+}
+
+// rejectedCount counts REJECTED rows in a table artifact.
+func rejectedCount(fig *Figure) float64 {
+	var n float64
+	for _, row := range fig.Rows {
+		for _, cell := range row {
+			if cell == "REJECTED" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func BenchmarkComparisonTable(b *testing.B) {
+	benchFigure(b, "comparison", func(fig *Figure) float64 {
+		return float64(len(fig.Rows))
+	}, "attacks-compared")
+}
+
+func BenchmarkMitigationTable(b *testing.B) {
+	benchFigure(b, "mitigation", rejectedCount, "attacks-rejected")
+}
+
+// lastColumnPct parses the last percentage column of a table.
+func lastColumnPct(fig *Figure) float64 {
+	if len(fig.Rows) == 0 {
+		return 0
+	}
+	row := fig.Rows[len(fig.Rows)-1]
+	for i := len(row) - 1; i >= 0; i-- {
+		cell := strings.TrimSuffix(strings.TrimPrefix(row[i], "+"), "%")
+		if v, err := strconv.ParseFloat(cell, 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+func BenchmarkAblationTickRate(b *testing.B) {
+	benchFigure(b, "ablation1", lastColumnPct, "hz1000-inflation-%")
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	benchFigure(b, "ablation2", lastColumnPct, "cfs-inflation-%")
+}
+
+func BenchmarkAblationIRQAccounting(b *testing.B) {
+	benchFigure(b, "ablation3", func(fig *Figure) float64 {
+		return float64(len(fig.Rows))
+	}, "schemes-compared")
+}
+
+func BenchmarkAblationDetector(b *testing.B) {
+	benchFigure(b, "ablation4", func(fig *Figure) float64 {
+		return float64(len(fig.Rows))
+	}, "strengths-swept")
+}
+
+// BenchmarkMachineSteps measures raw simulator throughput: virtual
+// seconds of a CPU-bound victim simulated per host second.
+func BenchmarkMachineSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := Meter(JobSpec{Workload: "O", Options: benchOpts()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}

@@ -1,0 +1,144 @@
+// Command meterlab regenerates the paper's evaluation artifacts on
+// the simulated machine.
+//
+// Usage:
+//
+//	meterlab list
+//	meterlab run <artifact> [flags]     one of figure4..figure11, comparison, mitigation
+//	meterlab all [flags]                every artifact in order
+//	meterlab meter <O|P|W|B> [flags]    meter one job and print all schemes
+//
+// Flags:
+//
+//	-scale f     victim/attack scale, 1.0 = paper scale (default 1.0)
+//	-seed n      simulation seed (default 2010)
+//	-hz n        timer ticks per second (default 250)
+//	-sched s     scheduler policy: o1 or cfs (default o1)
+//	-attack k    (meter only) arm one attack: shell ctor subst sched thrash irqflood excflood
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/attacks"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "meterlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: meterlab list | run <artifact> | all | meter <O|P|W|B>")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("meterlab", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "victim/attack scale (1.0 = paper scale)")
+	seed := fs.Int64("seed", 2010, "simulation seed")
+	hz := fs.Uint64("hz", 250, "timer ticks per second")
+	sched := fs.String("sched", "o1", "scheduler policy: o1 or cfs")
+	attackKey := fs.String("attack", "", "attack to arm for 'meter'")
+
+	switch cmd {
+	case "list":
+		for _, id := range cpumeter.Experiments() {
+			fmt.Println(id)
+		}
+		return nil
+
+	case "run", "all", "meter":
+		target := ""
+		if cmd != "all" {
+			if len(rest) == 0 {
+				return fmt.Errorf("%s: missing argument", cmd)
+			}
+			target, rest = rest[0], rest[1:]
+		}
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts := cpumeter.Options{
+			Seed:            *seed,
+			HZ:              *hz,
+			SchedulerPolicy: *sched,
+			Scale:           *scale,
+		}
+		switch cmd {
+		case "run":
+			return runArtifact(target, opts)
+		case "all":
+			for _, id := range cpumeter.Experiments() {
+				if err := runArtifact(id, opts); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return meterJob(target, *attackKey, opts)
+		}
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func runArtifact(id string, opts cpumeter.Options) error {
+	start := time.Now()
+	fig, err := cpumeter.Reproduce(id, opts)
+	if err != nil {
+		return fmt.Errorf("reproduce %s: %w", id, err)
+	}
+	fmt.Print(fig.Render())
+	fmt.Printf("  (regenerated in %.1fs host time)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func meterJob(workload, attackKey string, opts cpumeter.Options) error {
+	var attack cpumeter.Attack
+	if attackKey != "" {
+		freq := opts.Freq
+		if freq == 0 {
+			freq = cpumeter.DefaultCPUHz
+		}
+		for _, a := range attacks.All(freq) {
+			if a.Key() == attackKey {
+				attack = a
+			}
+		}
+		if attack == nil {
+			return fmt.Errorf("unknown attack %q", attackKey)
+		}
+	}
+	out, err := cpumeter.Meter(cpumeter.JobSpec{Workload: workload, Attack: attack, Options: opts})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s", workload)
+	if attack != nil {
+		fmt.Printf(" under %s", attack.Name())
+	}
+	fmt.Printf(" (elapsed %.1f virtual s)\n", out.ElapsedSec)
+	for _, scheme := range []string{"jiffy", "tsc", "process-aware"} {
+		fmt.Printf("  %-14s user %8.2fs  system %7.2fs  total %8.2fs\n",
+			scheme, out.Victim.User[scheme], out.Victim.Sys[scheme], out.Victim.Total(scheme))
+	}
+	st := out.VictimStats
+	fmt.Printf("  counters: ticks=%d ctxsw=%d preempt=%d traps=%d minor=%d major=%d irqcycles=%d\n",
+		st.TicksAbsorbed, st.ContextSwitches, st.Preemptions, st.TraceStops, st.MinorFaults, st.MajorFaults, st.IRQCycles)
+	if out.Result != nil {
+		output := out.Result.Output
+		if len(output) > 60 {
+			output = output[:60] + "…"
+		}
+		fmt.Printf("  program output: %s (done=%v)\n", output, out.Result.Done)
+	}
+	return nil
+}

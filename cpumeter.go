@@ -1,0 +1,185 @@
+// Package cpumeter is the public API of the reproduction of Liu &
+// Ding, "On Trustworthiness of CPU Usage Metering and Accounting"
+// (ICDCSW 2010). It exposes:
+//
+//   - a deterministic simulated machine (CPU, memory, devices,
+//     O(1)/CFS scheduler, ptrace, dynamic linker) whose kernel meters
+//     CPU time simultaneously under the commodity tick-sampled scheme
+//     and two fine-grained schemes;
+//   - the paper's four victim workloads (O, Pi, Whetstone, Brute) as
+//     genuine computations;
+//   - all seven CPU-time inflation attacks of Section IV;
+//   - the trustworthy metering layer of Section VI-B: TPM-attested
+//     code-identity measurement, interference counters, and a
+//     customer-side auditor;
+//   - experiment runners that regenerate every figure of the paper's
+//     evaluation.
+//
+// Quick start:
+//
+//	out, err := cpumeter.Meter(cpumeter.JobSpec{Workload: "W"})
+//	fig, err := cpumeter.Reproduce("figure7", cpumeter.Options{})
+//	fmt.Print(fig.Render())
+package cpumeter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/integrity"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Re-exported building blocks. The aliases keep downstream code on
+// one import while the implementation stays in internal packages.
+type (
+	// Options configures an experiment campaign (seed, CPU clock,
+	// timer HZ, scheduler policy, RAM size, scale).
+	Options = experiments.Options
+	// Figure is a regenerated evaluation artifact with a Render
+	// method producing the plain-text chart or table.
+	Figure = experiments.Figure
+	// RunSpec describes a single victim/attack execution.
+	RunSpec = experiments.RunSpec
+	// RunOut is a single execution's harvest.
+	RunOut = experiments.RunOut
+	// Attack is one CPU-time inflation technique.
+	Attack = attacks.Attack
+	// Report is the provider's attested usage report.
+	Report = core.Report
+	// Auditor verifies reports on the customer's behalf.
+	Auditor = core.Auditor
+	// Verdict is an audit outcome.
+	Verdict = core.Verdict
+	// Profile is the customer's reference expectation for a job.
+	Profile = core.Profile
+	// Manifest is the customer's code-identity allow-list.
+	Manifest = integrity.Manifest
+	// PID identifies a simulated process.
+	PID = proc.PID
+)
+
+// DefaultCPUHz is the simulated clock matching the paper's testbed
+// (2.53 GHz).
+const DefaultCPUHz = sim.DefaultCPUHz
+
+// JobSpec describes one metering job for Meter.
+type JobSpec struct {
+	// Workload is one of "O" (loop), "P" (pi), "W" (whetstone),
+	// "B" (brute-force MD5).
+	Workload string
+	// Attack optionally arms one attack against the job.
+	Attack Attack
+	// Options tune the machine; the zero value uses paper defaults
+	// with Scale 1.0 (full-length runs). Set Scale ~0.01 for
+	// second-long jobs.
+	Options Options
+}
+
+// Meter executes one job on a fresh simulated machine, launched
+// through the shell, metered under all three schemes in parallel.
+func Meter(spec JobSpec) (*RunOut, error) {
+	return experiments.Run(RunSpec{
+		Opts:     spec.Options,
+		Workload: spec.Workload,
+		Attack:   spec.Attack,
+	})
+}
+
+// BuildReport produces the provider-side attested usage report for a
+// finished run. scheme is "jiffy" (commodity billing) or
+// cpumeter.TrustedScheme.
+func BuildReport(out *RunOut, scheme, aikSeed, nonce string) (*Report, error) {
+	if out.Machine == nil || out.VictimPID == 0 {
+		return nil, fmt.Errorf("cpumeter: run carried no billed job")
+	}
+	return core.BuildReport(out.Machine, out.VictimPID, out.Spec.Workload, scheme, aikSeed, nonce)
+}
+
+// TrustedScheme is the billing scheme of the paper's proposed
+// trustworthy meter (TSC-exact, process-aware attribution).
+const TrustedScheme = core.TrustedBillingScheme
+
+// LegacyScheme is the commodity tick-sampled billing scheme.
+const LegacyScheme = core.LegacyBillingScheme
+
+// ManifestFromReference harvests a code-identity allow-list from a
+// clean reference run (trust-on-first-use on the customer's own
+// platform).
+func ManifestFromReference(out *RunOut) *Manifest {
+	pairs := map[string]string{}
+	for _, e := range out.Measurements {
+		pairs[e.Name] = e.Digest
+	}
+	return integrity.NewManifest(pairs)
+}
+
+// AllAttacks returns a default-strength instance of each of the
+// paper's attacks, in presentation order, for the given CPU clock.
+func AllAttacks(freq sim.Hz) []Attack {
+	if freq == 0 {
+		freq = DefaultCPUHz
+	}
+	return attacks.All(freq)
+}
+
+// WorkloadKeys lists the victim programs in the paper's order.
+func WorkloadKeys() []string {
+	specs := workloads.Specs()
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key
+	}
+	return keys
+}
+
+// experimentRunners maps artifact ids to their runners.
+var experimentRunners = map[string]func(Options) (*Figure, error){
+	"figure4":    experiments.Figure4,
+	"figure5":    experiments.Figure5,
+	"figure6":    experiments.Figure6,
+	"figure7":    experiments.Figure7,
+	"figure8":    experiments.Figure8,
+	"figure9":    experiments.Figure9,
+	"figure10":   experiments.Figure10,
+	"figure11":   experiments.Figure11,
+	"comparison": experiments.ComparisonTable,
+	"mitigation": experiments.TrustedMitigation,
+	"ablation1":  experiments.AblationTickRate,
+	"ablation2":  experiments.AblationScheduler,
+	"ablation3":  experiments.AblationIRQAccounting,
+	"ablation4":  experiments.AblationDetector,
+}
+
+// Experiments lists the regenerable artifact ids in a stable order.
+func Experiments() []string {
+	out := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reproduce regenerates one evaluation artifact ("figure4" ...
+// "figure11", "comparison", "mitigation").
+func Reproduce(id string, o Options) (*Figure, error) {
+	run, ok := experimentRunners[id]
+	if !ok {
+		return nil, fmt.Errorf("cpumeter: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return run(o)
+}
+
+// NewMachine builds a bare simulated machine for custom scenarios
+// (examples use this to spawn their own guests).
+func NewMachine(cfg kernel.Config) *kernel.Machine { return kernel.New(cfg) }
+
+// MachineConfig is the low-level machine configuration.
+type MachineConfig = kernel.Config

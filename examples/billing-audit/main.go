@@ -1,0 +1,94 @@
+// Billing audit: the customer's side of the protocol. She profiles
+// her job once on her own (simulated) platform, harvesting a
+// reference profile and a code-identity manifest. The provider then
+// bills her for runs that were silently attacked; each attested
+// report is audited and rejected, with the violated trust property
+// named — source integrity, execution integrity, or fine-grained
+// metering (Section VI-B of the paper).
+//
+//	go run ./examples/billing-audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	aik   = "provider-platform-aik" // trusted via TPM cert chain
+	nonce = "challenge-7f3a"        // fresh per billing query
+)
+
+func main() {
+	opts := cpumeter.Options{Scale: 0.02}
+
+	// --- Customer side: reference run on her own platform. ---
+	ref, err := cpumeter.Meter(cpumeter.JobSpec{Workload: "P", Options: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manifest := cpumeter.ManifestFromReference(ref)
+	profile := &cpumeter.Profile{
+		UserSec: ref.Victim.User["tsc"],
+		SysSec:  ref.Victim.Sys["tsc"],
+	}
+	fmt.Printf("reference: pi digits %q..., profile %.2fs user / %.2fs system\n",
+		ref.Result.Output[:12], profile.UserSec, profile.SysSec)
+	fmt.Printf("manifest allows: %v\n\n", manifest.Names())
+
+	auditor := &cpumeter.Auditor{
+		Manifest:  manifest,
+		Reference: profile,
+		AIKSeed:   aik,
+		Nonce:     nonce,
+	}
+
+	// --- Provider side: runs the job, some honestly, some not. ---
+	cases := []struct {
+		label  string
+		attack cpumeter.Attack
+	}{
+		{"honest run", nil},
+		{"shell-patched launch", pick("shell", opts)},
+		{"LD_PRELOAD constructor", pick("ctor", opts)},
+		{"ptrace thrashing", pick("thrash", opts)},
+		{"fork-storm scheduling", pick("sched", opts)},
+	}
+	for _, tc := range cases {
+		out, err := cpumeter.Meter(cpumeter.JobSpec{Workload: "P", Attack: tc.attack, Options: opts})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := cpumeter.BuildReport(out, cpumeter.LegacyScheme, aik, nonce)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := auditor.Audit(report)
+
+		status := "ACCEPT"
+		if !verdict.Trustworthy {
+			status = "REJECT"
+		}
+		fmt.Printf("%-24s bill %6.2fs  -> %s", tc.label, report.Billed.Total(), status)
+		if verdict.OverchargeSec > 0 {
+			fmt.Printf("  (overcharge ≈ %.2fs)", verdict.OverchargeSec)
+		}
+		fmt.Println()
+		for _, f := range verdict.Violations() {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+}
+
+// pick returns the named attack at default strength.
+func pick(key string, opts cpumeter.Options) cpumeter.Attack {
+	for _, a := range cpumeter.AllAttacks(opts.Freq) {
+		if a.Key() == key {
+			return a
+		}
+	}
+	log.Fatalf("no attack %q", key)
+	return nil
+}

@@ -1,0 +1,123 @@
+// Package core is the paper's constructive contribution made
+// concrete: a trustworthy CPU-usage metering scheme with the three
+// properties of Section VI-B.
+//
+//   - Source integrity: every code object executed in the billed
+//     process's context is measured into a TPM-sealed log
+//     (internal/integrity); the customer verifies the log against a
+//     manifest taken from a reference run on her own platform.
+//   - Execution integrity: the report carries the kernel's
+//     interference counters (trace stops, debug exceptions, forced
+//     signal deliveries); a job that was stopped half a million times
+//     by a tracer did not execute undisturbed, whatever the bill says.
+//   - Fine-grained metering: the bill is computed from the TSC-exact,
+//     process-aware accountant rather than tick sampling, and the
+//     report exposes all three schemes so divergence itself is
+//     evidence.
+//
+// The Auditor is the customer side: it verifies the quote, replays
+// the measurement log, checks the manifest, applies anomaly detectors
+// for each attack family, and compares the bill against a reference
+// profile, producing a Verdict with per-property findings.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/integrity"
+	"repro/internal/kernel"
+	"repro/internal/metering"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// SchemeUsage is one accounting scheme's view of the job, in seconds.
+type SchemeUsage struct {
+	Scheme  string
+	UserSec float64
+	SysSec  float64
+}
+
+// Total returns user+system seconds.
+func (s SchemeUsage) Total() float64 { return s.UserSec + s.SysSec }
+
+// Report is what the provider hands the customer with the bill: the
+// billed figure plus the attested evidence needed to verify it.
+type Report struct {
+	JobName string
+	JobPID  proc.PID
+	// FreqHz is the platform's advertised clock.
+	FreqHz sim.Hz
+	// Billed is the amount charged, computed by BillingScheme.
+	Billed        SchemeUsage
+	BillingScheme string
+	// Schemes is every accountant's view of the same run.
+	Schemes []SchemeUsage
+	// SystemAccountSec is interrupt time the process-aware scheme
+	// diverted away from jobs.
+	SystemAccountSec float64
+	// Counters are the kernel's per-job interference statistics.
+	Counters kernel.Stats
+	// Measurements is the code-identity log for the whole machine;
+	// entries with TGID == JobPID are the job's own.
+	Measurements []kernel.Measurement
+	// Quote seals the measurement log under the platform TPM's AIK.
+	Quote integrity.Quote
+	// ElapsedSec is wall time from boot to report.
+	ElapsedSec float64
+}
+
+// TrustedBillingScheme is the scheme a trustworthy meter bills from.
+const TrustedBillingScheme = "process-aware"
+
+// LegacyBillingScheme is the commodity tick-sampled scheme.
+const LegacyBillingScheme = "jiffy"
+
+// BuildReport assembles an attested usage report for one job from a
+// finished machine. scheme selects the billing figure ("jiffy" for a
+// commodity provider, TrustedBillingScheme for the paper's proposal).
+func BuildReport(m *kernel.Machine, job proc.PID, jobName, scheme, aikSeed, nonce string) (*Report, error) {
+	freq := m.Clock().Freq()
+	rep := &Report{
+		JobName:          jobName,
+		JobPID:           job,
+		FreqHz:           freq,
+		BillingScheme:    scheme,
+		Counters:         m.Stats(job),
+		Measurements:     m.Measurements(),
+		ElapsedSec:       m.Clock().Seconds(m.Clock().Now()),
+		SystemAccountSec: 0,
+	}
+	for _, acct := range m.Accountants().Accountants() {
+		u, ok := m.UsageBy(acct.Name(), job)
+		if !ok {
+			continue
+		}
+		us, ss := u.Seconds(freq)
+		su := SchemeUsage{Scheme: acct.Name(), UserSec: us, SysSec: ss}
+		rep.Schemes = append(rep.Schemes, su)
+		if acct.Name() == scheme {
+			rep.Billed = su
+		}
+	}
+	if rep.Billed.Scheme == "" {
+		return nil, fmt.Errorf("core: billing scheme %q not active on machine", scheme)
+	}
+	if sys, ok := m.UsageBy(TrustedBillingScheme, metering.SystemPID); ok {
+		_, s := sys.Seconds(freq)
+		rep.SystemAccountSec = s
+	}
+	log := integrity.BuildLog(rep.Measurements, aikSeed)
+	rep.Quote = log.Quote(nonce)
+	return rep, nil
+}
+
+// Scheme returns a named scheme's usage from the report.
+func (r *Report) Scheme(name string) (SchemeUsage, bool) {
+	for _, s := range r.Schemes {
+		if s.Scheme == name {
+			return s, true
+		}
+	}
+	return SchemeUsage{}, false
+}

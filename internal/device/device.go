@@ -1,0 +1,171 @@
+// Package device models the interrupt-raising hardware the attacks
+// exploit: a network adapter whose receive interrupts fire per packet
+// (interrupt flooding, Fig. 10) and a swap disk whose completion
+// latency blocks faulting processes (exception flooding, Fig. 11).
+// Devices know nothing about processes; they schedule deliveries on
+// the machine's event queue and invoke a sink callback supplied by
+// the kernel, which charges handler time per the active accountant.
+package device
+
+import (
+	"repro/internal/sim"
+)
+
+// IRQ identifies an interrupt line.
+type IRQ int
+
+// Interrupt lines in the simulated machine.
+const (
+	IRQTimer IRQ = 0
+	IRQNIC   IRQ = 1
+	IRQDisk  IRQ = 2
+)
+
+func (i IRQ) String() string {
+	switch i {
+	case IRQTimer:
+		return "timer"
+	case IRQNIC:
+		return "nic"
+	case IRQDisk:
+		return "disk"
+	default:
+		return "unknown"
+	}
+}
+
+// NIC is the simulated network adapter. When flooding is active it
+// raises one receive interrupt per arriving packet. The paper floods
+// the victim host with junk IP packets from a second PC; Rate models
+// that sender's packet rate.
+type NIC struct {
+	queue   *sim.EventQueue
+	clock   *sim.Clock
+	rng     *sim.Rand
+	deliver func() // kernel's IRQ entry for IRQNIC
+
+	rate     uint64 // packets per second
+	jitter   bool
+	active   bool
+	pending  *sim.Event
+	received uint64
+}
+
+// NewNIC wires a NIC to the machine's event queue and clock. deliver
+// is invoked once per received packet in event context.
+func NewNIC(queue *sim.EventQueue, clock *sim.Clock, rng *sim.Rand, deliver func()) *NIC {
+	return &NIC{queue: queue, clock: clock, rng: rng, deliver: deliver}
+}
+
+// Received reports total packets delivered since construction.
+func (n *NIC) Received() uint64 { return n.received }
+
+// Active reports whether a flood is in progress.
+func (n *NIC) Active() bool { return n.active }
+
+// StartFlood begins delivering packets at the given rate (packets per
+// second) with small deterministic inter-arrival jitter. A second
+// call replaces the current rate.
+func (n *NIC) StartFlood(packetsPerSecond uint64) {
+	n.StopFlood()
+	if packetsPerSecond == 0 {
+		return
+	}
+	n.rate = packetsPerSecond
+	n.jitter = true
+	n.active = true
+	n.scheduleNext()
+}
+
+// StopFlood cancels any pending delivery.
+func (n *NIC) StopFlood() {
+	if n.pending != nil {
+		n.queue.Cancel(n.pending)
+		n.pending = nil
+	}
+	n.active = false
+}
+
+func (n *NIC) scheduleNext() {
+	interval := sim.Cycles(uint64(n.clock.Freq()) / n.rate)
+	if interval == 0 {
+		interval = 1
+	}
+	if n.jitter {
+		interval = n.rng.Jitter(interval, interval/4+1)
+		if interval == 0 {
+			interval = 1
+		}
+	}
+	n.pending = n.queue.Schedule(n.clock.Now()+interval, "nic-rx", func() {
+		n.pending = nil
+		if !n.active {
+			return
+		}
+		n.received++
+		n.deliver()
+		if n.active {
+			n.scheduleNext()
+		}
+	})
+}
+
+// Disk is the swap device. Reads (swap-ins, which block a faulting
+// process) serialise on the read channel; writebacks go through a
+// separate write channel modelling the drive's write cache and the
+// kernel's background writeback, so a dirty-page storm cannot starve
+// demand paging. Both channels have the same per-page latency.
+type Disk struct {
+	queue   *sim.EventQueue
+	clock   *sim.Clock
+	latency sim.Cycles
+
+	readBusy  sim.Cycles
+	writeBusy sim.Cycles
+	ios       uint64
+	writes    uint64
+}
+
+// NewDisk returns a disk with the given per-page access latency.
+func NewDisk(queue *sim.EventQueue, clock *sim.Clock, latency sim.Cycles) *Disk {
+	return &Disk{queue: queue, clock: clock, latency: latency}
+}
+
+// IOs reports the number of completed read accesses.
+func (d *Disk) IOs() uint64 { return d.ios }
+
+// Writes reports the number of completed writebacks.
+func (d *Disk) Writes() uint64 { return d.writes }
+
+// Submit enqueues one blocking page read (swap-in) and schedules done
+// at completion. Reads serialise behind in-flight reads only.
+func (d *Disk) Submit(done func()) {
+	start := d.clock.Now()
+	if d.readBusy > start {
+		start = d.readBusy
+	}
+	complete := start + d.latency
+	d.readBusy = complete
+	d.ios++
+	d.queue.Schedule(complete, "disk-read", done)
+}
+
+// SubmitWrite enqueues one background writeback (swap-out) and
+// schedules done at completion. The write channel is capped: when the
+// backlog exceeds maxBacklog pages the write is absorbed by the cache
+// immediately (done runs at the current backlog horizon), modelling
+// writeback throttling rather than unbounded queueing.
+func (d *Disk) SubmitWrite(done func()) {
+	start := d.clock.Now()
+	if d.writeBusy > start {
+		start = d.writeBusy
+	}
+	const maxBacklog = 64
+	if start-d.clock.Now() > sim.Cycles(maxBacklog)*d.latency {
+		start = d.clock.Now() + sim.Cycles(maxBacklog)*d.latency
+	} else {
+		d.writeBusy = start + d.latency
+	}
+	d.writes++
+	d.queue.Schedule(start+d.latency, "disk-write", done)
+}

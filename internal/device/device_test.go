@@ -1,0 +1,123 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// drain runs the event loop until the queue empties or limit events fire.
+func drain(t *testing.T, q *sim.EventQueue, c *sim.Clock, limit int) int {
+	t.Helper()
+	n := 0
+	for q.Len() > 0 && n < limit {
+		e := q.Pop()
+		c.AdvanceTo(e.At)
+		e.Fire()
+		n++
+	}
+	return n
+}
+
+func TestNICDeliversAtRate(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000) // 1 MHz for easy math
+	rng := sim.NewRand(1)
+	var delivered int
+	nic := NewNIC(q, c, rng, func() { delivered++ })
+	nic.StartFlood(1000) // 1000 pps => every ~1000 cycles
+
+	// Run one virtual second of events.
+	for q.Len() > 0 && c.Now() < 1_000_000 {
+		e := q.Pop()
+		c.AdvanceTo(e.At)
+		e.Fire()
+	}
+	nic.StopFlood()
+	// With ±12.5% jitter the count should be near 1000.
+	if delivered < 800 || delivered > 1200 {
+		t.Fatalf("delivered = %d packets in 1s at 1000pps", delivered)
+	}
+	if nic.Received() != uint64(delivered) {
+		t.Fatalf("Received() = %d, want %d", nic.Received(), delivered)
+	}
+}
+
+func TestNICStopCancelsPending(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000)
+	nic := NewNIC(q, c, sim.NewRand(1), func() { t.Fatal("delivery after stop") })
+	nic.StartFlood(10)
+	if !nic.Active() {
+		t.Fatal("not active after StartFlood")
+	}
+	nic.StopFlood()
+	if nic.Active() {
+		t.Fatal("active after StopFlood")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("pending events after stop: %d", q.Len())
+	}
+}
+
+func TestNICZeroRateIsNoop(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000)
+	nic := NewNIC(q, c, sim.NewRand(1), func() {})
+	nic.StartFlood(0)
+	if nic.Active() || q.Len() != 0 {
+		t.Fatal("zero-rate flood scheduled events")
+	}
+}
+
+func TestNICRestartReplacesRate(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000)
+	var delivered int
+	nic := NewNIC(q, c, sim.NewRand(1), func() { delivered++ })
+	nic.StartFlood(10)
+	nic.StartFlood(100000) // replaces; no double stream
+	for q.Len() > 0 && c.Now() < 10_000 {
+		e := q.Pop()
+		c.AdvanceTo(e.At)
+		e.Fire()
+	}
+	nic.StopFlood()
+	if q.Len() != 0 {
+		t.Fatalf("leftover events: %d", q.Len())
+	}
+	if delivered == 0 {
+		t.Fatal("no deliveries after restart")
+	}
+}
+
+func TestDiskSerialises(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000)
+	d := NewDisk(q, c, 100)
+	var done []sim.Cycles
+	d.Submit(func() { done = append(done, c.Now()) })
+	d.Submit(func() { done = append(done, c.Now()) })
+	d.Submit(func() { done = append(done, c.Now()) })
+	drain(t, q, c, 100)
+	if len(done) != 3 {
+		t.Fatalf("completions = %d, want 3", len(done))
+	}
+	want := []sim.Cycles{100, 200, 300}
+	for i, at := range done {
+		if at != want[i] {
+			t.Fatalf("completion %d at %d, want %d (serialised)", i, at, want[i])
+		}
+	}
+	if d.IOs() != 3 {
+		t.Fatalf("IOs = %d, want 3", d.IOs())
+	}
+}
+
+func TestIRQString(t *testing.T) {
+	for irq, want := range map[IRQ]string{IRQTimer: "timer", IRQNIC: "nic", IRQDisk: "disk", IRQ(99): "unknown"} {
+		if got := irq.String(); got != want {
+			t.Errorf("IRQ(%d) = %q, want %q", int(irq), got, want)
+		}
+	}
+}

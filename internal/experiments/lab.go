@@ -1,0 +1,255 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (Section V): one runner per figure plus the qualitative
+// comparison of Section V-C and a mitigation study for the trusted
+// metering scheme of Section VI-B. Each runner builds a fresh
+// simulated machine, launches the victim through the (possibly
+// tampered) shell, arms one attack, runs to completion, and reports
+// the billed CPU time next to ground truth.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/kernel"
+	"repro/internal/metering"
+	"repro/internal/proc"
+	"repro/internal/shell"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Schemes lists the accounting schemes every run records, in billing
+// order: the jiffy scheme is what the provider's getrusage reports.
+var Schemes = []string{"jiffy", "tsc", "process-aware"}
+
+// Options configures an experiment campaign.
+type Options struct {
+	// Seed drives all machine randomness (default 2010, the paper's
+	// year).
+	Seed int64
+	// Freq is the CPU frequency (default 2.53 GHz, the testbed's).
+	Freq sim.Hz
+	// HZ is the timer tick rate (default 250).
+	HZ uint64
+	// SchedulerPolicy is "o1" (default) or "cfs".
+	SchedulerPolicy string
+	// PhysMemBytes sizes RAM (default 1 GiB).
+	PhysMemBytes uint64
+	// Scale multiplies victim baselines and attack magnitudes;
+	// 1.0 (default) is paper scale, tests use ~0.01 for speed.
+	Scale float64
+	// MaxSteps bounds each machine run (default 400M) so a modelling
+	// regression surfaces as an error instead of a hang.
+	MaxSteps uint64
+}
+
+func (o Options) norm() Options {
+	if o.Seed == 0 {
+		o.Seed = 2010
+	}
+	if o.Freq == 0 {
+		o.Freq = sim.DefaultCPUHz
+	}
+	if o.HZ == 0 {
+		o.HZ = kernel.DefaultHZ
+	}
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 400_000_000
+	}
+	return o
+}
+
+// machineConfig builds the kernel config for one run.
+func (o Options) machineConfig() kernel.Config {
+	return kernel.Config{
+		Seed:            o.Seed,
+		CPUHz:           o.Freq,
+		HZ:              o.HZ,
+		SchedulerPolicy: o.SchedulerPolicy,
+		PhysMemBytes:    o.PhysMemBytes,
+		MaxSteps:        o.MaxSteps,
+	}
+}
+
+// RunSpec describes one victim execution.
+type RunSpec struct {
+	Opts Options
+	// Workload is "O", "P", "W" or "B"; empty runs no victim (used
+	// to measure an attack process alone).
+	Workload string
+	// Attack, when non-nil, is armed before launch.
+	Attack attacks.Attack
+	// Touches overrides the victim's hot-variable access count.
+	Touches uint64
+	// VictimNice sets the victim's priority.
+	VictimNice int
+}
+
+// PartyUsage is one process's accounted time across schemes, in
+// seconds.
+type PartyUsage struct {
+	Name string
+	PID  proc.PID
+	// BySheme maps scheme name to (user, system) seconds. The
+	// attacker's entry includes its reaped children, as
+	// getrusage(RUSAGE_CHILDREN) would report.
+	User map[string]float64
+	Sys  map[string]float64
+}
+
+// Total returns user+system seconds under a scheme.
+func (p PartyUsage) Total(scheme string) float64 {
+	return p.User[scheme] + p.Sys[scheme]
+}
+
+// RunOut is one run's harvest.
+type RunOut struct {
+	Spec RunSpec
+	// Victim is the billed job (zero value if no workload ran).
+	Victim PartyUsage
+	// Attackers are the attack's own processes (storm, tracer, hog).
+	Attackers []PartyUsage
+	// VictimStats are the victim group's kernel counters.
+	VictimStats kernel.Stats
+	// SystemAccount is the process-aware scheme's IRQ bucket.
+	SystemAccountSec float64
+	// Result is what the victim actually computed.
+	Result *workloads.Result
+	// Measurements is the machine's code-identity log.
+	Measurements []kernel.Measurement
+	// ElapsedSec is total virtual wall time.
+	ElapsedSec float64
+	// Machine is the finished machine, retained so the trusted-
+	// metering layer can build attested reports post-run.
+	Machine *kernel.Machine
+	// VictimPID is the billed job's pid (zero if no workload ran).
+	VictimPID proc.PID
+}
+
+// usageOf collects a thread group's usage (plus reaped children) in
+// seconds across schemes.
+func usageOf(m *kernel.Machine, name string, pid proc.PID) PartyUsage {
+	freq := m.Clock().Freq()
+	pu := PartyUsage{
+		Name: name,
+		PID:  pid,
+		User: make(map[string]float64, len(Schemes)),
+		Sys:  make(map[string]float64, len(Schemes)),
+	}
+	for _, scheme := range Schemes {
+		own, _ := m.UsageBy(scheme, pid)
+		kids, _ := m.ChildrenUsageBy(scheme, pid)
+		total := own.Add(kids)
+		u, s := total.Seconds(freq)
+		pu.User[scheme] = u
+		pu.Sys[scheme] = s
+	}
+	return pu
+}
+
+// Run executes one victim/attack combination on a fresh machine.
+func Run(spec RunSpec) (*RunOut, error) {
+	o := spec.Opts.norm()
+	m := kernel.New(o.machineConfig())
+
+	shellCfg := shell.Config{Env: map[string]string{}}
+	setup := attacks.Setup{
+		M:      m,
+		Shell:  &shellCfg,
+		JobEnv: map[string]string{},
+	}
+
+	var prog *workloads.Result
+	var job *shell.Job
+	if spec.Workload != "" {
+		wspec, err := workloads.SpecByKey(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		params := workloads.Params{
+			Freq:            o.Freq,
+			Touches:         spec.Touches,
+			SecondsOverride: wspec.BaselineSeconds * o.Scale,
+		}
+		p, res := wspec.Build(params)
+		prog = res
+		job = &shell.Job{Prog: p, Env: setup.JobEnv, Nice: spec.VictimNice}
+		setup.VictimName = p.Name
+		setup.VictimHotAddr = wspec.HotAddr
+	} else if spec.Attack != nil {
+		// Attack-alone run: the attack process targets itself so it
+		// starts immediately and runs its full budget.
+		setup.VictimName = attacks.AttackerProcName
+	}
+
+	if spec.Attack != nil {
+		if err := spec.Attack.Arm(&setup); err != nil {
+			return nil, fmt.Errorf("arm %s: %w", spec.Attack.Key(), err)
+		}
+	}
+
+	var sess *shell.Session
+	if job != nil {
+		var err error
+		sess, err = shell.Launch(m, shellCfg, *job)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("run %s/%s: %w", spec.Workload, key(spec.Attack), err)
+	}
+	m.NIC().StopFlood()
+
+	out := &RunOut{
+		Spec:         spec,
+		Result:       prog,
+		Measurements: m.Measurements(),
+		ElapsedSec:   m.Clock().Seconds(m.Clock().Now()),
+		Machine:      m,
+	}
+	if sess != nil && len(sess.JobPIDs) > 0 {
+		vpid := sess.JobPIDs[0]
+		out.VictimPID = vpid
+		out.Victim = usageOf(m, spec.Workload, vpid)
+		out.VictimStats = m.Stats(vpid)
+	}
+	for _, ap := range setup.Spawned {
+		out.Attackers = append(out.Attackers, usageOf(m, ap.Name, ap.PID))
+	}
+	if sys, ok := m.UsageBy("process-aware", metering.SystemPID); ok {
+		_, s := sys.Seconds(m.Clock().Freq())
+		out.SystemAccountSec = s
+	}
+	return out, nil
+}
+
+// physMem resolves the configured RAM size (default 1 GiB).
+func physMem(o Options) uint64 {
+	if o.PhysMemBytes > 0 {
+		return o.PhysMemBytes
+	}
+	return 1 << 30
+}
+
+func key(a attacks.Attack) string {
+	if a == nil {
+		return "baseline"
+	}
+	return a.Key()
+}
+
+// AttackerTotal sums all attacker parties' billed seconds under a
+// scheme.
+func (r *RunOut) AttackerTotal(scheme string) float64 {
+	var t float64
+	for _, a := range r.Attackers {
+		t += a.Total(scheme)
+	}
+	return t
+}

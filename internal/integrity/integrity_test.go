@@ -1,0 +1,131 @@
+package integrity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/proc"
+)
+
+func meas(tgid proc.PID, kind kernel.MeasurementKind, name, digest string) kernel.Measurement {
+	return kernel.Measurement{PID: tgid, TGID: tgid, Kind: kind, Name: name, Digest: digest}
+}
+
+func TestPCRExtendIsOrderSensitive(t *testing.T) {
+	a := NewTPM("k")
+	b := NewTPM("k")
+	a.Extend(PCRIndex, "d1")
+	a.Extend(PCRIndex, "d2")
+	b.Extend(PCRIndex, "d2")
+	b.Extend(PCRIndex, "d1")
+	if a.PCR(PCRIndex) == b.PCR(PCRIndex) {
+		t.Fatal("PCR insensitive to extend order")
+	}
+	if a.PCR(PCRIndex) == NewTPM("k").PCR(PCRIndex) {
+		t.Fatal("extend did not change PCR")
+	}
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	tpm := NewTPM("platform-key")
+	tpm.Extend(PCRIndex, "digest-1")
+	q := tpm.Quote(PCRIndex, "nonce-42")
+	if !VerifyQuote("platform-key", q) {
+		t.Fatal("genuine quote rejected")
+	}
+	if VerifyQuote("other-key", q) {
+		t.Fatal("quote verified under wrong AIK")
+	}
+	forged := q
+	forged.PCRValue = strings.Repeat("0", 64)
+	if VerifyQuote("platform-key", forged) {
+		t.Fatal("forged PCR value verified")
+	}
+}
+
+func TestLogReplay(t *testing.T) {
+	entries := []kernel.Measurement{
+		meas(2, kernel.MeasureProgram, "app", "dA"),
+		meas(2, kernel.MeasureLibrary, "libc", "dB"),
+	}
+	log := BuildLog(entries, "aik")
+	q := log.Quote("n")
+	if !Replay(entries, q) {
+		t.Fatal("honest log does not replay")
+	}
+	// Dropping an entry breaks replay.
+	if Replay(entries[:1], q) {
+		t.Fatal("truncated log replayed")
+	}
+	// Editing an entry breaks replay.
+	tampered := []kernel.Measurement{entries[0], meas(2, kernel.MeasureLibrary, "libc", "dC")}
+	if Replay(tampered, q) {
+		t.Fatal("tampered log replayed")
+	}
+}
+
+func TestManifestCheck(t *testing.T) {
+	m := NewManifest(map[string]string{
+		"app":  "dA",
+		"libc": "dB",
+	})
+	clean := []kernel.Measurement{
+		meas(2, kernel.MeasureProgram, "app", "dA"),
+		meas(2, kernel.MeasureLibrary, "libc", "dB"),
+		meas(9, kernel.MeasureProgram, "other-job", "dZ"), // different TGID: ignored
+	}
+	if vs := m.Check(clean, 2); len(vs) != 0 {
+		t.Fatalf("clean log flagged: %v", vs)
+	}
+	evil := append(clean, meas(2, kernel.MeasureLibrary, "libattack.so", "dEvil"))
+	vs := m.Check(evil, 2)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	if !strings.Contains(vs[0].String(), "libattack.so") {
+		t.Fatalf("violation string = %q", vs[0])
+	}
+	if !strings.Contains(Describe(vs), "libattack.so") {
+		t.Fatal("Describe lost the violation")
+	}
+	if Describe(nil) != "source integrity verified" {
+		t.Fatal("Describe(nil) wrong")
+	}
+}
+
+func TestManifestNames(t *testing.T) {
+	m := NewManifest(map[string]string{"b": "d1", "a": "d2"})
+	names := m.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestReplayPropertyAnyLog(t *testing.T) {
+	// Property: any measurement log replays against its own quote,
+	// and any single-digest mutation breaks it.
+	f := func(digests []string, flip uint8) bool {
+		if len(digests) == 0 {
+			return true
+		}
+		entries := make([]kernel.Measurement, len(digests))
+		for i, d := range digests {
+			entries[i] = meas(1, kernel.MeasureLibrary, "x", d)
+		}
+		log := BuildLog(entries, "k")
+		q := log.Quote("n")
+		if !Replay(entries, q) {
+			return false
+		}
+		i := int(flip) % len(entries)
+		mutated := make([]kernel.Measurement, len(entries))
+		copy(mutated, entries)
+		mutated[i].Digest += "!"
+		return !Replay(mutated, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+)
+
+// TestPollerInterleavesWithHog: a sleep-polling task must get CPU
+// slices during a CPU hog's run at equal priority (at quantum
+// boundaries), not only after the hog exits.
+func TestPollerInterleavesWithHog(t *testing.T) {
+	m := testMachine(t)
+	var polls int
+	var sawHogAlive int
+	m.Spawn(SpawnConfig{Name: "poller", Body: func(ctx guest.Context) {
+		for i := 0; i < 50; i++ {
+			polls++
+			if _, ok := ctx.FindProcess("hog"); ok {
+				sawHogAlive++
+			}
+			ctx.Sleep(2_000_000) // 2ms
+		}
+	}})
+	m.Spawn(SpawnConfig{Name: "hog", Body: func(ctx guest.Context) {
+		ctx.Compute(500_000_000) // 500 ms
+	}})
+	run(t, m)
+	t.Logf("polls=%d sawHogAlive=%d", polls, sawHogAlive)
+	if sawHogAlive < 2 {
+		t.Fatalf("poller saw live hog only %d times: poller starved during hog run", sawHogAlive)
+	}
+}

@@ -1,0 +1,506 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/metering"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// testMachine builds a small, fast machine: 1 GHz CPU so cycles are
+// nanoseconds, HZ=250 (4 ms = 4 M cycles per tick).
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	return New(Config{Seed: 1, CPUHz: 1_000_000_000, MaxSteps: 50_000_000})
+}
+
+func run(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.Run(); err != nil {
+		t.Fatalf("machine run: %v", err)
+	}
+}
+
+func TestComputeAccountedExactlyByTSC(t *testing.T) {
+	m := testMachine(t)
+	const work = 10_000_000 // 10 ms
+	p, err := m.Spawn(SpawnConfig{Name: "job", Body: func(ctx guest.Context) {
+		ctx.Compute(work)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	u, _ := m.UsageBy("tsc", p.PID)
+	if u.User != work {
+		t.Fatalf("tsc user = %d, want %d", u.User, work)
+	}
+	if u.System == 0 {
+		t.Fatal("tsc system = 0; exit path should cost something")
+	}
+}
+
+func TestJiffyQuantisesToTicks(t *testing.T) {
+	m := testMachine(t)
+	const work = 10_000_000 // 2.5 ticks at 4 ms ticks
+	p, _ := m.Spawn(SpawnConfig{Name: "job", Body: func(ctx guest.Context) {
+		ctx.Compute(work)
+	}})
+	run(t, m)
+	j, _ := m.UsageBy("jiffy", p.PID)
+	tick := m.TickCycles()
+	if j.Total()%tick != 0 {
+		t.Fatalf("jiffy usage %d not a multiple of tick %d", j.Total(), tick)
+	}
+	if j.User == 0 {
+		t.Fatal("jiffy charged no user ticks for 2.5 ticks of work")
+	}
+}
+
+func TestForkWaitExit(t *testing.T) {
+	m := testMachine(t)
+	var childPID proc.PID
+	var wres guest.WaitResult
+	var wok bool
+	p, _ := m.Spawn(SpawnConfig{Name: "parent", Body: func(ctx guest.Context) {
+		childPID = ctx.Fork("child", func(c guest.Context) {
+			c.Compute(1_000_000)
+			c.Exit(42)
+		})
+		wres, wok = ctx.Wait()
+	}})
+	run(t, m)
+	if !wok {
+		t.Fatal("wait returned no child")
+	}
+	if wres.PID != childPID || wres.ExitCode != 42 || wres.Stopped {
+		t.Fatalf("wait result = %+v, want pid=%d code=42", wres, childPID)
+	}
+	st := m.Stats(p.PID)
+	if st.Forks != 1 {
+		t.Fatalf("forks = %d, want 1", st.Forks)
+	}
+	// Reaping retires the child completely: it leaves the table and
+	// its usage folds into the parent's children bucket.
+	if _, ok := m.Table().Get(childPID); ok {
+		t.Fatal("reaped child still in process table")
+	}
+	cu, _ := m.ChildrenUsageBy("tsc", p.PID)
+	if cu.User < 1_000_000 {
+		t.Fatalf("children usage = %+v, want >= child's 1M user cycles", cu)
+	}
+}
+
+func TestWaitWithNoChildren(t *testing.T) {
+	m := testMachine(t)
+	var wok bool
+	m.Spawn(SpawnConfig{Name: "lonely", Body: func(ctx guest.Context) {
+		_, wok = ctx.Wait()
+	}})
+	run(t, m)
+	if wok {
+		t.Fatal("wait with no children should report ok=false")
+	}
+}
+
+func TestThreadSharesSpaceAndBilling(t *testing.T) {
+	m := testMachine(t)
+	p, _ := m.Spawn(SpawnConfig{Name: "leader", Body: func(ctx guest.Context) {
+		ctx.SpawnThread("worker", func(c guest.Context) {
+			c.Compute(2_000_000)
+			c.Store(0x1000) // toucher shares leader's space
+		})
+		ctx.Compute(1_000_000)
+		ctx.Wait()
+	}})
+	run(t, m)
+	u, _ := m.UsageBy("tsc", p.PID)
+	// 3 M compute plus the thread's one explicit memory access.
+	if u.User != 3_000_000+accessCost {
+		t.Fatalf("group user = %d, want %d (leader+thread)", u.User, 3_000_000+accessCost)
+	}
+	if st := m.Stats(p.PID); st.ThreadsSpawned != 1 {
+		t.Fatalf("threads = %d, want 1", st.ThreadsSpawned)
+	}
+}
+
+func TestRoundRobinSharing(t *testing.T) {
+	m := testMachine(t)
+	const work = 400_000_000 // 400 ms each, forces multiple quanta
+	a, _ := m.Spawn(SpawnConfig{Name: "a", Body: func(ctx guest.Context) { ctx.Compute(work) }})
+	b, _ := m.Spawn(SpawnConfig{Name: "b", Body: func(ctx guest.Context) { ctx.Compute(work) }})
+	run(t, m)
+	ua, _ := m.UsageBy("tsc", a.PID)
+	ub, _ := m.UsageBy("tsc", b.PID)
+	if ua.User != work || ub.User != work {
+		t.Fatalf("user cycles = %d/%d, want %d each", ua.User, ub.User, work)
+	}
+	if m.Stats(a.PID).Preemptions == 0 && m.Stats(b.PID).Preemptions == 0 {
+		t.Fatal("two competing CPU hogs should preempt each other")
+	}
+	// Elapsed must cover both (single core): >= 800 ms.
+	if m.Clock().Now() < 2*work {
+		t.Fatalf("elapsed %d < serialised work %d", m.Clock().Now(), 2*work)
+	}
+}
+
+func TestSleepBlocksWithoutCharging(t *testing.T) {
+	m := testMachine(t)
+	p, _ := m.Spawn(SpawnConfig{Name: "sleeper", Body: func(ctx guest.Context) {
+		ctx.Compute(1_000_000)
+		ctx.Sleep(100_000_000) // 100 ms
+		ctx.Compute(1_000_000)
+	}})
+	run(t, m)
+	u, _ := m.UsageBy("tsc", p.PID)
+	if u.User != 2_000_000 {
+		t.Fatalf("user = %d, want 2000000 (sleep must not be billed)", u.User)
+	}
+	if m.Clock().Now() < 100_000_000 {
+		t.Fatalf("elapsed %d; sleep did not advance wall time", m.Clock().Now())
+	}
+}
+
+func TestYield(t *testing.T) {
+	m := testMachine(t)
+	var order []string
+	m.Spawn(SpawnConfig{Name: "a", Body: func(ctx guest.Context) {
+		ctx.Compute(1000)
+		ctx.Yield()
+		order = append(order, "a")
+	}})
+	m.Spawn(SpawnConfig{Name: "b", Body: func(ctx guest.Context) {
+		ctx.Compute(1000)
+		order = append(order, "b")
+	}})
+	run(t, m)
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNiceChange(t *testing.T) {
+	m := testMachine(t)
+	p, _ := m.Spawn(SpawnConfig{Name: "p", Body: func(ctx guest.Context) {
+		ctx.SetNice(-10)
+		ctx.Compute(1000)
+	}})
+	run(t, m)
+	if p.Nice() != -10 {
+		t.Fatalf("nice = %d, want -10", p.Nice())
+	}
+}
+
+func TestPageFaultCharging(t *testing.T) {
+	m := testMachine(t)
+	p, _ := m.Spawn(SpawnConfig{Name: "toucher", Body: func(ctx guest.Context) {
+		for i := uint64(0); i < 32; i++ {
+			ctx.Store(i * mem.DefaultPageSize)
+		}
+	}})
+	run(t, m)
+	st := m.Stats(p.PID)
+	if st.MinorFaults != 32 {
+		t.Fatalf("minor faults = %d, want 32", st.MinorFaults)
+	}
+	u, _ := m.UsageBy("tsc", p.PID)
+	if u.System == 0 {
+		t.Fatal("fault handling charged no system time")
+	}
+}
+
+func TestMajorFaultBlocksOnDisk(t *testing.T) {
+	// Two frames of RAM force eviction and swap-in.
+	m := New(Config{Seed: 1, CPUHz: 1_000_000_000, PhysMemBytes: 2 * mem.DefaultPageSize, MaxSteps: 10_000_000})
+	p, _ := m.Spawn(SpawnConfig{Name: "thrash", Body: func(ctx guest.Context) {
+		for round := 0; round < 3; round++ {
+			for pg := uint64(0); pg < 4; pg++ {
+				ctx.Store(pg * mem.DefaultPageSize)
+			}
+		}
+	}})
+	run(t, m)
+	st := m.Stats(p.PID)
+	if st.MajorFaults == 0 {
+		t.Fatal("expected major faults with 2-frame RAM")
+	}
+	if st.DiskWaitCycles == 0 {
+		t.Fatal("major faults should accumulate disk wait")
+	}
+	if m.Disk().IOs() == 0 {
+		t.Fatal("disk saw no I/O")
+	}
+	u, _ := m.UsageBy("tsc", p.PID)
+	if u.System == 0 {
+		t.Fatal("fault path charged no system time")
+	}
+}
+
+func TestNICFloodChargesCurrentTask(t *testing.T) {
+	m := testMachine(t)
+	const work = 100_000_000 // 100 ms
+	p, _ := m.Spawn(SpawnConfig{Name: "victim", Body: func(ctx guest.Context) {
+		ctx.Compute(work)
+	}})
+	m.NIC().StartFlood(20_000)
+	run(t, m)
+	m.NIC().StopFlood()
+	st := m.Stats(p.PID)
+	if st.IRQCycles == 0 {
+		t.Fatal("flood delivered no IRQ cycles to the victim")
+	}
+	ts, _ := m.UsageBy("tsc", p.PID)
+	pa, _ := m.UsageBy("process-aware", p.PID)
+	if ts.System <= pa.System {
+		t.Fatalf("tsc system (%d) should exceed process-aware system (%d): IRQ time diverted", ts.System, pa.System)
+	}
+	sys, _ := m.UsageBy("process-aware", metering.SystemPID)
+	if sys.System == 0 {
+		t.Fatal("process-aware scheme recorded no system-account IRQ time")
+	}
+}
+
+func TestPtraceWatchpointCycle(t *testing.T) {
+	m := testMachine(t)
+	const hits = 25
+	victim, _ := m.Spawn(SpawnConfig{Name: "victim", Body: func(ctx guest.Context) {
+		for i := 0; i < hits; i++ {
+			ctx.Compute(10_000_000) // 10 ms per iteration: outlives attach
+			ctx.Load(0x4000)        // hot variable
+		}
+	}})
+	var attachErr error
+	m.Spawn(SpawnConfig{Name: "tracer", Nice: -5, Body: func(ctx guest.Context) {
+		ctx.Sleep(1_000_000) // let the victim start
+		attachErr = ctx.Ptrace(guest.PtraceAttach, victim.PID, 0, 0)
+		if attachErr != nil {
+			return
+		}
+		ctx.Wait() // SIGSTOP stop is already visible; drain it
+		ctx.Ptrace(guest.PtracePokeUser, victim.PID, guest.DR0, 0x4000)
+		ctx.Ptrace(guest.PtracePokeUser, victim.PID, guest.DR7, 1)
+		ctx.Ptrace(guest.PtraceCont, victim.PID, 0, 0)
+		for {
+			res, ok := ctx.Wait()
+			if !ok || !res.Stopped {
+				return // victim exited
+			}
+			ctx.Ptrace(guest.PtraceCont, victim.PID, 0, 0)
+		}
+	}})
+	run(t, m)
+	if attachErr != nil {
+		t.Fatalf("attach: %v", attachErr)
+	}
+	st := m.Stats(victim.PID)
+	if st.DebugExceptions == 0 {
+		t.Fatal("no watchpoint hits recorded")
+	}
+	if st.DebugExceptions > hits {
+		t.Fatalf("debug exceptions = %d > access count %d", st.DebugExceptions, hits)
+	}
+	u, _ := m.UsageBy("tsc", victim.PID)
+	if u.System == 0 {
+		t.Fatal("thrashing charged no system time to victim")
+	}
+}
+
+func TestPtraceErrors(t *testing.T) {
+	m := testMachine(t)
+	victim, _ := m.Spawn(SpawnConfig{Name: "victim", Body: func(ctx guest.Context) {
+		ctx.Compute(500_000_000)
+	}})
+	var errs []error
+	m.Spawn(SpawnConfig{Name: "tracer", Nice: -5, Body: func(ctx guest.Context) {
+		ctx.Sleep(1_000_000)
+		errs = append(errs, ctx.Ptrace(guest.PtraceCont, victim.PID, 0, 0))      // not tracer
+		errs = append(errs, ctx.Ptrace(guest.PtraceAttach, proc.PID(999), 0, 0)) // no such pid
+		if err := ctx.Ptrace(guest.PtraceAttach, victim.PID, 0, 0); err != nil {
+			errs = append(errs, err)
+			return
+		}
+		errs = append(errs, ctx.Ptrace(guest.PtraceAttach, victim.PID, 0, 0))   // already traced
+		errs = append(errs, ctx.Ptrace(guest.PtracePokeUser, victim.PID, 3, 1)) // bad register
+		errs = append(errs, ctx.Ptrace(guest.PtraceDetach, victim.PID, 0, 0))   // ok
+	}})
+	run(t, m)
+	if len(errs) != 5 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if errs[0] != ErrPtraceNotTracer || errs[1] != ErrPtraceNoSuchProcess ||
+		errs[2] != ErrPtraceAlreadyTraced || errs[3] != ErrPtraceBadRegister || errs[4] != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func TestTracerExitResumesVictim(t *testing.T) {
+	m := testMachine(t)
+	victim, _ := m.Spawn(SpawnConfig{Name: "victim", Body: func(ctx guest.Context) {
+		for i := 0; i < 10; i++ {
+			ctx.Compute(10_000_000)
+			ctx.Load(0x4000)
+		}
+	}})
+	m.Spawn(SpawnConfig{Name: "tracer", Nice: -5, Body: func(ctx guest.Context) {
+		ctx.Sleep(500_000)
+		if err := ctx.Ptrace(guest.PtraceAttach, victim.PID, 0, 0); err != nil {
+			return
+		}
+		ctx.Wait()
+		ctx.Ptrace(guest.PtracePokeUser, victim.PID, guest.DR0, 0x4000)
+		ctx.Ptrace(guest.PtracePokeUser, victim.PID, guest.DR7, 1)
+		ctx.Ptrace(guest.PtraceCont, victim.PID, 0, 0)
+		ctx.Wait()
+		// Exit while the victim is stopped: kernel must detach and
+		// resume it, or the machine deadlocks.
+	}})
+	run(t, m)
+	if victim.State != proc.Zombie && victim.State != proc.Reaped {
+		t.Fatalf("victim state = %v, want exited", victim.State)
+	}
+}
+
+func TestExecMeasuresProgramAndLibraries(t *testing.T) {
+	m := testMachine(t)
+	prog := &guest.Program{
+		Name:    "app",
+		Content: "app-v1",
+		Libs:    []string{"libc.so.6", "libm.so.6"},
+		Main: func(ctx guest.Context) {
+			ctx.Call("malloc", 64)
+		},
+	}
+	p, _ := m.Spawn(SpawnConfig{Name: "launcher", Body: func(ctx guest.Context) {
+		ctx.Exec(prog)
+	}})
+	run(t, m)
+	var progSeen, libcSeen bool
+	for _, meas := range m.Measurements() {
+		if meas.TGID != p.PID {
+			continue
+		}
+		if meas.Kind == MeasureProgram && meas.Name == "app" {
+			progSeen = true
+		}
+		if meas.Kind == MeasureLibrary && meas.Name == "libc.so.6" {
+			libcSeen = true
+		}
+	}
+	if !progSeen || !libcSeen {
+		t.Fatalf("measurements missing prog=%v libc=%v: %+v", progSeen, libcSeen, m.Measurements())
+	}
+}
+
+func TestLibraryCallChargesCaller(t *testing.T) {
+	m := testMachine(t)
+	p, _ := m.Spawn(SpawnConfig{Name: "caller", Body: func(ctx guest.Context) {
+		for i := 0; i < 10; i++ {
+			ctx.Call("malloc", 128)
+		}
+	}})
+	run(t, m)
+	u, _ := m.UsageBy("tsc", p.PID)
+	if u.User == 0 {
+		t.Fatal("library calls charged no user time")
+	}
+}
+
+func TestUsageSyscallReflectsBillingScheme(t *testing.T) {
+	m := testMachine(t)
+	var mid, final sim.Cycles
+	m.Spawn(SpawnConfig{Name: "self-aware", Body: func(ctx guest.Context) {
+		ctx.Compute(20_000_000) // 5 ticks
+		u1, s1 := ctx.Usage()
+		mid = u1 + s1
+		ctx.Compute(20_000_000)
+		u2, s2 := ctx.Usage()
+		final = u2 + s2
+	}})
+	run(t, m)
+	if mid == 0 || final <= mid {
+		t.Fatalf("usage did not grow: mid=%d final=%d", mid, final)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	build := func() (*Machine, proc.PID) {
+		m := New(Config{Seed: 42, CPUHz: 1_000_000_000, MaxSteps: 10_000_000})
+		p, _ := m.Spawn(SpawnConfig{Name: "w", Body: func(ctx guest.Context) {
+			for i := 0; i < 50; i++ {
+				ctx.Compute(sim.Cycles(1_000_000 + i*1000))
+				ctx.Store(uint64(i) * 4096)
+				if i%10 == 0 {
+					ctx.Syscall("write")
+				}
+			}
+		}})
+		m.Spawn(SpawnConfig{Name: "rival", Body: func(ctx guest.Context) {
+			for i := 0; i < 30; i++ {
+				ctx.Compute(2_000_000)
+				ctx.Yield()
+			}
+		}})
+		return m, p.PID
+	}
+	m1, p1 := build()
+	m2, p2 := build()
+	run(t, m1)
+	run(t, m2)
+	for _, scheme := range []string{"jiffy", "tsc", "process-aware"} {
+		u1, _ := m1.UsageBy(scheme, p1)
+		u2, _ := m2.UsageBy(scheme, p2)
+		if u1 != u2 {
+			t.Fatalf("scheme %s diverged: %+v vs %+v", scheme, u1, u2)
+		}
+	}
+	if m1.Clock().Now() != m2.Clock().Now() {
+		t.Fatalf("elapsed diverged: %d vs %d", m1.Clock().Now(), m2.Clock().Now())
+	}
+}
+
+func TestConservationJiffyVsTSC(t *testing.T) {
+	// Total jiffy-billed time across all tasks should be close to
+	// total TSC-billed time plus interrupt overhead: ticks conserve
+	// CPU, they only misattribute it.
+	m := testMachine(t)
+	a, _ := m.Spawn(SpawnConfig{Name: "a", Body: func(ctx guest.Context) { ctx.Compute(200_000_000) }})
+	b, _ := m.Spawn(SpawnConfig{Name: "b", Body: func(ctx guest.Context) { ctx.Compute(200_000_000) }})
+	run(t, m)
+	var jTotal, tTotal sim.Cycles
+	for _, pid := range []proc.PID{a.PID, b.PID} {
+		j, _ := m.UsageBy("jiffy", pid)
+		ts, _ := m.UsageBy("tsc", pid)
+		jTotal += j.Total()
+		tTotal += ts.Total()
+	}
+	if jTotal == 0 || tTotal == 0 {
+		t.Fatal("no accounting recorded")
+	}
+	ratio := float64(jTotal) / float64(tTotal)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("jiffy/tsc global ratio = %.3f, want ~1 (conservation)", ratio)
+	}
+}
+
+func TestSpawnUnknownLibraryFails(t *testing.T) {
+	m := testMachine(t)
+	_, err := m.Spawn(SpawnConfig{Name: "x", Libs: []string{"nope.so"}, Body: func(guest.Context) {}})
+	if err == nil {
+		t.Fatal("spawn with unknown library should fail")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	m := New(Config{Seed: 1, CPUHz: 1_000_000_000, MaxSteps: 100})
+	m.Spawn(SpawnConfig{Name: "hog", Body: func(ctx guest.Context) {
+		for {
+			ctx.Compute(1_000_000_000)
+		}
+	}})
+	if err := m.Run(); err == nil {
+		t.Fatal("runaway machine did not trip MaxSteps")
+	}
+}

@@ -1,0 +1,759 @@
+// Package kernel is the simulated operating system: a deterministic
+// discrete-event machine tying together the CPU, memory, devices,
+// scheduler, and accounting substrates. Guest programs run as
+// coroutines driven through guest.Context; exactly one goroutine
+// (kernel or one guest) executes at any instant, so identical seeds
+// replay identical histories.
+//
+// The modelled execution mechanisms are the ones the paper's attacks
+// exploit: CPU time is sampled per timer tick by the jiffy
+// accountant; a fork's child is billed from creation; dynamic-linker
+// and library-constructor work is billed to the process; interrupt
+// handler time lands on whichever task is current; page-fault service
+// is system time; ptrace stops are kernel work in the tracee's
+// context; and wakeup preemption takes effect only after a
+// priority-dependent latency, reflecting a non-preemptible kernel
+// where a user-mode task keeps the CPU until the next scheduling
+// point. That latency model is what reproduces Fig. 7's priority
+// gradient; see DESIGN.md §2 and EXPERIMENTS.md.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/device"
+	"repro/internal/guest"
+	"repro/internal/lib"
+	"repro/internal/mem"
+	"repro/internal/metering"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// DefaultHZ is the timer frequency (ticks per second) of the
+// simulated kernel, matching a 2.6.29 desktop config (HZ=250, 4 ms
+// jiffies; the paper notes ticks of 1–10 ms).
+const DefaultHZ = 250
+
+// Config assembles a Machine.
+type Config struct {
+	// Seed drives all randomness. Runs with equal seeds and equal
+	// workloads produce identical reports.
+	Seed int64
+	// CPUHz is the core frequency; zero selects 2.53 GHz.
+	CPUHz sim.Hz
+	// HZ is the timer tick rate; zero selects 250.
+	HZ uint64
+	// PhysMemBytes sizes RAM; zero selects 1 GiB.
+	PhysMemBytes uint64
+	// SchedulerPolicy is "o1" (default) or "cfs".
+	SchedulerPolicy string
+	// Registry is the shared-library store; nil selects the genuine
+	// libc/libm set.
+	Registry *lib.Registry
+	// Accountants to run in parallel. Empty selects
+	// jiffy + tsc + process-aware. The first is the billing scheme
+	// (what getrusage-alike reads).
+	Accountants []metering.Accountant
+	// WakeLatencyBase scales the wakeup-to-runnable latency. The
+	// latency for a task of nice n is Base*(n-MinNice+1)/41, so
+	// high-priority tasks become runnable (and preempt) sooner.
+	// Zero selects 1 ms worth of cycles.
+	WakeLatencyBase sim.Cycles
+	// MaxSteps bounds the event loop as a runaway guard; zero means
+	// unlimited.
+	MaxSteps uint64
+	// OOMMajorFaultLimit is the major-fault count after which a task
+	// whose footprint dominates RAM is OOM-killed; zero selects 20000
+	// (~100 s of sustained swap storming at 2007-era disk speed).
+	OOMMajorFaultLimit uint64
+}
+
+// Machine is one simulated host.
+type Machine struct {
+	cfg   Config
+	cpu   *cpu.CPU
+	clock *sim.Clock
+	queue *sim.EventQueue
+	rng   *sim.Rand
+	mem   *mem.Memory
+	nic   *device.NIC
+	disk  *device.Disk
+	table *proc.Table
+	sched sched.Scheduler
+	acct  *metering.Multi
+	reg   *lib.Registry
+
+	tickCycles sim.Cycles
+	nextTickAt sim.Cycles
+
+	tasks   map[proc.PID]*task
+	current *task
+	lastRun *task
+	live    int
+
+	needResched bool
+	dead        chan struct{}
+	closed      bool
+
+	stats        map[proc.PID]*Stats
+	measurements []Measurement
+	measuredKeys map[string]bool
+
+	// groupCount tracks live tasks per thread group; the last exit
+	// releases the address space and snapshots final usage.
+	groupCount map[proc.PID]int
+	// finalUsage/finalChildren preserve the accounted time of
+	// billable thread groups (spawned or exec'd programs) past their
+	// reaping, since reaping folds and drops live ledger entries.
+	finalUsage    map[string]map[proc.PID]metering.Usage
+	finalChildren map[string]map[proc.PID]metering.Usage
+
+	steps uint64
+}
+
+// ErrDeadlock is returned by Run when live tasks remain but nothing
+// can ever run again.
+var ErrDeadlock = errors.New("kernel: deadlock: live tasks but no runnable task and no pending events")
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.CPUHz == 0 {
+		cfg.CPUHz = sim.DefaultCPUHz
+	}
+	if cfg.HZ == 0 {
+		cfg.HZ = DefaultHZ
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = lib.StandardRegistry()
+	}
+	if cfg.WakeLatencyBase == 0 {
+		cfg.WakeLatencyBase = sim.Cycles(uint64(cfg.CPUHz) / 1000) // 1 ms
+	}
+	c := cpu.New(cfg.CPUHz)
+	m := &Machine{
+		cfg:           cfg,
+		cpu:           c,
+		clock:         c.Clock(),
+		queue:         sim.NewEventQueue(),
+		rng:           sim.NewRand(cfg.Seed),
+		mem:           mem.New(cfg.PhysMemBytes, 0),
+		table:         proc.NewTable(),
+		reg:           cfg.Registry,
+		tasks:         make(map[proc.PID]*task),
+		stats:         make(map[proc.PID]*Stats),
+		measuredKeys:  make(map[string]bool),
+		groupCount:    make(map[proc.PID]int),
+		finalUsage:    make(map[string]map[proc.PID]metering.Usage),
+		finalChildren: make(map[string]map[proc.PID]metering.Usage),
+		dead:          make(chan struct{}),
+	}
+	m.tickCycles = sim.Cycles(uint64(cfg.CPUHz) / cfg.HZ)
+
+	cyclesPerMs := sim.Cycles(uint64(cfg.CPUHz) / 1000)
+	switch cfg.SchedulerPolicy {
+	case "", "o1":
+		m.sched = sched.NewO1(cyclesPerMs)
+	case "cfs":
+		m.sched = sched.NewCFS(cyclesPerMs)
+	default:
+		panic(fmt.Sprintf("kernel: unknown scheduler policy %q", cfg.SchedulerPolicy))
+	}
+
+	accts := cfg.Accountants
+	if len(accts) == 0 {
+		accts = []metering.Accountant{
+			metering.NewJiffy(m.tickCycles),
+			metering.NewTSC(),
+			metering.NewProcessAware(),
+		}
+	}
+	m.acct = metering.NewMulti(accts...)
+
+	m.nic = device.NewNIC(m.queue, m.clock, m.rng, m.nicRx)
+	m.disk = device.NewDisk(m.queue, m.clock, mem.DiskLatency(cfg.CPUHz))
+
+	// Arm the periodic timer.
+	m.nextTickAt = m.tickCycles
+	m.queue.Schedule(m.nextTickAt, "timer", m.timerTick)
+	return m
+}
+
+// Clock exposes the machine clock (read-only use).
+func (m *Machine) Clock() *sim.Clock { return m.clock }
+
+// CPU exposes the simulated core.
+func (m *Machine) CPU() *cpu.CPU { return m.cpu }
+
+// Mem exposes the memory subsystem.
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// NIC exposes the network device (attacks start floods on it).
+func (m *Machine) NIC() *device.NIC { return m.nic }
+
+// Disk exposes the swap device.
+func (m *Machine) Disk() *device.Disk { return m.disk }
+
+// Registry exposes the shared-library store.
+func (m *Machine) Registry() *lib.Registry { return m.reg }
+
+// Scheduler exposes the active policy.
+func (m *Machine) Scheduler() sched.Scheduler { return m.sched }
+
+// Accountants exposes the accounting fan-out.
+func (m *Machine) Accountants() *metering.Multi { return m.acct }
+
+// TickCycles returns the jiffy length in cycles.
+func (m *Machine) TickCycles() sim.Cycles { return m.tickCycles }
+
+// Rand exposes the deterministic random source.
+func (m *Machine) Rand() *sim.Rand { return m.rng }
+
+// oomLimit returns the configured OOM major-fault threshold.
+func (m *Machine) oomLimit() uint64 {
+	if m.cfg.OOMMajorFaultLimit > 0 {
+		return m.cfg.OOMMajorFaultLimit
+	}
+	return 20000
+}
+
+// Table exposes the process table.
+func (m *Machine) Table() *proc.Table { return m.table }
+
+// Stats returns the counters for a thread group (zero value if the
+// group never ran).
+func (m *Machine) Stats(tgid proc.PID) Stats {
+	if s := m.stats[tgid]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// Measurements returns the code-identity log in load order (copy).
+func (m *Machine) Measurements() []Measurement {
+	out := make([]Measurement, len(m.measurements))
+	copy(out, m.measurements)
+	return out
+}
+
+// Usage returns the billing (first) accountant's view of a thread
+// group, surviving the group's reaping.
+func (m *Machine) Usage(tgid proc.PID) metering.Usage {
+	accts := m.acct.Accountants()
+	if len(accts) == 0 {
+		return metering.Usage{}
+	}
+	u, _ := m.UsageBy(accts[0].Name(), tgid)
+	return u
+}
+
+// UsageBy returns a named scheme's view of a thread group. For
+// groups that have fully exited it returns the preserved final
+// snapshot (reaping folds live entries into the parent).
+func (m *Machine) UsageBy(scheme string, tgid proc.PID) (metering.Usage, bool) {
+	a, ok := m.acct.ByName(scheme)
+	if !ok {
+		return metering.Usage{}, false
+	}
+	if fin, ok := m.finalUsage[scheme][tgid]; ok {
+		return fin, true
+	}
+	return a.Usage(tgid), true
+}
+
+// ChildrenUsageBy returns a scheme's accumulated reaped-children
+// usage for a thread group (getrusage(RUSAGE_CHILDREN)), surviving
+// the group's own reaping.
+func (m *Machine) ChildrenUsageBy(scheme string, tgid proc.PID) (metering.Usage, bool) {
+	a, ok := m.acct.ByName(scheme)
+	if !ok {
+		return metering.Usage{}, false
+	}
+	if fin, ok := m.finalChildren[scheme][tgid]; ok {
+		return fin, true
+	}
+	return a.ChildrenUsage(tgid), true
+}
+
+// SpawnConfig describes a kernel-spawned process (something init or
+// a daemon would start, e.g. the shell or an attack process).
+type SpawnConfig struct {
+	Name string
+	// Content is the image identity for integrity measurement.
+	Content string
+	Nice    int
+	// Env is the initial environment (copied).
+	Env map[string]string
+	// Libs are linked at spawn (with Env's LD_PRELOAD honoured).
+	// Nil links the full registry default set: libc and libm.
+	Libs []string
+	Body guest.Routine
+}
+
+// Spawn creates a runnable process outside any fork chain.
+func (m *Machine) Spawn(sc SpawnConfig) (*proc.Proc, error) {
+	p := m.table.Create(sc.Name, nil)
+	p.SetNice(sc.Nice)
+	for k, v := range sc.Env {
+		p.Env[k] = v
+	}
+	p.Space = m.mem.NewSpace(sc.Name)
+	linked := sc.Libs
+	if linked == nil {
+		for _, name := range []string{lib.LibcName, lib.LibmName} {
+			if _, ok := m.reg.Get(name); ok {
+				linked = append(linked, name)
+			}
+		}
+	}
+	lm, err := lib.BuildLinkMap(m.reg, p.Env[lib.PreloadEnv], linked)
+	if err != nil {
+		return nil, fmt.Errorf("spawn %s: %w", sc.Name, err)
+	}
+	t := m.newTask(p, sc.Body)
+	t.billable = true
+	m.groupCount[p.TGID]++
+	t.linkMap = lm
+	t.image = &guest.Program{Name: sc.Name, Content: sc.Content}
+	m.measure(p, MeasureProgram, sc.Name, ProgramDigest(sc.Name, sc.Content))
+	for _, l := range lm.Libraries() {
+		m.measure(p, MeasureLibrary, l.Name, l.Digest())
+	}
+	p.State = proc.Ready
+	m.live++
+	m.enqueue(t)
+	return p, nil
+}
+
+func (m *Machine) newTask(p *proc.Proc, body guest.Routine) *task {
+	t := &task{
+		p:     p,
+		m:     m,
+		body:  body,
+		req:   make(chan *request),
+		grant: make(chan struct{}),
+	}
+	m.tasks[p.PID] = t
+	return t
+}
+
+func (m *Machine) statOf(tgid proc.PID) *Stats {
+	s := m.stats[tgid]
+	if s == nil {
+		s = &Stats{}
+		m.stats[tgid] = s
+	}
+	return s
+}
+
+// measure appends to the code-identity log. Entries are deduplicated
+// by (kind, name, digest), as a real integrity measurement
+// architecture measures each distinct binary once; this also bounds
+// the log under fork storms.
+func (m *Machine) measure(p *proc.Proc, kind MeasurementKind, name, digest string) {
+	key := fmt.Sprintf("%d\x00%s\x00%s", kind, name, digest)
+	if m.measuredKeys[key] {
+		return
+	}
+	m.measuredKeys[key] = true
+	m.measurements = append(m.measurements, Measurement{
+		PID: p.PID, TGID: p.TGID, Kind: kind, Name: name, Digest: digest,
+	})
+}
+
+// Run executes until every spawned task has exited. It returns
+// ErrDeadlock if progress becomes impossible, or an error when
+// MaxSteps is exceeded.
+func (m *Machine) Run() error {
+	defer m.shutdown()
+	for m.live > 0 {
+		if m.cfg.MaxSteps > 0 && m.steps >= m.cfg.MaxSteps {
+			return fmt.Errorf("kernel: exceeded %d steps at t=%d", m.cfg.MaxSteps, m.clock.Now())
+		}
+		m.steps++
+		if err := m.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shutdown unblocks any still-parked guest goroutines (they unwind
+// via killPanic) so tests do not leak.
+func (m *Machine) shutdown() {
+	if !m.closed {
+		m.closed = true
+		close(m.dead)
+	}
+}
+
+// step advances the simulation by one action: firing a due event,
+// dispatching, burning a compute chunk, or servicing one request.
+func (m *Machine) step() error {
+	// Fire everything due now.
+	for {
+		at, ok := m.queue.PeekTime()
+		if !ok || at > m.clock.Now() {
+			break
+		}
+		e := m.queue.Pop()
+		e.Fire()
+		if m.live == 0 {
+			return nil
+		}
+	}
+
+	if m.current != nil && m.needResched {
+		m.preemptCurrent()
+	}
+	m.needResched = false
+
+	if m.current == nil {
+		if !m.dispatch() {
+			// Nothing runnable: idle to the next event.
+			at, ok := m.queue.PeekTime()
+			if !ok {
+				return ErrDeadlock
+			}
+			m.cpu.Idle(at)
+			return nil
+		}
+	}
+
+	t := m.current
+	switch {
+	case t.cur == nil:
+		m.pullRequest(t)
+	case t.pendingUser > 0:
+		m.burnChunk(t)
+	case t.resume != nil:
+		f := t.resume
+		t.resume = nil
+		f()
+	case t.completed:
+		m.finishRequest(t)
+	default:
+		return fmt.Errorf("kernel: task %v dispatched with stuck request kind=%d", t.p, t.cur.kind)
+	}
+	return nil
+}
+
+// dispatch picks the next task onto the CPU. Reports false when the
+// runqueue is empty.
+func (m *Machine) dispatch() bool {
+	p := m.sched.PickNext()
+	if p == nil {
+		return false
+	}
+	t := m.tasks[p.PID]
+	p.State = proc.Running
+	m.current = t
+	t.quantumLeft = m.sched.Quantum(p)
+	if t != m.lastRun {
+		st := m.statOf(p.TGID)
+		st.ContextSwitches++
+		m.chargedAdvance(m.cpu.Costs().ContextSwitch, cpu.Kernel, t)
+	}
+	m.lastRun = t
+	return true
+}
+
+// preemptCurrent puts the running task back on the runqueue.
+func (m *Machine) preemptCurrent() {
+	t := m.current
+	if t == nil {
+		return
+	}
+	t.p.State = proc.Ready
+	m.statOf(t.p.TGID).Preemptions++
+	m.enqueue(t)
+	m.current = nil
+}
+
+// blockCurrent removes the running task from the CPU without
+// re-queueing (it is sleeping, waiting, stopped, or dead).
+func (m *Machine) blockCurrent(state proc.State) {
+	t := m.current
+	t.p.State = state
+	m.current = nil
+}
+
+// enqueue adds a task to the runqueue.
+func (m *Machine) enqueue(t *task) {
+	m.sched.Enqueue(t.p)
+}
+
+// wakeNow makes a blocked task runnable immediately. If scheduling
+// policy says the woken task should take the CPU from the current
+// one, the preemption is deferred to the next preemption point for
+// the woken task's priority — never applied mid-jiffy on the spot.
+// This models a non-preemptible kernel where a user-mode task keeps
+// the CPU until the next scheduling opportunity (timer tick or other
+// interrupt return); the density of those opportunities grows with
+// the contender's priority. This deferral is what reproduces the
+// scheduling attack of Fig. 7: the attacker's bursts are phase-locked
+// just after scheduling points, so the victim is the task on the CPU
+// whenever the accounting tick fires.
+func (m *Machine) wakeNow(t *task) {
+	if !t.p.Alive() || t.p.State == proc.Stopped || t.p.State == proc.Running {
+		return
+	}
+	if t.p.State == proc.Ready {
+		return // already runnable
+	}
+	if t.stopPending {
+		// A SIGSTOP arrived while the task was blocked: it stops
+		// instead of resuming, and the tracer learns of the stop.
+		t.stopPending = false
+		t.p.State = proc.Stopped
+		t.stopReported = false
+		m.notifyWaiters(t)
+		return
+	}
+	t.p.State = proc.Ready
+	m.enqueue(t)
+	if m.current != nil && m.sched.ShouldPreempt(m.current.p, t.p) {
+		m.schedulePreempt(t.p.Nice())
+	}
+}
+
+// preemptPointsPerTick maps a contender's nice value to the number of
+// sub-jiffy scheduling opportunities per tick at which it may preempt
+// a running user-mode task: 2 at nice -5 up to 8 at nice -20.
+// Non-negative nice gets none (it waits for quantum expiry).
+func preemptPointsPerTick(nice int) sim.Cycles {
+	if nice >= 0 {
+		return 0
+	}
+	k := sim.Cycles(-nice) * 2 / 5
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return k
+}
+
+// schedulePreempt arms a reschedule at the next preemption point for
+// a contender of the given nice value. Points lie on a grid of
+// tick/k anchored at tick boundaries.
+func (m *Machine) schedulePreempt(nice int) {
+	k := preemptPointsPerTick(nice)
+	if k == 0 {
+		return
+	}
+	interval := m.tickCycles / k
+	if interval == 0 {
+		interval = 1
+	}
+	base := m.nextTickAt - m.tickCycles // current jiffy's start
+	now := m.clock.Now()
+	var at sim.Cycles
+	if now < base {
+		at = base
+	} else {
+		at = base + ((now-base)/interval+1)*interval
+	}
+	// Integer division can land the last grid point just shy of the
+	// next tick; snap it onto the tick so the timer's charge (which
+	// fires first — earlier event sequence number) still samples the
+	// task that ran up to the boundary.
+	if m.nextTickAt-at < interval/2 {
+		at = m.nextTickAt
+	}
+	m.queue.Schedule(at, "preempt", func() {
+		m.needResched = true
+	})
+}
+
+// wakeLatency returns the wakeup-to-runnable delay: a small fixed
+// cost (~1/128 jiffy, ≈30 µs at HZ=250) modelling the wake-up path
+// and runqueue placement.
+func (m *Machine) wakeLatency(nice int) sim.Cycles {
+	_ = nice
+	l := m.tickCycles / 128
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+// wakeAfterLatency schedules a wake at now+latency(nice). Duplicate
+// requests while one is pending are coalesced.
+func (m *Machine) wakeAfterLatency(t *task) {
+	if t.wakePending {
+		return
+	}
+	t.wakePending = true
+	at := m.clock.Now() + m.wakeLatency(t.p.Nice())
+	m.queue.Schedule(at, "wake", func() {
+		t.wakePending = false
+		m.wakeNow(t)
+	})
+}
+
+// timerTick is the periodic timer interrupt: sample-charge the
+// current task (the jiffy scheme's whole mechanism), run the handler,
+// and re-arm.
+func (m *Machine) timerTick() {
+	var cur *proc.Proc
+	mode := m.cpu.Mode()
+	if m.current != nil {
+		cur = m.current.p
+		m.statOf(cur.TGID).TicksAbsorbed++
+	}
+	m.acct.OnTick(cur, mode)
+	m.irqWork(device.IRQTimer, m.cpu.Costs().TimerHandler)
+	m.nextTickAt += m.tickCycles
+	m.queue.Schedule(m.nextTickAt, "timer", m.timerTick)
+}
+
+// nicRx services one received packet.
+func (m *Machine) nicRx() {
+	c := m.cpu.Costs()
+	m.irqWork(device.IRQNIC, c.IRQEntry+c.IRQHandlerNIC+c.IRQExit)
+}
+
+// submitDisk queues one swap I/O; its completion interrupt (billed to
+// whichever task is then current, like any IRQ) precedes the
+// completion action. This is one of Fig. 11's inflation channels:
+// the memory hog's I/O completions land on the victim. write selects
+// the background writeback channel (swap-outs) instead of the
+// blocking read channel (swap-ins).
+func (m *Machine) submitDisk(write bool, done func()) {
+	c := m.cpu.Costs()
+	wrapped := func() {
+		m.irqWork(device.IRQDisk, c.IRQEntry+c.IRQEntry+c.IRQExit)
+		done()
+	}
+	if write {
+		m.disk.SubmitWrite(wrapped)
+	} else {
+		m.disk.Submit(wrapped)
+	}
+}
+
+// irqWork advances wall time through an interrupt handler and reports
+// it to the accountants against whichever task is current.
+func (m *Machine) irqWork(irq device.IRQ, cost sim.Cycles) {
+	prev := m.cpu.Mode()
+	var cur *proc.Proc
+	if m.current != nil {
+		cur = m.current.p
+		m.statOf(cur.TGID).IRQCycles += cost
+	}
+	m.advance(cost, cpu.Interrupt, nil)
+	m.acct.OnInterrupt(irq, cur, cost)
+	m.cpu.SetMode(prev)
+}
+
+// advance moves virtual time forward by d cycles in the given mode,
+// splitting at event boundaries so interleaved interrupts observe the
+// true machine state. owner, when non-nil, receives OnRun charges.
+func (m *Machine) advance(d sim.Cycles, md cpu.Mode, owner *proc.Proc) {
+	for d > 0 {
+		chunk := d
+		if at, ok := m.queue.PeekTime(); ok {
+			if at <= m.clock.Now() {
+				e := m.queue.Pop()
+				e.Fire()
+				continue
+			}
+			if room := at - m.clock.Now(); room < chunk {
+				chunk = room
+			}
+		}
+		m.cpu.SetMode(md)
+		m.cpu.Run(chunk)
+		if owner != nil {
+			m.acct.OnRun(owner, md, chunk)
+		}
+		d -= chunk
+	}
+}
+
+// chargedAdvance is advance plus scheduler timeslice consumption for
+// the task being served.
+func (m *Machine) chargedAdvance(d sim.Cycles, md cpu.Mode, t *task) {
+	m.advance(d, md, t.p)
+	m.sched.Charge(t.p, d)
+	if d >= t.quantumLeft {
+		t.quantumLeft = 0
+	} else {
+		t.quantumLeft -= d
+	}
+}
+
+// burnChunk consumes part of the current task's pending user-mode
+// computation, bounded by the next event and the remaining quantum.
+func (m *Machine) burnChunk(t *task) {
+	chunk := t.pendingUser
+	if t.quantumLeft > 0 && chunk > t.quantumLeft {
+		chunk = t.quantumLeft
+	}
+	if at, ok := m.queue.PeekTime(); ok {
+		if room := at - m.clock.Now(); room < chunk {
+			chunk = room
+		}
+	}
+	if chunk > 0 {
+		m.cpu.SetMode(cpu.User)
+		m.cpu.Run(chunk)
+		m.acct.OnRun(t.p, cpu.User, chunk)
+		m.sched.Charge(t.p, chunk)
+		t.pendingUser -= chunk
+		if chunk >= t.quantumLeft {
+			t.quantumLeft = 0
+		} else {
+			t.quantumLeft -= chunk
+		}
+	} else {
+		// Zero room: an event is due right now; fire it via step's
+		// pre-loop on the next iteration. Quantum-expiry handling
+		// below still applies.
+		if at, ok := m.queue.PeekTime(); ok && at <= m.clock.Now() {
+			e := m.queue.Pop()
+			e.Fire()
+		}
+	}
+
+	if t.pendingUser == 0 && t.cur != nil && t.cur.kind == rqCompute {
+		m.grantNow(t)
+		return
+	}
+	if t.quantumLeft == 0 && m.current == t {
+		if m.sched.Runnable() > 0 {
+			m.preemptCurrent()
+		} else {
+			t.quantumLeft = m.sched.Quantum(t.p)
+		}
+	}
+}
+
+// grantNow completes the current request and resumes the guest.
+func (m *Machine) grantNow(t *task) {
+	t.cur = nil
+	t.completed = false
+	t.grant <- struct{}{}
+}
+
+// finishRequest delivers the grant for a request that completed while
+// the task was blocked (disk, wait, sleep).
+func (m *Machine) finishRequest(t *task) {
+	m.grantNow(t)
+}
+
+// pullRequest starts the guest if necessary and services its next
+// request.
+func (m *Machine) pullRequest(t *task) {
+	if !t.started {
+		t.start()
+	}
+	r := <-t.req
+	t.cur = r
+	m.beginRequest(t, r)
+}

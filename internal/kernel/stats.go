@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Stats are per-thread-group observable counters. The trustworthy
+// metering layer (internal/core) reads these to corroborate or refute
+// a bill: a process with hundreds of thousands of trace stops, or a
+// large gap between tick-sampled and TSC-measured time, did not run
+// undisturbed.
+type Stats struct {
+	Forks           uint64
+	ThreadsSpawned  uint64
+	Syscalls        uint64
+	ContextSwitches uint64 // times this group was switched onto the CPU
+	Preemptions     uint64 // involuntary descheduling events
+	TraceStops      uint64 // ptrace-induced stops
+	DebugExceptions uint64 // hardware watchpoint hits
+	SignalsReceived uint64
+	MinorFaults     uint64
+	MajorFaults     uint64
+	IRQCycles       sim.Cycles // interrupt-handler cycles taken while current
+	DiskWaitCycles  sim.Cycles // blocked on swap I/O
+	TicksAbsorbed   uint64     // timer ticks charged to this group
+}
+
+// MeasurementKind classifies an entry in the code-identity log.
+type MeasurementKind int
+
+const (
+	// MeasureProgram is an executable image loaded by exec.
+	MeasureProgram MeasurementKind = iota + 1
+	// MeasureLibrary is a shared object mapped into the process.
+	MeasureLibrary
+	// MeasureInherited is the image a forked child starts executing
+	// (its parent's) before any exec.
+	MeasureInherited
+)
+
+func (k MeasurementKind) String() string {
+	switch k {
+	case MeasureProgram:
+		return "program"
+	case MeasureLibrary:
+		return "library"
+	case MeasureInherited:
+		return "inherited"
+	default:
+		return "unknown"
+	}
+}
+
+// Measurement is one entry of the load-time code-identity log, the
+// record a TPM-backed integrity measurement architecture (the paper's
+// reference [15]) would extend into a PCR.
+type Measurement struct {
+	PID    proc.PID
+	TGID   proc.PID
+	Kind   MeasurementKind
+	Name   string
+	Digest string
+}
+
+// absorb folds a reaped child's counters into this (parent) record,
+// the statistics analogue of rusage-children accumulation.
+func (s *Stats) absorb(c *Stats) {
+	s.Forks += c.Forks
+	s.ThreadsSpawned += c.ThreadsSpawned
+	s.Syscalls += c.Syscalls
+	s.ContextSwitches += c.ContextSwitches
+	s.Preemptions += c.Preemptions
+	s.TraceStops += c.TraceStops
+	s.DebugExceptions += c.DebugExceptions
+	s.SignalsReceived += c.SignalsReceived
+	s.MinorFaults += c.MinorFaults
+	s.MajorFaults += c.MajorFaults
+	s.IRQCycles += c.IRQCycles
+	s.DiskWaitCycles += c.DiskWaitCycles
+	s.TicksAbsorbed += c.TicksAbsorbed
+}
+
+// ProgramDigest measures an executable image's identity.
+func ProgramDigest(name, content string) string {
+	h := sha256.Sum256([]byte("prog\x00" + name + "\x00" + content))
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,325 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/lib"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// reqKind enumerates guest requests.
+type reqKind int
+
+const (
+	rqCompute reqKind = iota + 1
+	rqAccess
+	rqSyscall
+	rqFork
+	rqThread
+	rqWait
+	rqExit
+	rqYield
+	rqSleep
+	rqNice
+	rqPtrace
+	rqUsage
+	rqExec
+	rqFind
+)
+
+// request is one guest action awaiting kernel service. The guest
+// goroutine fills the input fields, sends the request, and blocks on
+// the task's grant channel; the kernel fills the reply fields before
+// granting, so reads after the grant are race-free.
+type request struct {
+	kind reqKind
+
+	// Inputs.
+	cycles sim.Cycles     // rqCompute, rqSleep
+	addr   uint64         // rqAccess
+	write  bool           // rqAccess
+	name   string         // rqSyscall, rqFork, rqThread
+	body   guest.Routine  // rqFork, rqThread
+	prog   *guest.Program // rqExec
+	nice   int            // rqNice
+	ptReq  guest.PtraceRequest
+	ptPid  proc.PID
+	ptAddr uint64
+	ptData uint64
+	code   int // rqExit
+
+	// Replies.
+	ret  uint64
+	err  error
+	wres guest.WaitResult
+	wok  bool
+	u, s sim.Cycles
+}
+
+// task couples a PCB with its guest goroutine and kernel-side
+// execution state.
+type task struct {
+	p *proc.Proc
+	m *Machine
+
+	body guest.Routine
+
+	req     chan *request
+	grant   chan struct{}
+	started bool
+	gone    bool // goroutine finished (exit request seen)
+
+	// cur is the request being serviced. pendingUser is user-mode
+	// computation still to burn before cur completes (only rqCompute
+	// uses it; kernel services are non-preemptible lumps). completed
+	// marks a blocked request (disk wait, wait(), trace stop) whose
+	// condition has been satisfied; the grant is delivered when the
+	// task is next dispatched. resume, when set, is a continuation
+	// run at next dispatch (finishing a watchpoint-interrupted
+	// memory access).
+	cur         *request
+	pendingUser sim.Cycles
+	completed   bool
+	resume      func()
+
+	// image is the executable identity this task runs (inherited on
+	// fork, replaced by exec). linkMap is set by exec.
+	image   *guest.Program
+	linkMap *lib.LinkMap
+
+	// quantumLeft is the remaining timeslice granted at dispatch.
+	quantumLeft sim.Cycles
+
+	// waitingChild marks a task blocked in Wait.
+	waitingChild bool
+
+	// watchFired marks that the in-flight memory access already took
+	// its watchpoint trap, so the post-resume retry skips the check.
+	watchFired bool
+
+	// stopPending defers a SIGSTOP delivered while the task was
+	// blocked: the stop takes effect when the blocking condition
+	// completes, without corrupting the in-flight request.
+	stopPending bool
+
+	// blockedAt records when the task last blocked, for disk-wait
+	// statistics.
+	blockedAt sim.Cycles
+
+	// tracees are the tasks this one has ptrace-attached to.
+	tracees []*task
+
+	// stopReported marks a ptrace stop already delivered to the
+	// tracer via Wait.
+	stopReported bool
+
+	// wakePending marks a scheduled delayed wake so duplicate wake
+	// events are not enqueued.
+	wakePending bool
+
+	// billable marks thread groups whose final usage must outlive
+	// reaping: directly spawned processes and anything that exec'd a
+	// program. Anonymous fork children (the scheduling attack's
+	// storm) are not billable; their time folds into the parent.
+	billable bool
+}
+
+// exitPanic unwinds the guest goroutine on Exit.
+type exitPanic struct{ code int }
+
+// killPanic unwinds guest goroutines when the machine shuts down.
+type killPanic struct{}
+
+// start launches the guest goroutine. Called at first dispatch; the
+// kernel immediately blocks reading the first request, preserving the
+// one-runnable-goroutine invariant.
+func (t *task) start() {
+	t.started = true
+	go func() {
+		code := 0
+		defer func() {
+			if r := recover(); r != nil {
+				switch v := r.(type) {
+				case exitPanic:
+					code = v.code
+				case killPanic:
+					return // machine shut down; vanish silently
+				default:
+					panic(r)
+				}
+			}
+			t.send(&request{kind: rqExit, code: code})
+		}()
+		ctx := &guestCtx{t: t}
+		t.body(ctx)
+	}()
+}
+
+// send publishes a request to the kernel, aborting if the machine is
+// shutting down.
+func (t *task) send(r *request) {
+	select {
+	case t.req <- r:
+	case <-t.m.dead:
+		panic(killPanic{})
+	}
+}
+
+// call publishes a request and blocks until the kernel grants it.
+func (t *task) call(r *request) *request {
+	t.send(r)
+	select {
+	case <-t.grant:
+	case <-t.m.dead:
+		panic(killPanic{})
+	}
+	return r
+}
+
+// guestCtx implements guest.Context on the guest goroutine.
+type guestCtx struct {
+	t *task
+}
+
+var _ guest.Context = (*guestCtx)(nil)
+
+func (c *guestCtx) PID() proc.PID { return c.t.p.PID }
+
+func (c *guestCtx) Compute(d sim.Cycles) {
+	if d == 0 {
+		return
+	}
+	c.t.call(&request{kind: rqCompute, cycles: d})
+}
+
+func (c *guestCtx) Load(addr uint64) {
+	c.t.call(&request{kind: rqAccess, addr: addr})
+}
+
+func (c *guestCtx) Store(addr uint64) {
+	c.t.call(&request{kind: rqAccess, addr: addr, write: true})
+}
+
+func (c *guestCtx) Call(fn string, args ...uint64) uint64 {
+	lm := c.t.linkMap
+	if lm == nil {
+		panic(fmt.Sprintf("kernel: task %v calls %q with no link map (not exec'd)", c.t.p, fn))
+	}
+	f, from, ok := lm.Resolve(fn)
+	if !ok {
+		panic(fmt.Sprintf("kernel: undefined symbol %q in %v", fn, c.t.p))
+	}
+	// PLT indirection cost, then the callee runs in this context.
+	c.Compute(pltCost)
+	_ = from
+	return f(c, args...)
+}
+
+func (c *guestCtx) Syscall(name string) {
+	c.t.call(&request{kind: rqSyscall, name: name})
+}
+
+func (c *guestCtx) Fork(name string, body guest.Routine) proc.PID {
+	r := c.t.call(&request{kind: rqFork, name: name, body: body})
+	return proc.PID(r.ret)
+}
+
+func (c *guestCtx) SpawnThread(name string, body guest.Routine) proc.PID {
+	r := c.t.call(&request{kind: rqThread, name: name, body: body})
+	return proc.PID(r.ret)
+}
+
+func (c *guestCtx) Wait() (guest.WaitResult, bool) {
+	r := c.t.call(&request{kind: rqWait})
+	return r.wres, r.wok
+}
+
+func (c *guestCtx) Exit(code int) {
+	panic(exitPanic{code: code})
+}
+
+func (c *guestCtx) Yield() {
+	c.t.call(&request{kind: rqYield})
+}
+
+func (c *guestCtx) Sleep(d sim.Cycles) {
+	c.t.call(&request{kind: rqSleep, cycles: d})
+}
+
+func (c *guestCtx) SetNice(n int) {
+	c.t.call(&request{kind: rqNice, nice: n})
+}
+
+func (c *guestCtx) Nice() int {
+	// Safe direct read: the kernel is parked in <-t.req while guest
+	// code runs, and only this task writes its own nice value.
+	return c.t.p.Nice()
+}
+
+func (c *guestCtx) Getenv(key string) string {
+	// Env is written only by this task or before it first runs
+	// (inheritance at fork), and the kernel is parked in <-t.req
+	// while guest code executes, so this access is race-free.
+	return c.t.p.Env[key]
+}
+
+func (c *guestCtx) Setenv(key, value string) {
+	c.t.p.Env[key] = value
+}
+
+func (c *guestCtx) FindProcess(name string) (proc.PID, bool) {
+	r := c.t.call(&request{kind: rqFind, name: name})
+	return proc.PID(r.ret), r.wok
+}
+
+func (c *guestCtx) Rand() *sim.Rand {
+	// Safe for the same reason as Getenv: strict coroutine handoff
+	// means exactly one goroutine (this one) is running now.
+	return c.t.m.rng
+}
+
+func (c *guestCtx) Ptrace(req guest.PtraceRequest, pid proc.PID, addr, data uint64) error {
+	r := c.t.call(&request{kind: rqPtrace, ptReq: req, ptPid: pid, ptAddr: addr, ptData: data})
+	return r.err
+}
+
+func (c *guestCtx) Usage() (user, system sim.Cycles) {
+	r := c.t.call(&request{kind: rqUsage})
+	return r.u, r.s
+}
+
+// Exec loads a program image: the kernel charges execve and dynamic
+// linking, builds the link map, and records integrity measurements;
+// then constructors, main, and destructors run here in guest context,
+// exactly the sandwich of Fig. 2 in the paper.
+func (c *guestCtx) Exec(prog *guest.Program) {
+	r := c.t.call(&request{kind: rqExec, prog: prog})
+	if r.err != nil {
+		panic(fmt.Sprintf("kernel: exec %q: %v", prog.Name, r.err))
+	}
+	libs := c.t.linkMap.Libraries()
+	for _, l := range libs {
+		if l.Constructor != nil {
+			c.Compute(ctorDispatchCost)
+			l.Constructor(c)
+		}
+	}
+	if prog.Main != nil {
+		prog.Main(c)
+	}
+	for i := len(libs) - 1; i >= 0; i-- {
+		if d := libs[i].Destructor; d != nil {
+			c.Compute(ctorDispatchCost)
+			d(c)
+		}
+	}
+}
+
+// pltCost is the user-mode cost of one PLT-resolved library call.
+const pltCost sim.Cycles = 12
+
+// ctorDispatchCost is the loader's per-routine dispatch overhead
+// around constructors/destructors.
+const ctorDispatchCost sim.Cycles = 200

@@ -1,0 +1,156 @@
+package lib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+)
+
+func stub(name string, fns ...string) *Library {
+	l := &Library{Name: name, Content: "v1 " + name, Funcs: map[string]guest.LibFunc{}}
+	for _, fn := range fns {
+		l.Funcs[fn] = func(guest.Context, ...uint64) uint64 { return 0 }
+	}
+	return l
+}
+
+func TestBuildLinkMapOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Install(stub("libc.so.6", "malloc"))
+	reg.Install(stub("evil.so", "malloc"))
+	lm, err := BuildLinkMap(reg, "evil.so", []string{"libc.so.6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	libs := lm.Libraries()
+	if len(libs) != 2 || libs[0].Name != "evil.so" || libs[1].Name != "libc.so.6" {
+		t.Fatalf("order = %v", libs)
+	}
+}
+
+func TestPreloadShadowsSymbol(t *testing.T) {
+	reg := NewRegistry()
+	genuine := stub("libc.so.6", "malloc", "free")
+	evil := stub("evil.so", "malloc")
+	reg.Install(genuine)
+	reg.Install(evil)
+	lm, err := BuildLinkMap(reg, "evil.so", []string{"libc.so.6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, from, ok := lm.Resolve("malloc")
+	if !ok || from != evil {
+		t.Fatalf("malloc resolved from %v, want evil.so", from)
+	}
+	_, from, ok = lm.Resolve("free")
+	if !ok || from != genuine {
+		t.Fatalf("free resolved from %v, want libc", from)
+	}
+	if _, _, ok := lm.Resolve("nonexistent"); ok {
+		t.Fatal("resolved undefined symbol")
+	}
+}
+
+func TestResolveAfterChainsToGenuine(t *testing.T) {
+	reg := NewRegistry()
+	genuine := stub("libc.so.6", "malloc")
+	evil := stub("evil.so", "malloc")
+	reg.Install(genuine)
+	reg.Install(evil)
+	lm, _ := BuildLinkMap(reg, "evil.so", []string{"libc.so.6"})
+	_, from, ok := lm.ResolveAfter("evil.so", "malloc")
+	if !ok || from != genuine {
+		t.Fatalf("RTLD_NEXT malloc from %v, want libc", from)
+	}
+	if _, _, ok := lm.ResolveAfter("libc.so.6", "malloc"); ok {
+		t.Fatal("resolution past the last definition should fail")
+	}
+}
+
+func TestUnknownPreloadSkippedUnknownLinkFails(t *testing.T) {
+	reg := NewRegistry()
+	reg.Install(stub("libc.so.6", "malloc"))
+	lm, err := BuildLinkMap(reg, "ghost.so", []string{"libc.so.6"})
+	if err != nil {
+		t.Fatalf("unknown preload should be skipped, got %v", err)
+	}
+	if len(lm.Libraries()) != 1 {
+		t.Fatalf("libraries = %d, want 1", len(lm.Libraries()))
+	}
+	if _, err := BuildLinkMap(reg, "", []string{"missing.so"}); err == nil {
+		t.Fatal("unknown linked library should fail")
+	}
+}
+
+func TestDuplicatePreloadDeduped(t *testing.T) {
+	reg := NewRegistry()
+	reg.Install(stub("libc.so.6", "malloc"))
+	lm, err := BuildLinkMap(reg, "libc.so.6:libc.so.6", []string{"libc.so.6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm.Libraries()) != 1 {
+		t.Fatalf("libraries = %d, want deduped 1", len(lm.Libraries()))
+	}
+}
+
+func TestDigestTracksContent(t *testing.T) {
+	a := &Library{Name: "x.so", Content: "v1"}
+	b := &Library{Name: "x.so", Content: "v2 with attack code"}
+	if a.Digest() == b.Digest() {
+		t.Fatal("different content produced identical digests")
+	}
+	if a.Digest() != (&Library{Name: "x.so", Content: "v1"}).Digest() {
+		t.Fatal("digest not deterministic")
+	}
+	if len(a.Digest()) != 64 {
+		t.Fatalf("digest length = %d, want 64 hex chars", len(a.Digest()))
+	}
+}
+
+func TestLinkMapDigests(t *testing.T) {
+	reg := NewRegistry()
+	reg.Install(stub("a.so"))
+	reg.Install(stub("b.so"))
+	lm, _ := BuildLinkMap(reg, "a.so", []string{"b.so"})
+	ds := lm.Digests()
+	if len(ds) != 2 || ds[0] == ds[1] {
+		t.Fatalf("digests = %v", ds)
+	}
+}
+
+func TestStandardRegistry(t *testing.T) {
+	reg := StandardRegistry()
+	for _, name := range []string{LibcName, LibmName} {
+		if _, ok := reg.Get(name); !ok {
+			t.Fatalf("standard registry missing %s", name)
+		}
+	}
+	libc, _ := reg.Get(LibcName)
+	for _, fn := range []string{"malloc", "free", "memcpy"} {
+		if _, ok := libc.Funcs[fn]; !ok {
+			t.Errorf("libc missing %s", fn)
+		}
+	}
+	libm, _ := reg.Get(LibmName)
+	for _, fn := range []string{"sqrt", "exp", "log", "sin", "cos", "atan"} {
+		if _, ok := libm.Funcs[fn]; !ok {
+			t.Errorf("libm missing %s", fn)
+		}
+	}
+	if !strings.Contains(libc.Content, "genuine") {
+		t.Error("libc content tag should mark it genuine")
+	}
+}
+
+func TestEmptyPreloadEntries(t *testing.T) {
+	reg := StandardRegistry()
+	lm, err := BuildLinkMap(reg, " : :: ", []string{LibcName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm.Libraries()) != 1 {
+		t.Fatalf("libraries = %d, want 1", len(lm.Libraries()))
+	}
+}

@@ -1,0 +1,278 @@
+// Package mem implements the simulated demand-paged virtual memory
+// subsystem: per-process address spaces, a finite physical frame
+// pool, LRU reclaim, and a swap device. It exists to reproduce the
+// paper's exception-flooding attack (Section IV-B4 / Fig. 11), where
+// an attacker that over-commits physical memory forces the victim to
+// take page faults whose handler time is billed to the victim's
+// system time.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DefaultPageSize is the simulated page size in bytes (x86 4 KiB).
+const DefaultPageSize = 4096
+
+// DefaultPhysBytes is the simulated physical memory. The paper's
+// testbed had 2 GiB requested against less physical memory; we model
+// 1 GiB of RAM so a 2 GiB attacker footprint over-commits it.
+const DefaultPhysBytes = 1 << 30
+
+// FaultKind classifies the outcome of a memory access.
+type FaultKind int
+
+const (
+	// NoFault: the page was resident; the access hit.
+	NoFault FaultKind = iota + 1
+	// MinorFault: first touch of a demand-zero page; a frame was
+	// allocated without disk I/O.
+	MinorFault
+	// MajorFault: the page had been swapped out; satisfying the
+	// access required a disk read.
+	MajorFault
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case NoFault:
+		return "hit"
+	case MinorFault:
+		return "minor"
+	case MajorFault:
+		return "major"
+	default:
+		return "invalid"
+	}
+}
+
+// FaultResult describes what the MMU/fault path did for one access.
+type FaultResult struct {
+	Kind      FaultKind
+	Evictions int // frames reclaimed from other pages to satisfy this access
+	SwapOuts  int // evictions that were dirty and required a disk write
+	SwapIn    bool
+}
+
+// pageState tracks one virtual page of one address space.
+type pageState struct {
+	space   *Space
+	vpage   uint64
+	present bool
+	swapped bool
+	dirty   bool
+
+	// LRU list linkage (intrusive, deterministic).
+	prev, next *pageState
+}
+
+// Space is a per-process virtual address space.
+type Space struct {
+	mem   *Memory
+	name  string
+	pages map[uint64]*pageState
+
+	resident   int
+	minor      uint64
+	major      uint64
+	evictedOut uint64 // this space's pages reclaimed by pressure
+	released   bool
+}
+
+// Memory is the machine-wide physical memory manager.
+type Memory struct {
+	pageSize    uint64
+	totalFrames int
+	usedFrames  int
+
+	// Intrusive LRU list of resident pages: head is least recently
+	// used, tail is most recently used.
+	lruHead, lruTail *pageState
+
+	spaces   []*Space
+	swapIns  uint64
+	swapOuts uint64
+}
+
+// New returns a Memory with the given physical size and page size.
+// Zero values select the defaults.
+func New(physBytes, pageSize uint64) *Memory {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if physBytes == 0 {
+		physBytes = DefaultPhysBytes
+	}
+	return &Memory{
+		pageSize:    pageSize,
+		totalFrames: int(physBytes / pageSize),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (m *Memory) PageSize() uint64 { return m.pageSize }
+
+// TotalFrames returns the number of physical frames.
+func (m *Memory) TotalFrames() int { return m.totalFrames }
+
+// UsedFrames returns the number of frames currently resident.
+func (m *Memory) UsedFrames() int { return m.usedFrames }
+
+// SwapTraffic reports cumulative swap-in and swap-out page counts.
+func (m *Memory) SwapTraffic() (ins, outs uint64) { return m.swapIns, m.swapOuts }
+
+// NewSpace creates an address space labelled name for diagnostics.
+func (m *Memory) NewSpace(name string) *Space {
+	s := &Space{mem: m, name: name, pages: make(map[uint64]*pageState)}
+	m.spaces = append(m.spaces, s)
+	return s
+}
+
+// Name returns the diagnostic label.
+func (s *Space) Name() string { return s.name }
+
+// Resident returns the number of this space's pages currently in RAM.
+func (s *Space) Resident() int { return s.resident }
+
+// Faults returns cumulative minor and major fault counts.
+func (s *Space) Faults() (minor, major uint64) { return s.minor, s.major }
+
+// EvictedOut returns how many times this space's pages were reclaimed
+// due to memory pressure from any space.
+func (s *Space) EvictedOut() uint64 { return s.evictedOut }
+
+// FootprintPages returns the number of pages this space has ever
+// touched (resident or swapped).
+func (s *Space) FootprintPages() int { return len(s.pages) }
+
+// Touch performs one memory access at byte address addr. write marks
+// the page dirty. The returned FaultResult tells the kernel what to
+// charge: minor faults cost handler CPU, major faults additionally
+// cost a disk read, and each dirty eviction costs a disk write.
+func (s *Space) Touch(addr uint64, write bool) FaultResult {
+	if s.released {
+		panic(fmt.Sprintf("mem: touch on released space %q", s.name))
+	}
+	vpage := addr / s.mem.pageSize
+	p := s.pages[vpage]
+	if p == nil {
+		p = &pageState{space: s, vpage: vpage}
+		s.pages[vpage] = p
+	}
+
+	if p.present {
+		s.mem.lruMoveToTail(p)
+		if write {
+			p.dirty = true
+		}
+		return FaultResult{Kind: NoFault}
+	}
+
+	// Fault path: need a frame.
+	res := FaultResult{Kind: MinorFault}
+	if p.swapped {
+		res.Kind = MajorFault
+		res.SwapIn = true
+		s.mem.swapIns++
+		s.major++
+	} else {
+		s.minor++
+	}
+
+	for s.mem.usedFrames >= s.mem.totalFrames {
+		victim := s.mem.lruHead
+		if victim == nil {
+			panic("mem: frame accounting corrupt: no LRU victim but frames exhausted")
+		}
+		res.Evictions++
+		if s.mem.evict(victim) {
+			res.SwapOuts++
+		}
+	}
+
+	p.present = true
+	p.swapped = false
+	p.dirty = write
+	s.mem.usedFrames++
+	s.resident++
+	s.mem.lruPushTail(p)
+	return res
+}
+
+// Release frees every frame the space holds and forgets its pages,
+// modelling process exit.
+func (s *Space) Release() {
+	if s.released {
+		return
+	}
+	for _, p := range s.pages {
+		if p.present {
+			s.mem.lruRemove(p)
+			s.mem.usedFrames--
+		}
+	}
+	s.pages = nil
+	s.resident = 0
+	s.released = true
+}
+
+// evict reclaims the frame backing p, swapping it out if dirty. It
+// reports whether a swap-out (disk write) was required.
+func (m *Memory) evict(p *pageState) (swappedOut bool) {
+	m.lruRemove(p)
+	p.present = false
+	p.swapped = true
+	if p.dirty {
+		m.swapOuts++
+		swappedOut = true
+	}
+	p.dirty = false
+	m.usedFrames--
+	p.space.resident--
+	p.space.evictedOut++
+	return swappedOut
+}
+
+func (m *Memory) lruPushTail(p *pageState) {
+	p.prev = m.lruTail
+	p.next = nil
+	if m.lruTail != nil {
+		m.lruTail.next = p
+	} else {
+		m.lruHead = p
+	}
+	m.lruTail = p
+}
+
+func (m *Memory) lruRemove(p *pageState) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		m.lruHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		m.lruTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (m *Memory) lruMoveToTail(p *pageState) {
+	if m.lruTail == p {
+		return
+	}
+	m.lruRemove(p)
+	m.lruPushTail(p)
+}
+
+// DiskLatency models the swap device: cycles of wall time one page of
+// swap I/O takes. At 2.53 GHz, 5 ms (2007-era 7200 rpm seek+transfer)
+// is ~12.6 M cycles. The process is blocked, not charged CPU, for
+// this period; only the handler cost from the CPU cost model is
+// charged as stime.
+func DiskLatency(freq sim.Hz) sim.Cycles {
+	return sim.Cycles(freq / 200) // 5 ms
+}

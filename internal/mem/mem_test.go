@@ -1,0 +1,155 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstTouchIsMinorFault(t *testing.T) {
+	m := New(16*DefaultPageSize, 0)
+	s := m.NewSpace("a")
+	res := s.Touch(0, false)
+	if res.Kind != MinorFault {
+		t.Fatalf("first touch = %v, want minor", res.Kind)
+	}
+	if res2 := s.Touch(100, false); res2.Kind != NoFault {
+		t.Fatalf("same-page retouch = %v, want hit", res2.Kind)
+	}
+	minor, major := s.Faults()
+	if minor != 1 || major != 0 {
+		t.Fatalf("faults = %d/%d, want 1/0", minor, major)
+	}
+}
+
+func TestEvictionAndMajorFault(t *testing.T) {
+	m := New(2*DefaultPageSize, 0) // two frames only
+	s := m.NewSpace("a")
+	s.Touch(0*DefaultPageSize, true) // dirty page 0
+	s.Touch(1*DefaultPageSize, false)
+	res := s.Touch(2*DefaultPageSize, false) // must evict LRU (page 0, dirty)
+	if res.Evictions != 1 || res.SwapOuts != 1 {
+		t.Fatalf("evictions/swapouts = %d/%d, want 1/1", res.Evictions, res.SwapOuts)
+	}
+	back := s.Touch(0, false) // page 0 was swapped out
+	if back.Kind != MajorFault || !back.SwapIn {
+		t.Fatalf("return touch = %+v, want major fault with swap-in", back)
+	}
+	ins, outs := m.SwapTraffic()
+	if ins != 1 || outs != 1 {
+		t.Fatalf("swap traffic = %d/%d, want 1/1", ins, outs)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	m := New(2*DefaultPageSize, 0)
+	s := m.NewSpace("a")
+	s.Touch(0*DefaultPageSize, false)
+	s.Touch(1*DefaultPageSize, false)
+	s.Touch(0*DefaultPageSize, false) // page 0 now MRU, page 1 is LRU
+	s.Touch(2*DefaultPageSize, false) // evicts page 1
+	if res := s.Touch(0, false); res.Kind != NoFault {
+		t.Fatalf("page 0 should have survived (MRU), got %v", res.Kind)
+	}
+	if res := s.Touch(1*DefaultPageSize, false); res.Kind != MajorFault {
+		t.Fatalf("page 1 should have been evicted, got %v", res.Kind)
+	}
+}
+
+func TestCleanEvictionNeedsNoSwapOut(t *testing.T) {
+	m := New(1*DefaultPageSize, 0)
+	s := m.NewSpace("a")
+	s.Touch(0, false) // clean
+	res := s.Touch(DefaultPageSize, false)
+	if res.Evictions != 1 || res.SwapOuts != 0 {
+		t.Fatalf("clean eviction = %+v, want 1 eviction 0 swapouts", res)
+	}
+}
+
+func TestCrossSpacePressure(t *testing.T) {
+	m := New(8*DefaultPageSize, 0)
+	victim := m.NewSpace("victim")
+	attacker := m.NewSpace("attacker")
+	for i := uint64(0); i < 4; i++ {
+		victim.Touch(i*DefaultPageSize, false)
+	}
+	// Attacker streams through 16 pages, evicting everything.
+	for i := uint64(0); i < 16; i++ {
+		attacker.Touch(i*DefaultPageSize, true)
+	}
+	if victim.Resident() != 0 {
+		t.Fatalf("victim resident = %d, want 0 after attacker sweep", victim.Resident())
+	}
+	if victim.EvictedOut() != 4 {
+		t.Fatalf("victim evictions = %d, want 4", victim.EvictedOut())
+	}
+	// Victim's next touches are all major faults: the attack's effect.
+	for i := uint64(0); i < 4; i++ {
+		if res := victim.Touch(i*DefaultPageSize, false); res.Kind != MajorFault {
+			t.Fatalf("victim retouch page %d = %v, want major", i, res.Kind)
+		}
+	}
+}
+
+func TestRelease(t *testing.T) {
+	m := New(4*DefaultPageSize, 0)
+	s := m.NewSpace("a")
+	for i := uint64(0); i < 4; i++ {
+		s.Touch(i*DefaultPageSize, false)
+	}
+	if m.UsedFrames() != 4 {
+		t.Fatalf("used = %d, want 4", m.UsedFrames())
+	}
+	s.Release()
+	if m.UsedFrames() != 0 {
+		t.Fatalf("used after release = %d, want 0", m.UsedFrames())
+	}
+	s.Release() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("touch after release did not panic")
+		}
+	}()
+	s.Touch(0, false)
+}
+
+func TestFrameAccountingInvariant(t *testing.T) {
+	// Property: usedFrames never exceeds totalFrames and equals the
+	// sum of per-space residency, under arbitrary access patterns.
+	f := func(addrs []uint16, writes []bool) bool {
+		m := New(4*DefaultPageSize, 0)
+		a := m.NewSpace("a")
+		b := m.NewSpace("b")
+		for i, ad := range addrs {
+			w := i < len(writes) && writes[i]
+			sp := a
+			if ad%2 == 1 {
+				sp = b
+			}
+			sp.Touch(uint64(ad)*97, w)
+			if m.UsedFrames() > m.TotalFrames() {
+				return false
+			}
+			if a.Resident()+b.Resident() != m.UsedFrames() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskLatency(t *testing.T) {
+	if got := DiskLatency(2_530_000_000); got != 12_650_000 {
+		t.Fatalf("DiskLatency = %d, want 12650000 (5ms at 2.53GHz)", got)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	for k, want := range map[FaultKind]string{NoFault: "hit", MinorFault: "minor", MajorFault: "major", FaultKind(0): "invalid"} {
+		if got := k.String(); got != want {
+			t.Errorf("FaultKind(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}

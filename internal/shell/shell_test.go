@@ -1,0 +1,155 @@
+package shell
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/lib"
+)
+
+func machine(t *testing.T) *kernel.Machine {
+	t.Helper()
+	return kernel.New(kernel.Config{Seed: 1, CPUHz: 1_000_000_000, MaxSteps: 20_000_000})
+}
+
+func prog(name string, ran *bool) *guest.Program {
+	return &guest.Program{
+		Name:    name,
+		Content: name + "-v1",
+		Libs:    []string{lib.LibcName},
+		Main: func(ctx guest.Context) {
+			ctx.Compute(5_000_000)
+			*ran = true
+		},
+	}
+}
+
+func TestLaunchRunsJobsInOrder(t *testing.T) {
+	m := machine(t)
+	var ranA, ranB bool
+	sess, err := Launch(m, Config{},
+		Job{Prog: prog("a", &ranA)},
+		Job{Prog: prog("b", &ranB)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ranA || !ranB {
+		t.Fatalf("jobs ran: a=%v b=%v", ranA, ranB)
+	}
+	if len(sess.JobPIDs) != 2 {
+		t.Fatalf("JobPIDs = %v", sess.JobPIDs)
+	}
+	if sess.JobPIDs[0] == sess.JobPIDs[1] {
+		t.Fatal("jobs shared a pid")
+	}
+	if sess.Shell == nil || sess.Shell.Name != "shell" {
+		t.Fatal("shell process missing")
+	}
+}
+
+func TestJobEnvAppliedBeforeExec(t *testing.T) {
+	m := machine(t)
+	var seen string
+	p := &guest.Program{
+		Name: "envjob", Content: "v1", Libs: []string{lib.LibcName},
+		Main: func(ctx guest.Context) { seen = ctx.Getenv("MARKER") },
+	}
+	_, err := Launch(m, Config{}, Job{Prog: p, Env: map[string]string{"MARKER": "on"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != "on" {
+		t.Fatalf("job env MARKER = %q, want on", seen)
+	}
+}
+
+func TestJobNiceApplied(t *testing.T) {
+	m := machine(t)
+	niceSeen := 99
+	p := &guest.Program{
+		Name: "nicejob", Content: "v1", Libs: []string{lib.LibcName},
+		Main: func(ctx guest.Context) {
+			niceSeen = ctx.Nice()
+		},
+	}
+	if _, err := Launch(m, Config{}, Job{Prog: p, Nice: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if niceSeen != 10 {
+		t.Fatalf("job saw nice %d, want 10 (nice(1) semantics)", niceSeen)
+	}
+}
+
+func TestInjectedCodeBilledToJob(t *testing.T) {
+	mClean := machine(t)
+	var r1 bool
+	sessClean, err := Launch(mClean, Config{}, Job{Prog: prog("victim", &r1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mClean.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	mEvil := machine(t)
+	var r2 bool
+	const payload = 50_000_000
+	sessEvil, err := Launch(mEvil, Config{
+		Content: "bash PATCHED",
+		Inject:  func(c guest.Context) { c.Compute(payload) },
+	}, Job{Prog: prog("victim", &r2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mEvil.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	clean, _ := mClean.UsageBy("tsc", sessClean.JobPIDs[0])
+	evil, _ := mEvil.UsageBy("tsc", sessEvil.JobPIDs[0])
+	gain := evil.User - clean.User
+	if gain != payload {
+		t.Fatalf("injected payload billed %d cycles to the job, want %d", gain, payload)
+	}
+}
+
+func TestTamperedShellChangesMeasurement(t *testing.T) {
+	digests := func(content string) map[string]string {
+		m := machine(t)
+		var ran bool
+		Launch(m, Config{Content: content}, Job{Prog: prog("victim", &ran)})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{}
+		for _, meas := range m.Measurements() {
+			out[meas.Kind.String()+"/"+meas.Name] = meas.Digest
+		}
+		return out
+	}
+	stock := digests("")
+	patched := digests(StockContent + " PATCHED")
+	if stock["program/shell"] == patched["program/shell"] {
+		t.Fatal("patched shell digest identical to stock")
+	}
+	// The job child inherits the shell image pre-exec: the inherited
+	// measurement must also differ.
+	if stock["inherited/shell"] == patched["inherited/shell"] {
+		t.Fatal("inherited shell measurement identical")
+	}
+	// The victim program itself is untouched.
+	if stock["program/victim"] != patched["program/victim"] {
+		t.Fatal("victim digest changed although binary untouched")
+	}
+}

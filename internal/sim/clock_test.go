@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockDefaults(t *testing.T) {
+	c := NewClock(0)
+	if c.Freq() != DefaultCPUHz {
+		t.Fatalf("Freq() = %d, want %d", c.Freq(), DefaultCPUHz)
+	}
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(1000)
+	c.Advance(500)
+	if c.Now() != 500 {
+		t.Fatalf("Now() = %d, want 500", c.Now())
+	}
+	c.AdvanceTo(1500)
+	if c.Now() != 1500 {
+		t.Fatalf("Now() = %d, want 1500", c.Now())
+	}
+}
+
+func TestClockAdvanceToPast(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	c := NewClock(1000)
+	c.Advance(10)
+	c.AdvanceTo(5)
+}
+
+func TestClockSeconds(t *testing.T) {
+	c := NewClock(2_000_000_000)
+	if got := c.Seconds(1_000_000_000); got != 0.5 {
+		t.Fatalf("Seconds = %v, want 0.5", got)
+	}
+	if got := c.Duration(2_000_000_000); got != time.Second {
+		t.Fatalf("Duration = %v, want 1s", got)
+	}
+	if got := c.CyclesOf(250 * time.Millisecond); got != 500_000_000 {
+		t.Fatalf("CyclesOf = %d, want 500000000", got)
+	}
+}
+
+func TestClockRoundTripProperty(t *testing.T) {
+	c := NewClock(DefaultCPUHz)
+	f := func(ms uint16) bool {
+		d := time.Duration(ms) * time.Millisecond
+		cy := c.CyclesOf(d)
+		back := c.Duration(cy)
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

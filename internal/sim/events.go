@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"container/heap"
+)
+
+// Event is a callback scheduled to fire at a virtual time. Events
+// with equal times fire in insertion order (stable), which keeps the
+// simulation deterministic regardless of map iteration or host
+// scheduling.
+type Event struct {
+	At   Cycles
+	Kind string // diagnostic label, e.g. "timer", "nic-rx"
+	Fire func()
+
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been removed from the queue
+// (either fired or cancelled).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// EventQueue is a deterministic priority queue of events ordered by
+// virtual time, breaking ties by insertion order.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time at with a diagnostic kind label,
+// returning the event so the caller can cancel it.
+func (q *EventQueue) Schedule(at Cycles, kind string, fn func()) *Event {
+	q.seq++
+	e := &Event{At: at, Kind: kind, Fire: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes e from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// PeekTime returns the time of the earliest pending event. ok is
+// false when the queue is empty.
+func (q *EventQueue) PeekTime() (at Cycles, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest event, or nil when empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+	return e
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

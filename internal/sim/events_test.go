@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var got []int
+	q.Schedule(30, "c", func() { got = append(got, 3) })
+	q.Schedule(10, "a", func() { got = append(got, 1) })
+	q.Schedule(20, "b", func() { got = append(got, 2) })
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestEventQueueStableTies(t *testing.T) {
+	q := NewEventQueue()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, "tie", func() { got = append(got, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order at %d = %d, want %d (insertion order)", i, v, i)
+		}
+	}
+}
+
+func TestEventQueueCancel(t *testing.T) {
+	q := NewEventQueue()
+	fired := false
+	e := q.Schedule(5, "x", func() { fired = true })
+	q.Schedule(6, "y", func() {})
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel is a no-op.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestEventQueuePeek(t *testing.T) {
+	q := NewEventQueue()
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue reported ok")
+	}
+	q.Schedule(42, "x", func() {})
+	at, ok := q.PeekTime()
+	if !ok || at != 42 {
+		t.Fatalf("PeekTime = %d,%v want 42,true", at, ok)
+	}
+	if q.Pop() == nil {
+		t.Fatal("Pop returned nil on non-empty queue")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop returned event on empty queue")
+	}
+}
+
+func TestEventQueueSortedProperty(t *testing.T) {
+	f := func(times []uint32) bool {
+		q := NewEventQueue()
+		for _, at := range times {
+			q.Schedule(Cycles(at), "p", func() {})
+		}
+		var popped []Cycles
+		for q.Len() > 0 {
+			popped = append(popped, q.Pop().At)
+		}
+		return sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("same-seed streams diverged at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestRandJitter(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(100, 50)
+		if v < 75 || v >= 125 {
+			t.Fatalf("Jitter(100,50) = %d outside [75,125)", v)
+		}
+	}
+	if got := r.Jitter(100, 0); got != 100 {
+		t.Fatalf("Jitter with zero spread = %d, want 100", got)
+	}
+	// Base smaller than spread/2 must clamp at zero, not underflow.
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(10, 100)
+		if v >= 1<<63 {
+			t.Fatalf("Jitter underflowed: %d", v)
+		}
+	}
+}

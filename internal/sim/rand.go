@@ -1,0 +1,30 @@
+package sim
+
+import "math/rand"
+
+// Rand wraps a seeded math/rand source. All stochastic behaviour in
+// the simulator (packet inter-arrival jitter, address selection,
+// workload shuffling) must draw from one of these so runs replay
+// exactly given the same seed.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic source for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Jitter returns a value in [base - spread/2, base + spread/2),
+// clamped at zero. It is used for event inter-arrival perturbation.
+func (r *Rand) Jitter(base, spread Cycles) Cycles {
+	if spread == 0 {
+		return base
+	}
+	off := Cycles(r.Int63n(int64(spread)))
+	lo := base - spread/2
+	if base < spread/2 {
+		lo = 0
+	}
+	return lo + off
+}

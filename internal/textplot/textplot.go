@@ -1,0 +1,152 @@
+// Package textplot renders the experiment figures as plain-text
+// grouped bar charts and tables, standing in for the paper's matlab
+// plots. Bars are horizontal, stacked by segment (user time then
+// system time), and scaled to the widest bar.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Segment is one stacked component of a bar (e.g. user vs system).
+type Segment struct {
+	Name  string
+	Value float64
+}
+
+// Bar is one horizontal bar: a group (the x-axis position, e.g. the
+// program or the nice value) and a label within the group (e.g.
+// "normal" vs "attack").
+type Bar struct {
+	Group    string
+	Label    string
+	Segments []Segment
+}
+
+// Total returns the bar's stacked sum.
+func (b Bar) Total() float64 {
+	var t float64
+	for _, s := range b.Segments {
+		t += s.Value
+	}
+	return t
+}
+
+// segmentGlyphs cycles per segment index: user time renders solid,
+// system time light, further segments hatched.
+var segmentGlyphs = []rune{'█', '░', '▒', '▓'}
+
+// RenderBars draws a grouped, stacked horizontal bar chart. width is
+// the maximum bar width in runes (default 50 when <= 0).
+func RenderBars(title, unit string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	groupW, labelW := len("group"), 0
+	for _, b := range bars {
+		if t := b.Total(); t > max {
+			max = t
+		}
+		if len(b.Group) > groupW {
+			groupW = len(b.Group)
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(bars) == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	if max <= 0 {
+		max = 1
+	}
+	legend := make([]string, 0, 4)
+	seen := map[string]bool{}
+	for _, b := range bars {
+		for i, s := range b.Segments {
+			if !seen[s.Name] {
+				seen[s.Name] = true
+				legend = append(legend, fmt.Sprintf("%c %s", glyph(i), s.Name))
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "  [%s]  %s\n", unit, strings.Join(legend, "  "))
+
+	prevGroup := ""
+	for _, b := range bars {
+		group := b.Group
+		if group == prevGroup {
+			group = ""
+		} else {
+			prevGroup = b.Group
+		}
+		var bar strings.Builder
+		for i, s := range b.Segments {
+			n := int(s.Value / max * float64(width))
+			if s.Value > 0 && n == 0 {
+				n = 1
+			}
+			bar.WriteString(strings.Repeat(string(glyph(i)), n))
+		}
+		parts := make([]string, len(b.Segments))
+		for i, s := range b.Segments {
+			parts[i] = fmt.Sprintf("%s=%.1f", s.Name, s.Value)
+		}
+		fmt.Fprintf(&sb, "  %-*s %-*s |%-*s| %s (total %.1f)\n",
+			groupW, group, labelW, b.Label, width, bar.String(),
+			strings.Join(parts, " "), b.Total())
+	}
+	return sb.String()
+}
+
+func glyph(i int) rune {
+	return segmentGlyphs[i%len(segmentGlyphs)]
+}
+
+// Table renders rows with aligned columns and a header rule.
+func Table(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	line := func(cells []string) {
+		sb.WriteString("  ")
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				sb.WriteString(c)
+			}
+			if i != len(cells)-1 {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBarsBasic(t *testing.T) {
+	bars := []Bar{
+		{Group: "O", Label: "normal", Segments: []Segment{{"user", 50}, {"sys", 1}}},
+		{Group: "O", Label: "attack", Segments: []Segment{{"user", 84}, {"sys", 1}}},
+		{Group: "P", Label: "normal", Segments: []Segment{{"user", 110}, {"sys", 0.5}}},
+	}
+	out := RenderBars("Figure 4: Shell Attack", "seconds", bars, 40)
+	if !strings.Contains(out, "Figure 4") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "user=84.0") || !strings.Contains(out, "total 85.0") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	// Group label printed once per group.
+	if strings.Count(out, "\n  O ") != 1 {
+		t.Fatalf("group dedup failed:\n%s", out)
+	}
+	// Widest bar should reach close to the width budget.
+	if !strings.Contains(out, strings.Repeat("█", 35)) {
+		t.Fatalf("bar scaling off:\n%s", out)
+	}
+}
+
+func TestRenderBarsEdgeCases(t *testing.T) {
+	if out := RenderBars("t", "s", nil, 0); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	// All-zero bars must not divide by zero.
+	out := RenderBars("t", "s", []Bar{{Group: "g", Label: "l", Segments: []Segment{{"user", 0}}}}, 10)
+	if !strings.Contains(out, "total 0.0") {
+		t.Fatalf("zero bar: %q", out)
+	}
+	// Tiny non-zero values still render one glyph.
+	out = RenderBars("t", "s", []Bar{
+		{Group: "g", Label: "big", Segments: []Segment{{"user", 100}}},
+		{Group: "g", Label: "tiny", Segments: []Segment{{"user", 0.01}}},
+	}, 10)
+	lines := strings.Split(out, "\n")
+	var tinyLine string
+	for _, l := range lines {
+		if strings.Contains(l, "tiny") {
+			tinyLine = l
+		}
+	}
+	if !strings.Contains(tinyLine, "█") {
+		t.Fatalf("tiny bar invisible: %q", tinyLine)
+	}
+}
+
+func TestBarTotal(t *testing.T) {
+	b := Bar{Segments: []Segment{{"a", 1.5}, {"b", 2.5}}}
+	if b.Total() != 4.0 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("Comparison", []string{"attack", "strength"}, [][]string{
+		{"shell", "unbounded"},
+		{"interrupt flooding", "weak"},
+	})
+	if !strings.Contains(out, "Comparison") || !strings.Contains(out, "interrupt flooding") {
+		t.Fatalf("table content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d, want 5 (title+header+rule+2 rows)", len(lines))
+	}
+	// Header and rows aligned: rule line as wide as header line.
+	if len(lines[2]) < len(lines[1]) {
+		t.Fatalf("rule narrower than header:\n%s", out)
+	}
+}
+
+func TestTableRowWiderThanHeader(t *testing.T) {
+	out := Table("", []string{"a"}, [][]string{{"longvalue", "extra"}})
+	if !strings.Contains(out, "longvalue") || !strings.Contains(out, "extra") {
+		t.Fatalf("overflow cells lost:\n%s", out)
+	}
+}

@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"strconv"
+
+	"repro/internal/guest"
+)
+
+// BuildO constructs program O, the paper's own loop program: a
+// CPU-bound counting loop whose control variable lives at HotAddrO
+// and is re-read every iteration — the address the thrashing attack
+// watches. Baseline: 50 virtual seconds of user time.
+func BuildO(p Params) (*guest.Program, *Result) {
+	const defaultSeconds = 50.0
+	seconds := defaultSeconds
+	if p.SecondsOverride > 0 {
+		seconds = p.SecondsOverride
+	}
+	touches := p.Touches
+	if touches == 0 {
+		touches = 20_000
+	}
+	total := secondsToCycles(p.freq(), seconds)
+	chunk, rem := splitBudget(total, touches)
+
+	res := &Result{}
+	prog := &guest.Program{
+		Name:    "ours",
+		Content: "program-O loop v1",
+		Libs:    []string{"libc.so.6", "libm.so.6"},
+		Main: func(ctx guest.Context) {
+			// The program's data buffer; its pages age and rotate.
+			buf := ctx.Call("malloc", workingSetBytes)
+			var counter uint64
+			for i := uint64(0); i < touches; i++ {
+				c := chunk
+				if i < uint64(rem) {
+					c++
+				}
+				ctx.Compute(c)
+				// Loop-control variable access: the watch target.
+				ctx.Load(HotAddrO)
+				ctx.Store(HotAddrO)
+				touchWorkingSet(ctx, buf, i)
+				// Per-iteration scratch record, as the paper's
+				// allocator-exercising loop program does — the
+				// substitution attack's call sites.
+				scratch := ctx.Call("malloc", 128)
+				ctx.Call("free", scratch)
+				counter++
+			}
+			ctx.Call("free", buf)
+			ctx.Syscall("getrusage")
+			res.Output = strconv.FormatUint(counter, 10)
+			res.Done = true
+		},
+	}
+	return prog, res
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"strings"
+
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+// piDigits is how many digits of π program P computes (a real spigot
+// run; the result is checked by tests against the known expansion).
+const piDigits = 600
+
+// BuildPi constructs program P, modelled on the open-source pi
+// calculator the paper uses: Rabinowitz–Wagon spigot. The inner-loop
+// accumulator y (HotAddrP) is the paper's watchpoint target,
+// "accessed about 10^7 times" — we access it once per inner
+// iteration batch, with the batch size derived from Params.Touches.
+// Baseline: 110 virtual seconds of user time.
+func BuildPi(p Params) (*guest.Program, *Result) {
+	const defaultSeconds = 110.0
+	seconds := defaultSeconds
+	if p.SecondsOverride > 0 {
+		seconds = p.SecondsOverride
+	}
+
+	// Total inner-loop operations of the spigot: the array has
+	// 10*digits/3 cells and is swept once per digit.
+	arrLen := 10 * piDigits / 3
+	totalOps := uint64(piDigits) * uint64(arrLen)
+
+	touches := p.Touches
+	if touches == 0 {
+		touches = 30_000
+	}
+	if touches > totalOps {
+		touches = totalOps
+	}
+	batch := totalOps / touches
+	if batch == 0 {
+		batch = 1
+	}
+	opCost := secondsToCycles(p.freq(), seconds) / sim.Cycles(totalOps)
+	if opCost == 0 {
+		opCost = 1
+	}
+
+	res := &Result{}
+	prog := &guest.Program{
+		Name:    "pi",
+		Content: "pi spigot v1 (sourceforge projectpi model)",
+		Libs:    []string{"libc.so.6", "libm.so.6"},
+		Main: func(ctx guest.Context) {
+			// The spigot's digit array, heap-allocated like the real
+			// C program (rounded up to the shared working-set size).
+			arr := ctx.Call("malloc", workingSetBytes)
+			var batchNo uint64
+			a := make([]int, arrLen)
+			for i := range a {
+				a[i] = 2
+			}
+			var out strings.Builder
+			var opsSinceTouch uint64
+			var pending sim.Cycles
+			nines := 0
+			predigit := 0
+			first := true
+
+			for d := 0; d < piDigits; d++ {
+				q := 0
+				for i := arrLen - 1; i >= 0; i-- {
+					y := 10*a[i] + q*(i+1) // the paper's variable y
+					a[i] = y % (2*i + 1)
+					q = y / (2*i + 1)
+
+					pending += opCost
+					opsSinceTouch++
+					if opsSinceTouch >= batch {
+						ctx.Compute(pending)
+						pending = 0
+						opsSinceTouch = 0
+						ctx.Store(HotAddrP) // y lives here
+						touchWorkingSet(ctx, arr, batchNo)
+						// The digit buffer grows in chunks: the
+						// allocator traffic Fig. 6 interposes on.
+						chunk := ctx.Call("malloc", 256)
+						ctx.Call("free", chunk)
+						batchNo++
+					}
+				}
+				a[0] = q % 10
+				q /= 10
+				switch {
+				case q == 9:
+					nines++
+				case q == 10:
+					out.WriteByte(byte('0' + predigit + 1))
+					for ; nines > 0; nines-- {
+						out.WriteByte('0')
+					}
+					predigit = 0
+				default:
+					if !first {
+						out.WriteByte(byte('0' + predigit))
+					}
+					first = false
+					for ; nines > 0; nines-- {
+						out.WriteByte('9')
+					}
+					predigit = q
+				}
+			}
+			out.WriteByte(byte('0' + predigit))
+			ctx.Compute(pending)
+			ctx.Call("free", arr)
+			ctx.Syscall("write") // print the digits
+			ctx.Syscall("getrusage")
+			res.Output = out.String()
+			res.Done = true
+		},
+	}
+	return prog, res
+}

@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+// whetstoneLoops is the outer iteration count of the benchmark.
+const whetstoneLoops = 15_000
+
+// sqrtCallsPerLoop drives the substitution-attack surface: W is the
+// libm-heavy program, so sqrt interposition amplifies strongly
+// (Fig. 6).
+const sqrtCallsPerLoop = 10
+
+// BuildWhetstone constructs program W: the classic Whetstone mix —
+// array arithmetic, conditional jumps, integer work, and
+// transcendental-function modules that really call sqrt/sin/cos/exp/
+// log through the dynamic linker. T1 (HotAddrW) is the paper's
+// watchpoint variable, "accessed about 2x10^5 times". Baseline: 160
+// virtual seconds of user time.
+func BuildWhetstone(p Params) (*guest.Program, *Result) {
+	const defaultSeconds = 160.0
+	seconds := defaultSeconds
+	if p.SecondsOverride > 0 {
+		seconds = p.SecondsOverride
+	}
+	touches := p.Touches
+	if touches == 0 {
+		touches = whetstoneLoops // one T1 access per outer loop
+	}
+	// Touch T1 potentially several times per loop to reach the
+	// requested count.
+	touchesPerLoop := touches / whetstoneLoops
+	if touchesPerLoop == 0 {
+		touchesPerLoop = 1
+	}
+	chunk, _ := splitBudget(secondsToCycles(p.freq(), seconds), whetstoneLoops)
+
+	res := &Result{}
+	prog := &guest.Program{
+		Name:    "whetstone",
+		Content: "whetstone.c netlib v1.2",
+		Libs:    []string{"libc.so.6", "libm.so.6"},
+		Main: func(ctx guest.Context) {
+			// Module working set, allocated like the C benchmark's
+			// arrays.
+			e1addr := ctx.Call("malloc", workingSetBytes)
+			t1 := 0.50025 // the watched variable T1
+			e1 := [4]float64{1.0, -1.0, -1.0, -1.0}
+			x, y := 0.75, 0.50
+			var check float64
+
+			for l := 0; l < whetstoneLoops; l++ {
+				// Module 1/2: simple float identifiers and array
+				// elements. T1 is read throughout the modules, so
+				// its accesses interleave with the arithmetic —
+				// which is what makes the watchpoint storm dense in
+				// Fig. 9 rather than bunched at loop ends.
+				sub := chunk / sim.Cycles(touchesPerLoop)
+				for k := uint64(0); k < touchesPerLoop; k++ {
+					ctx.Compute(sub)
+					ctx.Load(HotAddrW)
+				}
+				ctx.Compute(chunk - sub*sim.Cycles(touchesPerLoop))
+				for k := 0; k < 4; k++ {
+					e1[k] = (e1[0] + e1[1] + e1[2] - e1[3]) * t1
+				}
+				// Module 6-ish: trig and roots through libm, the
+				// substitution attack's target call sites.
+				for k := 0; k < sqrtCallsPerLoop; k++ {
+					bits := ctx.Call("sqrt", math.Float64bits(x*x+y*y))
+					x = math.Float64frombits(bits) * 0.75
+					if x == 0 {
+						x = 0.75
+					}
+				}
+				y = math.Float64frombits(ctx.Call("exp", math.Float64bits(math.Min(x, 1.0)))) / math.E
+				check += e1[2] + x + y
+				touchWorkingSet(ctx, e1addr, uint64(l))
+				// Occasional allocator traffic.
+				if l%8 == 0 {
+					b := ctx.Call("malloc", 256)
+					ctx.Call("free", b)
+				}
+			}
+			ctx.Call("free", e1addr)
+			ctx.Syscall("getrusage")
+			res.Output = fmt.Sprintf("check=%.6f", check)
+			res.Done = true
+		},
+	}
+	return prog, res
+}
+
+// WhetstoneSqrtCalls reports the total genuine sqrt call count, used
+// by experiments to predict substitution-attack inflation.
+func WhetstoneSqrtCalls() uint64 {
+	return uint64(whetstoneLoops) * sqrtCallsPerLoop
+}
+
+// whetstoneChunkAt exposes the per-loop compute chunk for tests.
+func whetstoneChunkAt(freq sim.Hz, seconds float64) sim.Cycles {
+	c, _ := splitBudget(secondsToCycles(freq, seconds), whetstoneLoops)
+	return c
+}
