@@ -170,3 +170,18 @@ func BenchmarkMachineSteps(b *testing.B) {
 		_ = out
 	}
 }
+
+// BenchmarkCampaignAll regenerates every artifact through the
+// parallel campaign engine at BenchScale — the whole-suite wall-time
+// figure the per-figure benchmarks cannot show.
+func BenchmarkCampaignAll(b *testing.B) {
+	var artifacts float64
+	for i := 0; i < b.N; i++ {
+		runs, err := ReproduceAllTimed(nil, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		artifacts = float64(len(runs))
+	}
+	b.ReportMetric(artifacts, "artifacts")
+}

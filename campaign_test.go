@@ -1,0 +1,76 @@
+package cpumeter
+
+import (
+	"testing"
+)
+
+// TestReproduceAllParallelDeterminism asserts the campaign engine's
+// core guarantee: rendering artifacts with an 8-way worker pool is
+// byte-identical to sequential execution. Machines are seeded and
+// self-contained and results aggregate in declaration order, so the
+// schedule must not leak into the output.
+func TestReproduceAllParallelDeterminism(t *testing.T) {
+	ids := []string{"figure4", "figure7", "ablation1"}
+	opts := func(par int) Options {
+		return Options{
+			Seed:         7,
+			Freq:         1_000_000_000,
+			Scale:        0.02,
+			PhysMemBytes: 32 << 20,
+			Parallelism:  par,
+		}
+	}
+
+	sequential, err := ReproduceAll(ids, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ReproduceAll(ids, opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sequential) != len(ids) || len(parallel) != len(ids) {
+		t.Fatalf("lengths: sequential=%d parallel=%d want %d", len(sequential), len(parallel), len(ids))
+	}
+	for i, id := range ids {
+		seq := sequential[i].Render()
+		par := parallel[i].Render()
+		if seq != par {
+			t.Errorf("%s: parallel render diverged from sequential\n--- sequential ---\n%s--- parallel ---\n%s", id, seq, par)
+		}
+		if seq == "" {
+			t.Errorf("%s: empty render", id)
+		}
+	}
+}
+
+// TestReproduceAllDefaultsToEveryArtifact checks the nil-ids
+// convenience and input-order results.
+func TestReproduceAllDefaultsToEveryArtifact(t *testing.T) {
+	o := Options{Seed: 7, Freq: 1_000_000_000, Scale: 0.005, PhysMemBytes: 32 << 20}
+	runs, err := ReproduceAllTimed(nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Experiments()
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %d, want %d", len(runs), len(want))
+	}
+	for i, r := range runs {
+		if r.ID != want[i] {
+			t.Errorf("runs[%d].ID = %s, want %s (input order must be preserved)", i, r.ID, want[i])
+		}
+		if r.Figure == nil {
+			t.Errorf("%s: nil figure", r.ID)
+		}
+	}
+}
+
+// TestReproduceAllUnknownID asserts the fail-fast path.
+func TestReproduceAllUnknownID(t *testing.T) {
+	_, err := ReproduceAll([]string{"figure4", "nope"}, Options{Scale: 0.005})
+	if err == nil {
+		t.Fatal("want error for unknown artifact id")
+	}
+}

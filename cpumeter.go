@@ -25,6 +25,7 @@ package cpumeter
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/attacks"
 	"repro/internal/core"
@@ -175,6 +176,66 @@ func Reproduce(id string, o Options) (*Figure, error) {
 		return nil, fmt.Errorf("cpumeter: unknown experiment %q (have %v)", id, Experiments())
 	}
 	return run(o)
+}
+
+// ArtifactRun is one regenerated artifact plus its host-side cost.
+type ArtifactRun struct {
+	ID      string
+	Figure  *Figure
+	Elapsed time.Duration
+}
+
+// ReproduceAll regenerates the given artifacts (nil or empty = every
+// artifact), parallelizing across artifacts on top of each runner's
+// own machine-level fan-out, both governed by o.Parallelism (zero =
+// all cores; worst-case concurrent machines is the product of the two
+// levels). Results are in input order and byte-identical to running
+// each artifact sequentially, since every machine is seeded and
+// self-contained.
+func ReproduceAll(ids []string, o Options) ([]*Figure, error) {
+	runs, err := ReproduceAllTimed(ids, o)
+	if err != nil {
+		return nil, err
+	}
+	figs := make([]*Figure, len(runs))
+	for i, r := range runs {
+		figs[i] = r.Figure
+	}
+	return figs, nil
+}
+
+// ReproduceAllTimed is ReproduceAll, additionally reporting each
+// artifact's host wall-clock regeneration time (measured inside the
+// worker, so it is meaningful even when artifacts run concurrently).
+func ReproduceAllTimed(ids []string, o Options) ([]ArtifactRun, error) {
+	if len(ids) == 0 {
+		ids = Experiments()
+	}
+	// Validate up front so an unknown id fails fast and
+	// deterministically, before any machine spins up.
+	for _, id := range ids {
+		if _, ok := experimentRunners[id]; !ok {
+			return nil, fmt.Errorf("cpumeter: unknown experiment %q (have %v)", id, Experiments())
+		}
+	}
+
+	runs := make([]ArtifactRun, len(ids))
+	errs := make([]error, len(ids))
+	experiments.RunIndexed(len(ids), o.Parallelism, func(i int) {
+		start := time.Now()
+		fig, err := Reproduce(ids[i], o)
+		runs[i] = ArtifactRun{ID: ids[i], Figure: fig, Elapsed: time.Since(start)}
+		errs[i] = err
+	})
+
+	// Report the earliest-declared failure, keeping error output as
+	// deterministic as success output.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("reproduce %s: %w", ids[i], err)
+		}
+	}
+	return runs, nil
 }
 
 // NewMachine builds a bare simulated machine for custom scenarios

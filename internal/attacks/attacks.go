@@ -189,13 +189,13 @@ func (a *LibrarySubstitutionAttack) Arm(s *Setup) error {
 		Name:    EvilLibName,
 		Content: "attack malloc/sqrt interposer v1",
 		Funcs: map[string]guest.LibFunc{
-			"malloc": func(c guest.Context, args ...uint64) uint64 {
+			"malloc": func(c guest.Context, args []uint64) uint64 {
 				c.Compute(a.PerCallCycles)
-				return genuineMalloc(c, args...)
+				return genuineMalloc(c, args)
 			},
-			"sqrt": func(c guest.Context, args ...uint64) uint64 {
+			"sqrt": func(c guest.Context, args []uint64) uint64 {
 				c.Compute(a.PerCallCycles)
-				return genuineSqrt(c, args...)
+				return genuineSqrt(c, args)
 			},
 		},
 	}

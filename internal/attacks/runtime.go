@@ -262,7 +262,7 @@ func (a *ExceptionFloodAttack) Arm(s *Setup) error {
 			if !waitForVictim(ctx, victim, freq) {
 				return
 			}
-			base := ctx.Call("malloc", a.FootprintBytes)
+			base := ctx.Call1("malloc", a.FootprintBytes)
 			// Continuously write data and read it back later (the
 			// paper's loop), forcing allocation and re-allocation.
 			for sweep := 0; ; sweep++ {

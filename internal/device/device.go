@@ -49,12 +49,25 @@ type NIC struct {
 	active   bool
 	pending  *sim.Event
 	received uint64
+	rxFire   func() // reusable per-packet event callback
 }
 
 // NewNIC wires a NIC to the machine's event queue and clock. deliver
 // is invoked once per received packet in event context.
 func NewNIC(queue *sim.EventQueue, clock *sim.Clock, rng *sim.Rand, deliver func()) *NIC {
-	return &NIC{queue: queue, clock: clock, rng: rng, deliver: deliver}
+	n := &NIC{queue: queue, clock: clock, rng: rng, deliver: deliver}
+	n.rxFire = func() {
+		n.pending = nil
+		if !n.active {
+			return
+		}
+		n.received++
+		n.deliver()
+		if n.active {
+			n.scheduleNext()
+		}
+	}
+	return n
 }
 
 // Received reports total packets delivered since construction.
@@ -97,17 +110,7 @@ func (n *NIC) scheduleNext() {
 			interval = 1
 		}
 	}
-	n.pending = n.queue.Schedule(n.clock.Now()+interval, "nic-rx", func() {
-		n.pending = nil
-		if !n.active {
-			return
-		}
-		n.received++
-		n.deliver()
-		if n.active {
-			n.scheduleNext()
-		}
-	})
+	n.pending = n.queue.Schedule(n.clock.Now()+interval, "nic-rx", n.rxFire)
 }
 
 // Disk is the swap device. Reads (swap-ins, which block a faulting

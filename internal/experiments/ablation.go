@@ -22,15 +22,20 @@ func AblationTickRate(o Options) (*Figure, error) {
 	if forks < 512 {
 		forks = 512
 	}
-	for _, hz := range []uint64{100, 250, 1000} {
+	rates := []uint64{100, 250, 1000}
+	var mx Matrix
+	for _, hz := range rates {
 		oo := o
 		oo.HZ = hz
-		out, err := Run(RunSpec{Opts: oo, Workload: "W", Attack: attacks.NewSchedulingAttack(-20, forks)})
-		if err != nil {
-			return nil, fmt.Errorf("ablation hz=%d: %w", hz, err)
-		}
-		billed := out.Victim.Total("jiffy")
-		truth := out.Victim.Total("tsc")
+		mx.Add(RunSpec{Opts: oo, Workload: "W", Attack: attacks.NewSchedulingAttack(-20, forks)})
+	}
+	outs, err := mx.Run(o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("ablation tick-rate: %w", err)
+	}
+	for i, hz := range rates {
+		billed := outs[i].Victim.Total("jiffy")
+		truth := outs[i].Victim.Total("tsc")
 		fig.Rows = append(fig.Rows, []string{
 			fmt.Sprintf("%d", hz),
 			fmt.Sprintf("%.0f", 1000.0/float64(hz)),
@@ -59,15 +64,20 @@ func AblationScheduler(o Options) (*Figure, error) {
 	if forks < 512 {
 		forks = 512
 	}
-	for _, policy := range []string{"o1", "cfs"} {
+	policies := []string{"o1", "cfs"}
+	var mx Matrix
+	for _, policy := range policies {
 		oo := o
 		oo.SchedulerPolicy = policy
-		out, err := Run(RunSpec{Opts: oo, Workload: "W", Attack: attacks.NewSchedulingAttack(-20, forks)})
-		if err != nil {
-			return nil, fmt.Errorf("ablation policy=%s: %w", policy, err)
-		}
-		billed := out.Victim.Total("jiffy")
-		truth := out.Victim.Total("tsc")
+		mx.Add(RunSpec{Opts: oo, Workload: "W", Attack: attacks.NewSchedulingAttack(-20, forks)})
+	}
+	outs, err := mx.Run(o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("ablation scheduler: %w", err)
+	}
+	for i, policy := range policies {
+		billed := outs[i].Victim.Total("jiffy")
+		truth := outs[i].Victim.Total("tsc")
 		fig.Rows = append(fig.Rows, []string{
 			policy,
 			fmt.Sprintf("%.2f", billed),
@@ -90,10 +100,13 @@ func AblationIRQAccounting(o Options) (*Figure, error) {
 		Title:  "Interrupt-handler attribution under a 40k pps flood (victim: O)",
 		Header: []string{"scheme", "victim system s", "system-account s"},
 	}
-	out, err := Run(RunSpec{Opts: o, Workload: "O", Attack: attacks.NewInterruptFloodAttack(0)})
+	var mx Matrix
+	flooded := mx.Add(RunSpec{Opts: o, Workload: "O", Attack: attacks.NewInterruptFloodAttack(0)})
+	outs, err := mx.Run(o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
+	out := outs[flooded]
 	for _, scheme := range []string{"jiffy", "tsc", "process-aware"} {
 		fig.Rows = append(fig.Rows, []string{
 			scheme,
@@ -120,11 +133,17 @@ func AblationDetector(o Options) (*Figure, error) {
 	if forks < 512 {
 		forks = 512
 	}
-	for _, nice := range []int{0, -5, -20} {
-		out, err := Run(RunSpec{Opts: o, Workload: "W", Attack: attacks.NewSchedulingAttack(nice, forks)})
-		if err != nil {
-			return nil, err
-		}
+	strengths := []int{0, -5, -20}
+	var mx Matrix
+	for _, nice := range strengths {
+		mx.Add(RunSpec{Opts: o, Workload: "W", Attack: attacks.NewSchedulingAttack(nice, forks)})
+	}
+	outs, err := mx.Run(o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i, nice := range strengths {
+		out := outs[i]
 		billed := out.Victim.Total("jiffy")
 		truth := out.Victim.Total("process-aware")
 		infl := pctOver(billed, truth)

@@ -1,0 +1,104 @@
+// Campaign execution: figure, table, and ablation runners declare
+// their full run matrix up front as a []RunSpec, and a worker pool
+// executes the independent machines concurrently. Each RunSpec builds
+// a fresh, fully self-contained machine from its own seed, so runs
+// share no state and the pool can schedule them in any order; results
+// are returned in declaration order, which keeps every aggregation —
+// and therefore every rendered artifact — byte-identical to
+// sequential execution.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// resolveParallelism maps the Options.Parallelism convention (zero =
+// all cores) to a concrete worker count for n runs.
+func resolveParallelism(parallelism, n int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// RunIndexed executes fn(i) for every i in [0, n) across a worker
+// pool of the given size (zero = all cores, clamped to n). fn must
+// write its result into its own slot of a caller-owned slice; slots
+// are disjoint, so no further synchronization is needed. This is the
+// one pool implementation behind RunAll and cpumeter.ReproduceAll.
+func RunIndexed(n, parallelism int, fn func(i int)) {
+	workers := resolveParallelism(parallelism, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RunAll executes every spec on its own fresh machine, fanning the
+// runs across a worker pool of the given size (zero = all cores), and
+// returns the results in declaration order. On failure it reports the
+// error of the earliest-declared failing spec, so error output is as
+// deterministic as success output.
+func RunAll(specs []RunSpec, parallelism int) ([]*RunOut, error) {
+	outs := make([]*RunOut, len(specs))
+	errs := make([]error, len(specs))
+	RunIndexed(len(specs), parallelism, func(i int) {
+		outs[i], errs[i] = Run(specs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign run %d (%s/%s): %w",
+				i, specs[i].Workload, key(specs[i].Attack), err)
+		}
+	}
+	return outs, nil
+}
+
+// Matrix accumulates a campaign's run declarations. Runners Add every
+// spec first, Run the whole matrix once, and read results back by the
+// handle Add returned — separating the declaration of work from its
+// (possibly concurrent) execution.
+type Matrix struct {
+	specs []RunSpec
+}
+
+// Add declares one run and returns its handle into Run's result
+// slice.
+func (mx *Matrix) Add(s RunSpec) int {
+	mx.specs = append(mx.specs, s)
+	return len(mx.specs) - 1
+}
+
+// Len reports the number of declared runs.
+func (mx *Matrix) Len() int { return len(mx.specs) }
+
+// Run executes the declared matrix with the given parallelism.
+func (mx *Matrix) Run(parallelism int) ([]*RunOut, error) {
+	return RunAll(mx.specs, parallelism)
+}

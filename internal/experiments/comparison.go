@@ -40,12 +40,6 @@ var vulnerability = map[string]string{
 // paper's qualitative assessment.
 func ComparisonTable(o Options) (*Figure, error) {
 	o = o.norm()
-	baseline, err := Run(RunSpec{Opts: o, Workload: "W"})
-	if err != nil {
-		return nil, err
-	}
-	base := baseline.Victim.Total("jiffy")
-
 	fig := &Figure{
 		ID:     "Table V-C",
 		Title:  "Attack comparison on Whetstone (billed by jiffy accounting)",
@@ -73,21 +67,30 @@ func ComparisonTable(o Options) (*Figure, error) {
 		{attacks.NewInterruptFloodAttack(0), 0},
 		{attacks.NewExceptionFloodAttack(2 * physMem(o)), 0},
 	}
+	// Declare the whole matrix: the shared baseline, then per attack
+	// an optional touch-matched baseline plus the attacked run.
+	var mx Matrix
+	baseline := mx.Add(RunSpec{Opts: o, Workload: "W"})
+	type handles struct{ ref, attacked int }
+	rows := make([]handles, 0, len(cases))
 	for _, tc := range cases {
-		ref := base
+		h := handles{ref: baseline}
 		if tc.touches != 0 {
 			// The thrashing row needs a baseline with matching
 			// touch counts.
-			rb, err := Run(RunSpec{Opts: o, Workload: "W", Touches: tc.touches})
-			if err != nil {
-				return nil, err
-			}
-			ref = rb.Victim.Total("jiffy")
+			h.ref = mx.Add(RunSpec{Opts: o, Workload: "W", Touches: tc.touches})
 		}
-		out, err := Run(RunSpec{Opts: o, Workload: "W", Attack: tc.attack, Touches: tc.touches})
-		if err != nil {
-			return nil, fmt.Errorf("comparison %s: %w", tc.attack.Key(), err)
-		}
+		h.attacked = mx.Add(RunSpec{Opts: o, Workload: "W", Attack: tc.attack, Touches: tc.touches})
+		rows = append(rows, h)
+	}
+	outs, err := mx.Run(o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("comparison: %w", err)
+	}
+
+	for i, tc := range cases {
+		ref := outs[rows[i].ref].Victim.Total("jiffy")
+		out := outs[rows[i].attacked]
 		billed := out.Victim.Total("jiffy")
 		infl := 0.0
 		if ref > 0 {

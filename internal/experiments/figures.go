@@ -51,25 +51,34 @@ func victimBars(group string, normal, attacked *RunOut) []textplot.Bar {
 	}
 }
 
-// perProgramFigure runs the normal/attack pair for all four programs.
-// mkAttack builds a fresh attack per run (machines are not shared).
+// perProgramFigure declares the normal/attack pair for all four
+// programs as one matrix and executes it through the campaign worker
+// pool. mkAttack builds a fresh attack per run (machines are not
+// shared, and attacks carry per-machine state once armed).
 func perProgramFigure(o Options, id, title string, touches func(key string) uint64, mkAttack func() attacks.Attack) (*Figure, error) {
 	o = o.norm()
 	fig := &Figure{ID: id, Title: title, Unit: "CPU seconds (billed by jiffy accounting)"}
-	for _, key := range []string{"O", "P", "W", "B"} {
+	keys := []string{"O", "P", "W", "B"}
+
+	var mx Matrix
+	type pair struct{ normal, attacked int }
+	pairs := make([]pair, 0, len(keys))
+	for _, key := range keys {
 		var tc uint64
 		if touches != nil {
 			tc = touches(key)
 		}
-		normal, err := Run(RunSpec{Opts: o, Workload: key, Touches: tc})
-		if err != nil {
-			return nil, fmt.Errorf("%s %s baseline: %w", id, key, err)
-		}
-		attacked, err := Run(RunSpec{Opts: o, Workload: key, Touches: tc, Attack: mkAttack()})
-		if err != nil {
-			return nil, fmt.Errorf("%s %s attack: %w", id, key, err)
-		}
-		fig.Bars = append(fig.Bars, victimBars(key, normal, attacked)...)
+		pairs = append(pairs, pair{
+			normal:   mx.Add(RunSpec{Opts: o, Workload: key, Touches: tc}),
+			attacked: mx.Add(RunSpec{Opts: o, Workload: key, Touches: tc, Attack: mkAttack()}),
+		})
+	}
+	outs, err := mx.Run(o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	for i, key := range keys {
+		fig.Bars = append(fig.Bars, victimBars(key, outs[pairs[i].normal], outs[pairs[i].attacked])...)
 	}
 	return fig, nil
 }
@@ -157,27 +166,28 @@ func schedulingSweep(o Options, id, victim string) (*Figure, error) {
 		)
 	}
 
-	// Independent runs ("no attack").
-	vAlone, err := Run(RunSpec{Opts: o, Workload: victim})
-	if err != nil {
-		return nil, err
+	// The full matrix: the two independent runs ("no attack"), then
+	// one concurrent victim/attacker run per nice level.
+	niceLevels := []int{0, -5, -10, -15, -20}
+	var mx Matrix
+	vAlone := mx.Add(RunSpec{Opts: o, Workload: victim})
+	fAlone := mx.Add(RunSpec{Opts: o, Attack: attacks.NewSchedulingAttack(0, forks)})
+	swept := make([]int, 0, len(niceLevels))
+	for _, nice := range niceLevels {
+		swept = append(swept, mx.Add(RunSpec{Opts: o, Workload: victim, Attack: attacks.NewSchedulingAttack(nice, forks)}))
 	}
-	fAlone, err := Run(RunSpec{Opts: o, Attack: attacks.NewSchedulingAttack(0, forks)})
+	outs, err := mx.Run(o.Parallelism)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: %w", id, err)
 	}
-	addPair("no attack", vAlone, fAlone)
 
-	for _, nice := range []int{0, -5, -10, -15, -20} {
+	addPair("no attack", outs[vAlone], outs[fAlone])
+	for i, nice := range niceLevels {
 		group := "nice"
 		if nice != 0 {
 			group = fmt.Sprintf("nice%d", nice)
 		}
-		out, err := Run(RunSpec{Opts: o, Workload: victim, Attack: attacks.NewSchedulingAttack(nice, forks)})
-		if err != nil {
-			return nil, fmt.Errorf("%s nice %d: %w", id, nice, err)
-		}
-		addPair(group, out, out)
+		addPair(group, outs[swept[i]], outs[swept[i]])
 	}
 	fig.Notes = append(fig.Notes,
 		fmt.Sprintf("fork storm: %d forks (paper: 2^21; scaled for tractable simulation)", forks),

@@ -42,6 +42,13 @@ type Options struct {
 	// MaxSteps bounds each machine run (default 400M) so a modelling
 	// regression surfaces as an error instead of a hang.
 	MaxSteps uint64
+	// Parallelism caps how many independent simulated machines a
+	// campaign executes concurrently (RunAll's worker pool, and the
+	// cross-artifact fan-out of cpumeter.ReproduceAll). Zero selects
+	// runtime.GOMAXPROCS(0); 1 forces sequential execution. Every
+	// machine is seeded and self-contained, so results — and
+	// rendered artifacts — are byte-identical at any setting.
+	Parallelism int
 }
 
 func (o Options) norm() Options {

@@ -23,26 +23,6 @@ const aikSeed = "platform-aik"
 // attack from the attested evidence.
 func TrustedMitigation(o Options) (*Figure, error) {
 	o = o.norm()
-
-	// Reference run: the customer profiles the job on her own
-	// platform (same spec), harvesting the manifest and the profile.
-	ref, err := Run(RunSpec{Opts: o, Workload: "W"})
-	if err != nil {
-		return nil, fmt.Errorf("reference run: %w", err)
-	}
-	refReport, err := core.BuildReport(ref.Machine, ref.VictimPID, "whetstone",
-		core.LegacyBillingScheme, aikSeed, auditNonce)
-	if err != nil {
-		return nil, err
-	}
-	pairs := map[string]string{}
-	for _, e := range refReport.Measurements {
-		pairs[e.Name] = e.Digest
-	}
-	manifest := integrity.NewManifest(pairs)
-	tsRef, _ := refReport.Scheme("tsc")
-	profile := &core.Profile{UserSec: tsRef.UserSec, SysSec: tsRef.SysSec}
-
 	fig := &Figure{
 		ID:    "Mitigation",
 		Title: "Trusted metering vs all attacks (victim: Whetstone)",
@@ -77,12 +57,38 @@ func TrustedMitigation(o Options) (*Figure, error) {
 		{"exception flood", attacks.NewExceptionFloodAttack(2 * physMem(o)), 0},
 	}
 
+	// Declare the whole matrix: the customer's reference run (she
+	// profiles the job on her own platform, same spec) plus one run
+	// per attack case.
+	var mx Matrix
+	refIdx := mx.Add(RunSpec{Opts: o, Workload: "W"})
+	caseIdx := make([]int, len(cases))
+	for i, tc := range cases {
+		caseIdx[i] = mx.Add(RunSpec{Opts: o, Workload: "W", Attack: tc.attack, Touches: tc.touches})
+	}
+	outs, err := mx.Run(o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("mitigation: %w", err)
+	}
+
+	// Harvest the manifest and usage profile from the reference run.
+	ref := outs[refIdx]
+	refReport, err := core.BuildReport(ref.Machine, ref.VictimPID, "whetstone",
+		core.LegacyBillingScheme, aikSeed, auditNonce)
+	if err != nil {
+		return nil, err
+	}
+	pairs := map[string]string{}
+	for _, e := range refReport.Measurements {
+		pairs[e.Name] = e.Digest
+	}
+	manifest := integrity.NewManifest(pairs)
+	tsRef, _ := refReport.Scheme("tsc")
+	profile := &core.Profile{UserSec: tsRef.UserSec, SysSec: tsRef.SysSec}
+
 	truthBase := tsRef.Total()
-	for _, tc := range cases {
-		out, err := Run(RunSpec{Opts: o, Workload: "W", Attack: tc.attack, Touches: tc.touches})
-		if err != nil {
-			return nil, fmt.Errorf("mitigation %s: %w", tc.label, err)
-		}
+	for i, tc := range cases {
+		out := outs[caseIdx[i]]
 		// The provider reports under the legacy scheme; the trusted
 		// meter bills from the process-aware scheme of the same run.
 		rep, err := core.BuildReport(out.Machine, out.VictimPID, "whetstone",

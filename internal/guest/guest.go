@@ -20,8 +20,11 @@ type Routine func(Context)
 
 // LibFunc is a shared-library function. Interposition (the paper's
 // function-substitution attack) works because calls resolve through
-// the dynamic linker's search order at call time.
-type LibFunc func(ctx Context, args ...uint64) uint64
+// the dynamic linker's search order at call time. The args slice may
+// alias a per-task scratch buffer: implementations must not retain it
+// past the call, and its contents are only valid until the next
+// library call on the same context.
+type LibFunc func(ctx Context, args []uint64) uint64
 
 // WaitResult describes a child-state change reported by Wait.
 type WaitResult struct {
@@ -57,6 +60,12 @@ type Context interface {
 	// linker (LD_PRELOAD honoured). It panics if the symbol is
 	// undefined anywhere in the link map, mirroring a link failure.
 	Call(fn string, args ...uint64) uint64
+
+	// Call1 is Call for the one-argument case. It avoids
+	// materialising a variadic slice per invocation, which matters
+	// for allocator- and libm-heavy programs making hundreds of
+	// thousands of library calls.
+	Call1(fn string, a0 uint64) uint64
 
 	// Syscall performs a generic kernel service of the named class
 	// ("read", "write", "stat", ...), charging syscall entry/exit

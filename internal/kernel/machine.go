@@ -96,8 +96,27 @@ type Machine struct {
 	live    int
 
 	needResched bool
-	dead        chan struct{}
 	closed      bool
+
+	// The machine's state engine runs inline on whichever goroutine
+	// is "driving": initially the Run caller, thereafter the guest
+	// goroutine whose request is being serviced. Control moves to
+	// another goroutine only at an actual task switch, so a guest
+	// action that completes without rescheduling costs no goroutine
+	// handoff at all. driver is the task whose goroutine currently
+	// drives (nil while the Run caller does); pendingDriver, when
+	// set, tells the driving loop to hand the engine to that task's
+	// goroutine and park; runDone carries the run's outcome back to
+	// the Run caller after it has handed the engine off.
+	driver        *task
+	pendingDriver *task
+	runDone       chan error
+
+	// timerFire/preemptFire are the recurring event callbacks, built
+	// once so re-arming the timer or scheduling a preemption point
+	// does not allocate a closure per occurrence.
+	timerFire   func()
+	preemptFire func()
 
 	stats        map[proc.PID]*Stats
 	measurements []Measurement
@@ -149,8 +168,10 @@ func New(cfg Config) *Machine {
 		groupCount:    make(map[proc.PID]int),
 		finalUsage:    make(map[string]map[proc.PID]metering.Usage),
 		finalChildren: make(map[string]map[proc.PID]metering.Usage),
-		dead:          make(chan struct{}),
+		runDone:       make(chan error, 1),
 	}
+	m.timerFire = m.timerTick
+	m.preemptFire = func() { m.needResched = true }
 	m.tickCycles = sim.Cycles(uint64(cfg.CPUHz) / cfg.HZ)
 
 	cyclesPerMs := sim.Cycles(uint64(cfg.CPUHz) / 1000)
@@ -178,7 +199,7 @@ func New(cfg Config) *Machine {
 
 	// Arm the periodic timer.
 	m.nextTickAt = m.tickCycles
-	m.queue.Schedule(m.nextTickAt, "timer", m.timerTick)
+	m.queue.Schedule(m.nextTickAt, "timer", m.timerFire)
 	return m
 }
 
@@ -329,12 +350,19 @@ func (m *Machine) Spawn(sc SpawnConfig) (*proc.Proc, error) {
 }
 
 func (m *Machine) newTask(p *proc.Proc, body guest.Routine) *task {
+	// grant is buffered (capacity 1) so a handoff can be published
+	// before the target has parked: the send never blocks, and the
+	// target consumes it on its next awaitGrant.
 	t := &task{
 		p:     p,
 		m:     m,
+		st:    m.statOf(p.TGID),
 		body:  body,
-		req:   make(chan *request),
-		grant: make(chan struct{}),
+		grant: make(chan struct{}, 1),
+	}
+	t.wakeFire = func() {
+		t.wakePending = false
+		m.wakeNow(t)
 	}
 	m.tasks[p.PID] = t
 	return t
@@ -367,43 +395,90 @@ func (m *Machine) measure(p *proc.Proc, kind MeasurementKind, name, digest strin
 // Run executes until every spawned task has exited. It returns
 // ErrDeadlock if progress becomes impossible, or an error when
 // MaxSteps is exceeded.
+//
+// The caller drives the engine only until the first task must run
+// guest code; from then on the engine travels with the grants, and
+// Run parks until some driver reports the machine finished.
 func (m *Machine) Run() error {
 	defer m.shutdown()
 	for m.live > 0 {
-		if m.cfg.MaxSteps > 0 && m.steps >= m.cfg.MaxSteps {
-			return fmt.Errorf("kernel: exceeded %d steps at t=%d", m.cfg.MaxSteps, m.clock.Now())
-		}
-		m.steps++
-		if err := m.step(); err != nil {
+		if err := m.driveStep(); err != nil {
 			return err
+		}
+		if u := m.pendingDriver; u != nil {
+			m.pendingDriver = nil
+			m.handoffTo(u)
+			return <-m.runDone
 		}
 	}
 	return nil
 }
 
+// handoffTo moves the engine to task u's goroutine: starting it if it
+// has never run, waking it from awaitGrant otherwise. The caller must
+// stop driving immediately afterwards (park, or die if exiting).
+func (m *Machine) handoffTo(u *task) {
+	m.driver = u
+	if !u.started {
+		u.start()
+		return
+	}
+	u.grant <- struct{}{}
+}
+
+// finish reports the run's outcome to the parked Run caller. Called
+// by the last driving guest goroutine.
+func (m *Machine) finish(err error) {
+	m.runDone <- err
+}
+
 // shutdown unblocks any still-parked guest goroutines (they unwind
-// via killPanic) so tests do not leak.
+// via killPanic) so tests do not leak. Closing each task's grant
+// channel wakes guests blocked waiting for a grant; guests never
+// block submitting a request (the request channel is buffered), so
+// this covers every parking site.
 func (m *Machine) shutdown() {
-	if !m.closed {
-		m.closed = true
-		close(m.dead)
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, t := range m.tasks {
+		close(t.grant)
 	}
 }
 
-// step advances the simulation by one action: firing a due event,
-// dispatching, burning a compute chunk, or servicing one request.
-func (m *Machine) step() error {
-	// Fire everything due now.
+// fireDue pops and fires every event due at the current virtual time,
+// recycling each through the queue's free list. It reports false when
+// the machine has no live tasks left.
+func (m *Machine) fireDue() bool {
 	for {
 		at, ok := m.queue.PeekTime()
 		if !ok || at > m.clock.Now() {
-			break
+			return true
 		}
 		e := m.queue.Pop()
 		e.Fire()
+		m.queue.Release(e)
 		if m.live == 0 {
-			return nil
+			return false
 		}
+	}
+}
+
+// driveStep advances the simulation by one action: firing a due
+// event, dispatching, burning a compute span, or servicing one
+// request. It runs on whichever goroutine holds the engine. A task
+// switch is expressed by setting pendingDriver; the calling drive
+// loop performs the goroutine handoff.
+func (m *Machine) driveStep() error {
+	if m.cfg.MaxSteps > 0 && m.steps >= m.cfg.MaxSteps {
+		return fmt.Errorf("kernel: exceeded %d steps at t=%d", m.cfg.MaxSteps, m.clock.Now())
+	}
+	m.steps++
+
+	// Fire everything due now.
+	if !m.fireDue() {
+		return nil
 	}
 
 	if m.current != nil && m.needResched {
@@ -425,18 +500,24 @@ func (m *Machine) step() error {
 
 	t := m.current
 	switch {
-	case t.cur == nil:
-		m.pullRequest(t)
-	case t.pendingUser > 0:
-		m.burnChunk(t)
+	case !t.started:
+		// The task's guest code has never run: hand it the engine.
+		m.pendingDriver = t
+	case t.cur != nil && !t.begun:
+		// A posted request not yet serviced (the task lost the CPU
+		// between posting and dispatch, e.g. after a yield).
+		t.begun = true
+		m.beginRequest(t, t.cur)
+	case t.cur != nil && t.pendingUser > 0:
+		m.burnCompute(t)
 	case t.resume != nil:
 		f := t.resume
 		t.resume = nil
 		f()
-	case t.completed:
+	case t.cur != nil && t.completed:
 		m.finishRequest(t)
 	default:
-		return fmt.Errorf("kernel: task %v dispatched with stuck request kind=%d", t.p, t.cur.kind)
+		return fmt.Errorf("kernel: task %v dispatched with no serviceable work", t.p)
 	}
 	return nil
 }
@@ -453,8 +534,7 @@ func (m *Machine) dispatch() bool {
 	m.current = t
 	t.quantumLeft = m.sched.Quantum(p)
 	if t != m.lastRun {
-		st := m.statOf(p.TGID)
-		st.ContextSwitches++
+		t.st.ContextSwitches++
 		m.chargedAdvance(m.cpu.Costs().ContextSwitch, cpu.Kernel, t)
 	}
 	m.lastRun = t
@@ -468,7 +548,7 @@ func (m *Machine) preemptCurrent() {
 		return
 	}
 	t.p.State = proc.Ready
-	m.statOf(t.p.TGID).Preemptions++
+	t.st.Preemptions++
 	m.enqueue(t)
 	m.current = nil
 }
@@ -565,9 +645,7 @@ func (m *Machine) schedulePreempt(nice int) {
 	if m.nextTickAt-at < interval/2 {
 		at = m.nextTickAt
 	}
-	m.queue.Schedule(at, "preempt", func() {
-		m.needResched = true
-	})
+	m.queue.Schedule(at, "preempt", m.preemptFire)
 }
 
 // wakeLatency returns the wakeup-to-runnable delay: a small fixed
@@ -590,10 +668,7 @@ func (m *Machine) wakeAfterLatency(t *task) {
 	}
 	t.wakePending = true
 	at := m.clock.Now() + m.wakeLatency(t.p.Nice())
-	m.queue.Schedule(at, "wake", func() {
-		t.wakePending = false
-		m.wakeNow(t)
-	})
+	m.queue.Schedule(at, "wake", t.wakeFire)
 }
 
 // timerTick is the periodic timer interrupt: sample-charge the
@@ -604,12 +679,12 @@ func (m *Machine) timerTick() {
 	mode := m.cpu.Mode()
 	if m.current != nil {
 		cur = m.current.p
-		m.statOf(cur.TGID).TicksAbsorbed++
+		m.current.st.TicksAbsorbed++
 	}
 	m.acct.OnTick(cur, mode)
 	m.irqWork(device.IRQTimer, m.cpu.Costs().TimerHandler)
 	m.nextTickAt += m.tickCycles
-	m.queue.Schedule(m.nextTickAt, "timer", m.timerTick)
+	m.queue.Schedule(m.nextTickAt, "timer", m.timerFire)
 }
 
 // nicRx services one received packet.
@@ -644,7 +719,7 @@ func (m *Machine) irqWork(irq device.IRQ, cost sim.Cycles) {
 	var cur *proc.Proc
 	if m.current != nil {
 		cur = m.current.p
-		m.statOf(cur.TGID).IRQCycles += cost
+		m.current.st.IRQCycles += cost
 	}
 	m.advance(cost, cpu.Interrupt, nil)
 	m.acct.OnInterrupt(irq, cur, cost)
@@ -661,6 +736,7 @@ func (m *Machine) advance(d sim.Cycles, md cpu.Mode, owner *proc.Proc) {
 			if at <= m.clock.Now() {
 				e := m.queue.Pop()
 				e.Fire()
+				m.queue.Release(e)
 				continue
 			}
 			if room := at - m.clock.Now(); room < chunk {
@@ -688,57 +764,80 @@ func (m *Machine) chargedAdvance(d sim.Cycles, md cpu.Mode, t *task) {
 	}
 }
 
-// burnChunk consumes part of the current task's pending user-mode
-// computation, bounded by the next event and the remaining quantum.
-func (m *Machine) burnChunk(t *task) {
-	chunk := t.pendingUser
-	if t.quantumLeft > 0 && chunk > t.quantumLeft {
-		chunk = t.quantumLeft
-	}
-	if at, ok := m.queue.PeekTime(); ok {
-		if room := at - m.clock.Now(); room < chunk {
-			chunk = room
+// burnCompute services the current task's pending user-mode
+// computation in one kernel visit: it alternates burning chunks
+// (bounded by the next event and the remaining quantum) with firing
+// due events, re-entering the outer step loop only when the CPU
+// changes hands. Chunk boundaries, charges, and event firing order
+// are identical to running one chunk per step; batching only removes
+// the per-chunk trip through the step dispatcher. Each chunk still
+// counts against MaxSteps (one iteration ≈ one pre-batching step),
+// so the runaway guard keeps its calibration; on budget exhaustion
+// the loop returns and the next driveStep reports the error.
+func (m *Machine) burnCompute(t *task) {
+	for {
+		if m.cfg.MaxSteps > 0 && m.steps >= m.cfg.MaxSteps {
+			return
 		}
-	}
-	if chunk > 0 {
-		m.cpu.SetMode(cpu.User)
-		m.cpu.Run(chunk)
-		m.acct.OnRun(t.p, cpu.User, chunk)
-		m.sched.Charge(t.p, chunk)
-		t.pendingUser -= chunk
-		if chunk >= t.quantumLeft {
-			t.quantumLeft = 0
-		} else {
-			t.quantumLeft -= chunk
+		m.steps++
+		chunk := t.pendingUser
+		if t.quantumLeft > 0 && chunk > t.quantumLeft {
+			chunk = t.quantumLeft
 		}
-	} else {
-		// Zero room: an event is due right now; fire it via step's
-		// pre-loop on the next iteration. Quantum-expiry handling
-		// below still applies.
-		if at, ok := m.queue.PeekTime(); ok && at <= m.clock.Now() {
-			e := m.queue.Pop()
-			e.Fire()
+		if at, ok := m.queue.PeekTime(); ok {
+			if room := at - m.clock.Now(); room < chunk {
+				chunk = room
+			}
 		}
-	}
+		if chunk > 0 {
+			m.cpu.SetMode(cpu.User)
+			m.cpu.Run(chunk)
+			m.acct.OnRun(t.p, cpu.User, chunk)
+			m.sched.Charge(t.p, chunk)
+			t.pendingUser -= chunk
+			if chunk >= t.quantumLeft {
+				t.quantumLeft = 0
+			} else {
+				t.quantumLeft -= chunk
+			}
+		}
 
-	if t.pendingUser == 0 && t.cur != nil && t.cur.kind == rqCompute {
-		m.grantNow(t)
-		return
-	}
-	if t.quantumLeft == 0 && m.current == t {
-		if m.sched.Runnable() > 0 {
-			m.preemptCurrent()
-		} else {
+		if t.pendingUser == 0 && t.cur != nil && t.cur.kind == rqCompute {
+			m.grantNow(t)
+			return
+		}
+		if t.quantumLeft == 0 && m.current == t {
+			if m.sched.Runnable() > 0 {
+				m.preemptCurrent()
+				return
+			}
 			t.quantumLeft = m.sched.Quantum(t.p)
+		}
+
+		// Fire whatever is due before the next chunk (the timer tick
+		// bounding the chunk above, a preemption point, a wakeup).
+		if !m.fireDue() {
+			return
+		}
+		if m.needResched || m.current != t {
+			// The step loop owns rescheduling decisions.
+			return
 		}
 	}
 }
 
-// grantNow completes the current request and resumes the guest.
+// grantNow completes the current request and resumes the guest. When
+// the granted task is the one driving the engine, its drive loop sees
+// the granted flag and simply returns to guest code — no goroutine
+// switch. Otherwise the engine is handed to the granted task.
 func (m *Machine) grantNow(t *task) {
 	t.cur = nil
 	t.completed = false
-	t.grant <- struct{}{}
+	t.begun = false
+	t.granted = true
+	if t != m.driver {
+		m.pendingDriver = t
+	}
 }
 
 // finishRequest delivers the grant for a request that completed while
@@ -747,13 +846,29 @@ func (m *Machine) finishRequest(t *task) {
 	m.grantNow(t)
 }
 
-// pullRequest starts the guest if necessary and services its next
-// request.
-func (m *Machine) pullRequest(t *task) {
-	if !t.started {
-		t.start()
+// beginPosted services t's freshly posted request inline if t still
+// owns the CPU after the engine's inter-request bookkeeping — the
+// same preamble the step loop applies between any two guest actions:
+// count the step against the runaway budget, fire due events, and
+// honor a pending preemption. When t loses the CPU (preempted, or
+// the budget is exhausted and the next driveStep must report it) the
+// request stays posted for service at t's next dispatch.
+func (m *Machine) beginPosted(t *task) {
+	t.begun = false
+	if m.current != t {
+		return
 	}
-	r := <-t.req
-	t.cur = r
-	m.beginRequest(t, r)
+	if m.cfg.MaxSteps > 0 && m.steps >= m.cfg.MaxSteps {
+		return
+	}
+	m.steps++
+	m.fireDue() // we are servicing a live task, so live > 0 holds
+	if m.current != nil && m.needResched {
+		m.preemptCurrent()
+	}
+	m.needResched = false
+	if m.current == t {
+		t.begun = true
+		m.beginRequest(t, t.cur)
+	}
 }

@@ -50,7 +50,7 @@ func (m *Machine) syscallCost(name string) sim.Cycles {
 // non-preemptible lumps (the 2.6-era server configuration); only
 // rqCompute burns preemptibly.
 func (m *Machine) beginRequest(t *task, r *request) {
-	st := m.statOf(t.p.TGID)
+	st := t.st
 	c := m.cpu.Costs()
 
 	switch r.kind {
@@ -168,7 +168,7 @@ func (m *Machine) beginRequest(t *task, r *request) {
 // already been taken.
 func (m *Machine) serviceAccess(t *task, r *request, skipWatch bool) {
 	c := m.cpu.Costs()
-	st := m.statOf(t.p.TGID)
+	st := t.st
 
 	if !skipWatch && t.p.Tracer != nil && t.p.Debug.Matches(r.addr, r.write) {
 		m.debugTrap(t, r)
@@ -231,7 +231,7 @@ const accessCost sim.Cycles = 4
 // context — the thrashing attack's whole effect (Fig. 9).
 func (m *Machine) debugTrap(t *task, r *request) {
 	c := m.cpu.Costs()
-	st := m.statOf(t.p.TGID)
+	st := t.st
 	st.DebugExceptions++
 	st.TraceStops++
 	st.SignalsReceived++
@@ -520,7 +520,7 @@ func (m *Machine) doPtrace(t *task, r *request) error {
 		// SIGSTOP: stop the target. Kernel-side stop bookkeeping is
 		// the target's system time.
 		target.p.PushSignal(proc.SIGSTOP)
-		tst := m.statOf(target.p.TGID)
+		tst := target.st
 		tst.SignalsReceived++
 		tst.TraceStops++
 		m.advance(c.SignalDeliver+c.PtraceStop, cpu.Kernel, nil)

@@ -30,9 +30,9 @@ const (
 )
 
 // request is one guest action awaiting kernel service. The guest
-// goroutine fills the input fields, sends the request, and blocks on
-// the task's grant channel; the kernel fills the reply fields before
-// granting, so reads after the grant are race-free.
+// goroutine fills the input fields, posts the request, and drives the
+// machine engine until it is granted; the engine fills the reply
+// fields before granting, so reads after the grant are race-free.
 type request struct {
 	kind reqKind
 
@@ -64,22 +64,33 @@ type task struct {
 	p *proc.Proc
 	m *Machine
 
+	// st is the thread group's stats record, resolved once at task
+	// creation so request service does not look it up per action.
+	st *Stats
+
 	body guest.Routine
 
-	req     chan *request
+	// grant parks the guest goroutine across task switches: a send
+	// both completes the task's request and hands it the engine; a
+	// close (machine shutdown) unwinds the guest via killPanic.
 	grant   chan struct{}
 	started bool
 	gone    bool // goroutine finished (exit request seen)
 
-	// cur is the request being serviced. pendingUser is user-mode
-	// computation still to burn before cur completes (only rqCompute
-	// uses it; kernel services are non-preemptible lumps). completed
-	// marks a blocked request (disk wait, wait(), trace stop) whose
-	// condition has been satisfied; the grant is delivered when the
-	// task is next dispatched. resume, when set, is a continuation
-	// run at next dispatch (finishing a watchpoint-interrupted
-	// memory access).
+	// cur is the request being serviced, posted directly by the guest
+	// goroutine (the engine is always paused while guest code runs,
+	// so there is a single writer). begun marks that the kernel has
+	// started servicing it; granted marks completion, read by the
+	// guest's drive loop. pendingUser is user-mode computation still
+	// to burn before cur completes (only rqCompute uses it; kernel
+	// services are non-preemptible lumps). completed marks a blocked
+	// request (disk wait, wait(), trace stop) whose condition has
+	// been satisfied; the grant is delivered when the task is next
+	// dispatched. resume, when set, is a continuation run at next
+	// dispatch (finishing a watchpoint-interrupted memory access).
 	cur         *request
+	begun       bool
+	granted     bool
 	pendingUser sim.Cycles
 	completed   bool
 	resume      func()
@@ -116,8 +127,11 @@ type task struct {
 	stopReported bool
 
 	// wakePending marks a scheduled delayed wake so duplicate wake
-	// events are not enqueued.
+	// events are not enqueued. wakeFire is the reusable callback for
+	// those events, built once in newTask so the wake path does not
+	// allocate a closure per wakeup.
 	wakePending bool
+	wakeFire    func()
 
 	// billable marks thread groups whose final usage must outlive
 	// reaping: directly spawned processes and anything that exec'd a
@@ -132,9 +146,9 @@ type exitPanic struct{ code int }
 // killPanic unwinds guest goroutines when the machine shuts down.
 type killPanic struct{}
 
-// start launches the guest goroutine. Called at first dispatch; the
-// kernel immediately blocks reading the first request, preserving the
-// one-runnable-goroutine invariant.
+// start launches the guest goroutine. Called by handoffTo at the
+// task's first dispatch; the new goroutine immediately owns the
+// engine and keeps it until its first call hands it elsewhere.
 func (t *task) start() {
 	t.started = true
 	go func() {
@@ -150,89 +164,159 @@ func (t *task) start() {
 					panic(r)
 				}
 			}
-			t.send(&request{kind: rqExit, code: code})
+			t.exitAndDrive(code)
 		}()
 		ctx := &guestCtx{t: t}
 		t.body(ctx)
 	}()
 }
 
-// send publishes a request to the kernel, aborting if the machine is
-// shutting down.
-func (t *task) send(r *request) {
-	select {
-	case t.req <- r:
-	case <-t.m.dead:
-		panic(killPanic{})
-	}
-}
-
-// call publishes a request and blocks until the kernel grants it.
+// call posts a request and drives the machine engine until the
+// request is granted, handing the engine to other goroutines across
+// task switches and parking until it returns. The fast path — the
+// request completes without a task switch — involves no channel
+// operation or goroutine handoff at all.
 func (t *task) call(r *request) *request {
-	t.send(r)
-	select {
-	case <-t.grant:
-	case <-t.m.dead:
-		panic(killPanic{})
+	m := t.m
+	t.cur = r
+	// Service inline when we still own the CPU after the engine's
+	// inter-request bookkeeping; otherwise (yielded, preempted, or
+	// step budget exhausted) the request waits for dispatch.
+	m.beginPosted(t)
+	for !t.granted {
+		if err := m.driveStep(); err != nil {
+			m.finish(err)
+			panic(killPanic{})
+		}
+		if u := m.pendingDriver; u != nil {
+			m.pendingDriver = nil
+			m.handoffTo(u)
+			if !t.awaitGrant() {
+				panic(killPanic{})
+			}
+		}
 	}
+	t.granted = false
 	return r
 }
 
-// guestCtx implements guest.Context on the guest goroutine.
+// awaitGrant parks until this task is granted (and with the grant,
+// handed the engine). It reports false when the machine shut down
+// instead.
+func (t *task) awaitGrant() bool {
+	_, ok := <-t.grant
+	return ok
+}
+
+// exitAndDrive services this task's exit and then keeps driving the
+// engine until it can hand it to another goroutine — or reports the
+// run finished when this was the last live task. The goroutine then
+// returns (dies) either way.
+func (t *task) exitAndDrive(code int) {
+	m := t.m
+	r := request{kind: rqExit, code: code}
+	t.cur = &r
+	m.beginPosted(t)
+	for {
+		if m.live == 0 {
+			m.finish(nil)
+			return
+		}
+		if err := m.driveStep(); err != nil {
+			m.finish(err)
+			return
+		}
+		if u := m.pendingDriver; u != nil {
+			m.pendingDriver = nil
+			m.handoffTo(u)
+			return
+		}
+	}
+}
+
+// guestCtx implements guest.Context on the guest goroutine. The
+// embedded request is reused for every call: a task has at most one
+// request in flight and the kernel releases it (cur = nil) before
+// granting, so recycling it guest-side removes a heap allocation per
+// guest action. Each use reassigns the whole struct, clearing stale
+// reply fields from the previous action.
 type guestCtx struct {
 	t *task
+	r request
+	// argbuf backs Call1's argument slice (see guest.LibFunc's
+	// aliasing contract).
+	argbuf [1]uint64
 }
 
 var _ guest.Context = (*guestCtx)(nil)
 
 func (c *guestCtx) PID() proc.PID { return c.t.p.PID }
 
+// do resets the reusable request to r and runs it through the kernel.
+func (c *guestCtx) do(r request) *request {
+	c.r = r
+	return c.t.call(&c.r)
+}
+
 func (c *guestCtx) Compute(d sim.Cycles) {
 	if d == 0 {
 		return
 	}
-	c.t.call(&request{kind: rqCompute, cycles: d})
+	c.do(request{kind: rqCompute, cycles: d})
 }
 
 func (c *guestCtx) Load(addr uint64) {
-	c.t.call(&request{kind: rqAccess, addr: addr})
+	c.do(request{kind: rqAccess, addr: addr})
 }
 
 func (c *guestCtx) Store(addr uint64) {
-	c.t.call(&request{kind: rqAccess, addr: addr, write: true})
+	c.do(request{kind: rqAccess, addr: addr, write: true})
 }
 
 func (c *guestCtx) Call(fn string, args ...uint64) uint64 {
+	return c.callSym(fn, args)
+}
+
+func (c *guestCtx) Call1(fn string, a0 uint64) uint64 {
+	// The scratch buffer lives in the (heap-resident) context, so
+	// slicing it does not allocate; LibFunc implementations are
+	// forbidden from retaining args.
+	c.argbuf[0] = a0
+	return c.callSym(fn, c.argbuf[:1])
+}
+
+// callSym resolves fn through the link map and runs it in this
+// context, charging the PLT indirection.
+func (c *guestCtx) callSym(fn string, args []uint64) uint64 {
 	lm := c.t.linkMap
 	if lm == nil {
 		panic(fmt.Sprintf("kernel: task %v calls %q with no link map (not exec'd)", c.t.p, fn))
 	}
-	f, from, ok := lm.Resolve(fn)
+	f, _, ok := lm.Resolve(fn)
 	if !ok {
 		panic(fmt.Sprintf("kernel: undefined symbol %q in %v", fn, c.t.p))
 	}
 	// PLT indirection cost, then the callee runs in this context.
 	c.Compute(pltCost)
-	_ = from
-	return f(c, args...)
+	return f(c, args)
 }
 
 func (c *guestCtx) Syscall(name string) {
-	c.t.call(&request{kind: rqSyscall, name: name})
+	c.do(request{kind: rqSyscall, name: name})
 }
 
 func (c *guestCtx) Fork(name string, body guest.Routine) proc.PID {
-	r := c.t.call(&request{kind: rqFork, name: name, body: body})
+	r := c.do(request{kind: rqFork, name: name, body: body})
 	return proc.PID(r.ret)
 }
 
 func (c *guestCtx) SpawnThread(name string, body guest.Routine) proc.PID {
-	r := c.t.call(&request{kind: rqThread, name: name, body: body})
+	r := c.do(request{kind: rqThread, name: name, body: body})
 	return proc.PID(r.ret)
 }
 
 func (c *guestCtx) Wait() (guest.WaitResult, bool) {
-	r := c.t.call(&request{kind: rqWait})
+	r := c.do(request{kind: rqWait})
 	return r.wres, r.wok
 }
 
@@ -241,27 +325,27 @@ func (c *guestCtx) Exit(code int) {
 }
 
 func (c *guestCtx) Yield() {
-	c.t.call(&request{kind: rqYield})
+	c.do(request{kind: rqYield})
 }
 
 func (c *guestCtx) Sleep(d sim.Cycles) {
-	c.t.call(&request{kind: rqSleep, cycles: d})
+	c.do(request{kind: rqSleep, cycles: d})
 }
 
 func (c *guestCtx) SetNice(n int) {
-	c.t.call(&request{kind: rqNice, nice: n})
+	c.do(request{kind: rqNice, nice: n})
 }
 
 func (c *guestCtx) Nice() int {
-	// Safe direct read: the kernel is parked in <-t.req while guest
+	// Safe direct read: the machine engine is paused while guest
 	// code runs, and only this task writes its own nice value.
 	return c.t.p.Nice()
 }
 
 func (c *guestCtx) Getenv(key string) string {
 	// Env is written only by this task or before it first runs
-	// (inheritance at fork), and the kernel is parked in <-t.req
-	// while guest code executes, so this access is race-free.
+	// (inheritance at fork), and the machine engine is paused while
+	// guest code executes, so this access is race-free.
 	return c.t.p.Env[key]
 }
 
@@ -270,7 +354,7 @@ func (c *guestCtx) Setenv(key, value string) {
 }
 
 func (c *guestCtx) FindProcess(name string) (proc.PID, bool) {
-	r := c.t.call(&request{kind: rqFind, name: name})
+	r := c.do(request{kind: rqFind, name: name})
 	return proc.PID(r.ret), r.wok
 }
 
@@ -281,12 +365,12 @@ func (c *guestCtx) Rand() *sim.Rand {
 }
 
 func (c *guestCtx) Ptrace(req guest.PtraceRequest, pid proc.PID, addr, data uint64) error {
-	r := c.t.call(&request{kind: rqPtrace, ptReq: req, ptPid: pid, ptAddr: addr, ptData: data})
+	r := c.do(request{kind: rqPtrace, ptReq: req, ptPid: pid, ptAddr: addr, ptData: data})
 	return r.err
 }
 
 func (c *guestCtx) Usage() (user, system sim.Cycles) {
-	r := c.t.call(&request{kind: rqUsage})
+	r := c.do(request{kind: rqUsage})
 	return r.u, r.s
 }
 
@@ -295,7 +379,7 @@ func (c *guestCtx) Usage() (user, system sim.Cycles) {
 // then constructors, main, and destructors run here in guest context,
 // exactly the sandwich of Fig. 2 in the paper.
 func (c *guestCtx) Exec(prog *guest.Program) {
-	r := c.t.call(&request{kind: rqExec, prog: prog})
+	r := c.do(request{kind: rqExec, prog: prog})
 	if r.err != nil {
 		panic(fmt.Sprintf("kernel: exec %q: %v", prog.Name, r.err))
 	}

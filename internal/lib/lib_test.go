@@ -10,7 +10,7 @@ import (
 func stub(name string, fns ...string) *Library {
 	l := &Library{Name: name, Content: "v1 " + name, Funcs: map[string]guest.LibFunc{}}
 	for _, fn := range fns {
-		l.Funcs[fn] = func(guest.Context, ...uint64) uint64 { return 0 }
+		l.Funcs[fn] = func(guest.Context, []uint64) uint64 { return 0 }
 	}
 	return l
 }

@@ -57,7 +57,7 @@ func NewLibc() *Library {
 		Name:    LibcName,
 		Content: "glibc-2.9 genuine",
 		Funcs: map[string]guest.LibFunc{
-			"malloc": func(ctx guest.Context, args ...uint64) uint64 {
+			"malloc": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(MallocCost)
 				var size uint64
 				if len(args) > 0 {
@@ -68,14 +68,14 @@ func NewLibc() *Library {
 				ctx.Store(addr)
 				return addr
 			},
-			"free": func(ctx guest.Context, args ...uint64) uint64 {
+			"free": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(FreeCost)
 				if len(args) > 0 && args[0] != 0 {
 					ctx.Load(args[0])
 				}
 				return 0
 			},
-			"memcpy": func(ctx guest.Context, args ...uint64) uint64 {
+			"memcpy": func(ctx guest.Context, args []uint64) uint64 {
 				// args: dst, src, n
 				var n uint64
 				if len(args) > 2 {
@@ -101,7 +101,7 @@ func NewLibm() *Library {
 		Name:    LibmName,
 		Content: "libm-2.9 genuine",
 		Funcs: map[string]guest.LibFunc{
-			"sqrt": func(ctx guest.Context, args ...uint64) uint64 {
+			"sqrt": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(SqrtCost)
 				var x float64
 				if len(args) > 0 {
@@ -109,7 +109,7 @@ func NewLibm() *Library {
 				}
 				return math.Float64bits(math.Sqrt(x))
 			},
-			"exp": func(ctx guest.Context, args ...uint64) uint64 {
+			"exp": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(SqrtCost * 2)
 				var x float64
 				if len(args) > 0 {
@@ -117,7 +117,7 @@ func NewLibm() *Library {
 				}
 				return math.Float64bits(math.Exp(x))
 			},
-			"log": func(ctx guest.Context, args ...uint64) uint64 {
+			"log": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(SqrtCost * 2)
 				var x float64
 				if len(args) > 0 {
@@ -125,7 +125,7 @@ func NewLibm() *Library {
 				}
 				return math.Float64bits(math.Log(x))
 			},
-			"sin": func(ctx guest.Context, args ...uint64) uint64 {
+			"sin": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(SqrtCost * 3)
 				var x float64
 				if len(args) > 0 {
@@ -133,7 +133,7 @@ func NewLibm() *Library {
 				}
 				return math.Float64bits(math.Sin(x))
 			},
-			"cos": func(ctx guest.Context, args ...uint64) uint64 {
+			"cos": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(SqrtCost * 3)
 				var x float64
 				if len(args) > 0 {
@@ -141,7 +141,7 @@ func NewLibm() *Library {
 				}
 				return math.Float64bits(math.Cos(x))
 			},
-			"atan": func(ctx guest.Context, args ...uint64) uint64 {
+			"atan": func(ctx guest.Context, args []uint64) uint64 {
 				ctx.Compute(SqrtCost * 3)
 				var x float64
 				if len(args) > 0 {

@@ -101,10 +101,17 @@ type Accountant interface {
 }
 
 // ledger accumulates usage keyed by TGID, plus a children bucket fed
-// by reaping.
+// by reaping. The charge path is hot — every execution slice and
+// every timer tick land here for every scheme — so the last-charged
+// entry is cached: consecutive charges to the same thread group (the
+// overwhelmingly common case, since the current task absorbs runs of
+// slices) skip the map lookup entirely.
 type ledger struct {
 	byTGID   map[proc.PID]*Usage
 	children map[proc.PID]*Usage
+
+	lastTGID proc.PID
+	last     *Usage
 }
 
 func newLedger() ledger {
@@ -126,6 +133,9 @@ func (l *ledger) reap(parent, child proc.PID) {
 	}
 	delete(l.byTGID, child)
 	delete(l.children, child)
+	if l.lastTGID == child {
+		l.last = nil
+	}
 	if folded == (Usage{}) {
 		return
 	}
@@ -145,11 +155,15 @@ func (l *ledger) childrenUsage(pid proc.PID) Usage {
 }
 
 func (l *ledger) entry(pid proc.PID) *Usage {
+	if l.last != nil && l.lastTGID == pid {
+		return l.last
+	}
 	u := l.byTGID[pid]
 	if u == nil {
 		u = &Usage{}
 		l.byTGID[pid] = u
 	}
+	l.lastTGID, l.last = pid, u
 	return u
 }
 
@@ -303,16 +317,32 @@ func (a *ProcessAwareAccountant) ChildrenUsage(pid proc.PID) Usage { return a.l.
 func (a *ProcessAwareAccountant) Snapshot() map[proc.PID]Usage { return a.l.snapshot() }
 
 // Multi fans hooks out to several accountants so one run yields every
-// scheme's view of the same execution.
+// scheme's view of the same execution. The charge hooks iterate the
+// accountant slice directly; name resolution is an index map built at
+// registration, so no per-charge string work happens anywhere.
 type Multi struct {
-	accts []Accountant
+	accts   []Accountant
+	indexOf map[string]int
 }
 
 // NewMulti returns a fan-out over the given accountants.
-func NewMulti(accts ...Accountant) *Multi { return &Multi{accts: accts} }
+func NewMulti(accts ...Accountant) *Multi {
+	m := &Multi{accts: accts, indexOf: make(map[string]int, len(accts))}
+	for i, a := range accts {
+		if _, dup := m.indexOf[a.Name()]; !dup {
+			m.indexOf[a.Name()] = i
+		}
+	}
+	return m
+}
 
 // Add registers another accountant.
-func (m *Multi) Add(a Accountant) { m.accts = append(m.accts, a) }
+func (m *Multi) Add(a Accountant) {
+	if _, dup := m.indexOf[a.Name()]; !dup {
+		m.indexOf[a.Name()] = len(m.accts)
+	}
+	m.accts = append(m.accts, a)
+}
 
 // Accountants returns the registered schemes in registration order.
 func (m *Multi) Accountants() []Accountant {
@@ -323,12 +353,11 @@ func (m *Multi) Accountants() []Accountant {
 
 // ByName returns the first accountant with the given name.
 func (m *Multi) ByName(name string) (Accountant, bool) {
-	for _, a := range m.accts {
-		if a.Name() == name {
-			return a, true
-		}
+	i, ok := m.indexOf[name]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return m.accts[i], true
 }
 
 // Name implements Accountant.

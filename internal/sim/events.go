@@ -8,6 +8,10 @@ import (
 // with equal times fire in insertion order (stable), which keeps the
 // simulation deterministic regardless of map iteration or host
 // scheduling.
+//
+// Events may be recycled through the queue's free list (see Release),
+// so holders must drop their reference once an event has fired;
+// Cancel is only valid for events still pending in the queue.
 type Event struct {
 	At   Cycles
 	Kind string // diagnostic label, e.g. "timer", "nic-rx"
@@ -22,10 +26,12 @@ type Event struct {
 func (e *Event) Cancelled() bool { return e.index < 0 }
 
 // EventQueue is a deterministic priority queue of events ordered by
-// virtual time, breaking ties by insertion order.
+// virtual time, breaking ties by insertion order. A free list recycles
+// popped events so steady-state scheduling does not allocate.
 type EventQueue struct {
-	h   eventHeap
-	seq uint64
+	h    eventHeap
+	seq  uint64
+	free []*Event
 }
 
 // NewEventQueue returns an empty queue.
@@ -37,12 +43,35 @@ func NewEventQueue() *EventQueue {
 func (q *EventQueue) Len() int { return len(q.h) }
 
 // Schedule enqueues fn to run at time at with a diagnostic kind label,
-// returning the event so the caller can cancel it.
+// returning the event so the caller can cancel it. The event is drawn
+// from the free list when one is available.
 func (q *EventQueue) Schedule(at Cycles, kind string, fn func()) *Event {
 	q.seq++
-	e := &Event{At: at, Kind: kind, Fire: fn, seq: q.seq}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.At, e.Kind, e.Fire, e.seq = at, kind, fn, q.seq
+	} else {
+		e = &Event{At: at, Kind: kind, Fire: fn, seq: q.seq}
+	}
 	heap.Push(&q.h, e)
 	return e
+}
+
+// Release returns a fired (or cancelled) event to the free list for
+// reuse by a later Schedule. Releasing an event that is back in the
+// queue — its Fire rescheduled it — is a no-op, as is releasing nil.
+// After Release the caller must drop its reference: the event will be
+// handed out again and Cancel on a stale reference would remove the
+// wrong entry.
+func (q *EventQueue) Release(e *Event) {
+	if e == nil || e.index >= 0 {
+		return
+	}
+	e.Fire = nil
+	q.free = append(q.free, e)
 }
 
 // Cancel removes e from the queue. Cancelling an already-fired or

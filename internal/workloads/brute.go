@@ -94,7 +94,7 @@ func BuildBrute(p Params) (*guest.Program, *Result) {
 				}
 				ctx.SpawnThread(fmt.Sprintf("brute-w%d", w), func(c guest.Context) {
 					// Worker-local candidate buffer.
-					buf := c.Call("malloc", bruteBatch*8)
+					buf := c.Call1("malloc", bruteBatch*8)
 					for start := lo; start < hi; start += bruteBatch {
 						end := start + bruteBatch
 						if end > hi {
@@ -115,19 +115,19 @@ func BuildBrute(p Params) (*guest.Program, *Result) {
 						// Candidate strings are built in small
 						// heap chunks (brute2's per-try buffers).
 						for g := uint64(0); g < bruteBatch/64; g++ {
-							tmp := c.Call("malloc", 64)
-							c.Call("free", tmp)
+							tmp := c.Call1("malloc", 64)
+							c.Call1("free", tmp)
 						}
 						// Synchronise progress with the leader.
 						c.Syscall("futex")
 					}
-					c.Call("free", buf)
+					c.Call1("free", buf)
 				})
 			}
 
 			// Leader: account worker progress in `count` while
 			// workers run, then reap them.
-			lbuf := ctx.Call("malloc", workingSetBytes)
+			lbuf := ctx.Call1("malloc", workingSetBytes)
 			for b := uint64(0); b < totalBatches; b++ {
 				for k := uint64(0); k < touchesPerBatch; k++ {
 					ctx.Store(HotAddrB) // count++ in crack_len()

@@ -30,7 +30,7 @@ func BuildO(p Params) (*guest.Program, *Result) {
 		Libs:    []string{"libc.so.6", "libm.so.6"},
 		Main: func(ctx guest.Context) {
 			// The program's data buffer; its pages age and rotate.
-			buf := ctx.Call("malloc", workingSetBytes)
+			buf := ctx.Call1("malloc", workingSetBytes)
 			var counter uint64
 			for i := uint64(0); i < touches; i++ {
 				c := chunk
@@ -45,11 +45,11 @@ func BuildO(p Params) (*guest.Program, *Result) {
 				// Per-iteration scratch record, as the paper's
 				// allocator-exercising loop program does — the
 				// substitution attack's call sites.
-				scratch := ctx.Call("malloc", 128)
-				ctx.Call("free", scratch)
+				scratch := ctx.Call1("malloc", 128)
+				ctx.Call1("free", scratch)
 				counter++
 			}
-			ctx.Call("free", buf)
+			ctx.Call1("free", buf)
 			ctx.Syscall("getrusage")
 			res.Output = strconv.FormatUint(counter, 10)
 			res.Done = true

@@ -53,7 +53,7 @@ func BuildPi(p Params) (*guest.Program, *Result) {
 		Main: func(ctx guest.Context) {
 			// The spigot's digit array, heap-allocated like the real
 			// C program (rounded up to the shared working-set size).
-			arr := ctx.Call("malloc", workingSetBytes)
+			arr := ctx.Call1("malloc", workingSetBytes)
 			var batchNo uint64
 			a := make([]int, arrLen)
 			for i := range a {
@@ -83,8 +83,8 @@ func BuildPi(p Params) (*guest.Program, *Result) {
 						touchWorkingSet(ctx, arr, batchNo)
 						// The digit buffer grows in chunks: the
 						// allocator traffic Fig. 6 interposes on.
-						chunk := ctx.Call("malloc", 256)
-						ctx.Call("free", chunk)
+						chunk := ctx.Call1("malloc", 256)
+						ctx.Call1("free", chunk)
 						batchNo++
 					}
 				}
@@ -112,7 +112,7 @@ func BuildPi(p Params) (*guest.Program, *Result) {
 			}
 			out.WriteByte(byte('0' + predigit))
 			ctx.Compute(pending)
-			ctx.Call("free", arr)
+			ctx.Call1("free", arr)
 			ctx.Syscall("write") // print the digits
 			ctx.Syscall("getrusage")
 			res.Output = out.String()

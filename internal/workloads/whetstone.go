@@ -48,7 +48,7 @@ func BuildWhetstone(p Params) (*guest.Program, *Result) {
 		Main: func(ctx guest.Context) {
 			// Module working set, allocated like the C benchmark's
 			// arrays.
-			e1addr := ctx.Call("malloc", workingSetBytes)
+			e1addr := ctx.Call1("malloc", workingSetBytes)
 			t1 := 0.50025 // the watched variable T1
 			e1 := [4]float64{1.0, -1.0, -1.0, -1.0}
 			x, y := 0.75, 0.50
@@ -72,22 +72,22 @@ func BuildWhetstone(p Params) (*guest.Program, *Result) {
 				// Module 6-ish: trig and roots through libm, the
 				// substitution attack's target call sites.
 				for k := 0; k < sqrtCallsPerLoop; k++ {
-					bits := ctx.Call("sqrt", math.Float64bits(x*x+y*y))
+					bits := ctx.Call1("sqrt", math.Float64bits(x*x+y*y))
 					x = math.Float64frombits(bits) * 0.75
 					if x == 0 {
 						x = 0.75
 					}
 				}
-				y = math.Float64frombits(ctx.Call("exp", math.Float64bits(math.Min(x, 1.0)))) / math.E
+				y = math.Float64frombits(ctx.Call1("exp", math.Float64bits(math.Min(x, 1.0)))) / math.E
 				check += e1[2] + x + y
 				touchWorkingSet(ctx, e1addr, uint64(l))
 				// Occasional allocator traffic.
 				if l%8 == 0 {
-					b := ctx.Call("malloc", 256)
-					ctx.Call("free", b)
+					b := ctx.Call1("malloc", 256)
+					ctx.Call1("free", b)
 				}
 			}
-			ctx.Call("free", e1addr)
+			ctx.Call1("free", e1addr)
 			ctx.Syscall("getrusage")
 			res.Output = fmt.Sprintf("check=%.6f", check)
 			res.Done = true

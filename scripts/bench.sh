@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and write BENCH_<n>.json with
+# ns/op plus each benchmark's headline metric, seeding the repo's perf
+# trajectory (BENCH_1.json, BENCH_2.json, ... across PRs).
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#   BENCHTIME=3x scripts/bench.sh      # more samples per benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_1.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+    iters = $2
+    ns = $3
+    metric_value = ""
+    metric_unit = ""
+    if (NF >= 6) { metric_value = $5; metric_unit = $6 }
+    entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (metric_unit != "")
+        entry = entry sprintf(", \"metric\": {\"unit\": \"%s\", \"value\": %s}", metric_unit, metric_value)
+    entry = entry "}"
+    entries[n++] = entry
+}
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+END {
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    # Seed baseline: BenchmarkMachineSteps as measured on the v0 seed
+    # tree (sequential channel-handoff kernel, pre-optimization), the
+    # reference the >=25% ns/op improvement target is judged against.
+    print "  \"baseline\": {"
+    print "    \"benchmark\": \"BenchmarkMachineSteps\","
+    print "    \"ns_per_op\": 143700000,"
+    print "    \"recorded\": \"seed tree, PR 1, pre-optimization\""
+    print "  },"
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+    print "  ]"
+    print "}"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
