@@ -171,6 +171,38 @@ func BenchmarkMachineSteps(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterFlood regenerates the cross-machine flood artifact:
+// three 3-machine clusters (baseline, 10k, 40k pps) advanced in
+// deterministic lockstep, sharded across the worker pool. The metric
+// is the commodity-billed host's inflation at 40k pps relative to its
+// own no-flood bill.
+func BenchmarkClusterFlood(b *testing.B) {
+	benchFigure(b, "cluster", func(fig *Figure) float64 {
+		// Bars: per host, [no flood, 10k, 40k]; the jiffy host leads.
+		if len(fig.Bars) < 3 || fig.Bars[0].Total() == 0 {
+			return 0
+		}
+		return (fig.Bars[2].Total() - fig.Bars[0].Total()) / fig.Bars[0].Total() * 100
+	}, "40kpps-inflation-%")
+}
+
+// BenchmarkMeterAllocs pins the allocation footprint of one metered
+// job: machine construction plus the whole steady-state loop. The
+// loop itself (compute slices, ticks, library calls, malloc/free,
+// page touches, sleeps, disk completions) is designed to allocate
+// nothing — event free lists, reusable callbacks, recycled guest
+// requests, and a recycling malloc — so B/op here is dominated by
+// one-time setup and must not grow with job length. Seed-tree
+// baseline: ~90 KB/op, ~900 allocs/op.
+func BenchmarkMeterAllocs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Meter(JobSpec{Workload: "O", Options: benchOpts()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCampaignAll regenerates every artifact through the
 // parallel campaign engine at BenchScale — the whole-suite wall-time
 // figure the per-figure benchmarks cannot show.

@@ -4,21 +4,28 @@
 // Usage:
 //
 //	meterlab list
-//	meterlab run <artifact> [flags]     one of figure4..figure11, comparison, mitigation
+//	meterlab run <artifact> [flags]     one of figure4..figure11, comparison, mitigation, cluster
 //	meterlab all [flags]                every artifact in order
 //	meterlab meter <O|P|W|B> [flags]    meter one job and print all schemes
+//	meterlab cluster [flags]            run one cross-machine flood scenario:
+//	                                    an attacker machine floods victim
+//	                                    machines over modeled links
 //
 // Flags:
 //
-//	-scale f     victim/attack scale, 1.0 = paper scale (default 1.0)
-//	-seed n      simulation seed (default 2010)
-//	-hz n        timer ticks per second (default 250)
-//	-sched s     scheduler policy: o1 or cfs (default o1)
-//	-parallel n  campaign worker-pool size (0 = all cores, 1 = sequential);
-//	             'all' applies it at both fan-out levels — across artifacts
-//	             and across each artifact's machines — so up to n*n machines
-//	             may be live at once
-//	-attack k    (meter only) arm one attack: shell ctor subst sched thrash irqflood excflood
+//	-scale f      victim/attack scale, 1.0 = paper scale (default 1.0)
+//	-seed n       simulation seed (default 2010)
+//	-hz n         timer ticks per second (default 250)
+//	-sched s      scheduler policy: o1 or cfs (default o1)
+//	-parallel n   campaign worker-pool size (0 = all cores, 1 = sequential);
+//	              'all' applies it at both fan-out levels — across artifacts
+//	              and across each artifact's machines — so up to n*n machines
+//	              may be live at once
+//	-attack k     (meter only) arm one attack: shell ctor subst sched thrash irqflood excflood
+//	-pps n        (cluster only) flood rate per victim link (default 40000)
+//	-latency-us n (cluster only) one-way link latency (default 500)
+//	-victims s    (cluster only) victim workloads, e.g. "O,O" (default "O,O";
+//	              the first victim bills jiffy, the second process-aware)
 //
 // Output is byte-identical at every -parallel setting; only the host
 // wall-clock changes.
@@ -28,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -43,7 +51,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: meterlab list | run <artifact> | all | meter <O|P|W|B>")
+		return fmt.Errorf("usage: meterlab list | run <artifact> | all | meter <O|P|W|B> | cluster")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -54,6 +62,9 @@ func run(args []string) error {
 	sched := fs.String("sched", "o1", "scheduler policy: o1 or cfs")
 	parallel := fs.Int("parallel", 0, "campaign worker-pool size; 'all' fans out across artifacts and machines, up to n*n live machines (0 = all cores, 1 = sequential)")
 	attackKey := fs.String("attack", "", "attack to arm for 'meter'")
+	pps := fs.Uint64("pps", 40_000, "flood rate per victim link for 'cluster'")
+	latencyUs := fs.Uint64("latency-us", 500, "one-way link latency for 'cluster'")
+	victims := fs.String("victims", "O,O", "victim workloads for 'cluster' (comma-separated)")
 
 	switch cmd {
 	case "list":
@@ -62,9 +73,9 @@ func run(args []string) error {
 		}
 		return nil
 
-	case "run", "all", "meter":
+	case "run", "all", "meter", "cluster":
 		target := ""
-		if cmd != "all" {
+		if cmd == "run" || cmd == "meter" {
 			if len(rest) == 0 {
 				return fmt.Errorf("%s: missing argument", cmd)
 			}
@@ -85,6 +96,8 @@ func run(args []string) error {
 			return runArtifact(target, opts)
 		case "all":
 			return runAllArtifacts(opts)
+		case "cluster":
+			return runCluster(*victims, *pps, *latencyUs, opts)
 		default:
 			return meterJob(target, *attackKey, opts)
 		}
@@ -92,6 +105,51 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// runCluster executes one custom cross-machine flood scenario and
+// prints every victim host's bill under its own billing scheme (the
+// first victim bills jiffy, the second process-aware, alternating).
+func runCluster(victims string, pps, latencyUs uint64, opts cpumeter.Options) error {
+	billing := []string{"jiffy", "process-aware"}
+	var vs []cpumeter.ClusterVictim
+	for _, w := range strings.Split(victims, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		vs = append(vs, cpumeter.ClusterVictim{Workload: w, Billing: billing[len(vs)%len(billing)]})
+	}
+	if len(vs) == 0 {
+		return fmt.Errorf("cluster: no victims in %q", victims)
+	}
+	start := time.Now()
+	out, err := cpumeter.MeterCluster(cpumeter.ClusterRunSpec{
+		Opts:          opts,
+		Victims:       vs,
+		FloodPPS:      pps,
+		LinkLatencyUs: latencyUs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: 1 attacker + %d victim machines, %d pps per link, %d us link latency (elapsed %.1f virtual s)\n",
+		len(vs), pps, latencyUs, out.ElapsedSec)
+	for i, v := range out.Victims {
+		fmt.Printf("  victim %d (%s, bills %s): sent %d frames, received %d\n",
+			i+1, v.Run.Spec.Workload, v.Billing, out.PacketsSent[i], v.PacketsReceived)
+		for _, scheme := range []string{"jiffy", "tsc", "process-aware"} {
+			marker := " "
+			if scheme == v.Billing {
+				marker = "*"
+			}
+			fmt.Printf("   %s%-14s user %8.2fs  system %7.2fs  total %8.2fs\n",
+				marker, scheme, v.Run.Victim.User[scheme], v.Run.Victim.Sys[scheme], v.Run.Victim.Total(scheme))
+		}
+		fmt.Printf("    system account (process-aware IRQ bucket): %.2f s\n", v.Run.SystemAccountSec)
+	}
+	fmt.Printf("  (regenerated in %.1fs host time)\n", time.Since(start).Seconds())
+	return nil
 }
 
 func runArtifact(id string, opts cpumeter.Options) error {

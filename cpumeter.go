@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/attacks"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/integrity"
@@ -64,6 +65,25 @@ type (
 	Manifest = integrity.Manifest
 	// PID identifies a simulated process.
 	PID = proc.PID
+
+	// Cluster is a set of machines advancing in deterministic
+	// lockstep virtual time, joined by modeled network links.
+	Cluster = cluster.Cluster
+	// ClusterConfig assembles a Cluster.
+	ClusterConfig = cluster.Config
+	// ClusterMachineSpec declares one cluster member.
+	ClusterMachineSpec = cluster.MachineSpec
+	// ClusterLinkSpec declares one one-way link between machines.
+	ClusterLinkSpec = cluster.LinkSpec
+	// Link is a one-way network path between two machines' NICs.
+	Link = cluster.Link
+	// ClusterRunSpec describes one attacker-machine → victim-machines
+	// flood scenario.
+	ClusterRunSpec = experiments.ClusterRunSpec
+	// ClusterVictim describes one victim machine in a flood scenario.
+	ClusterVictim = experiments.ClusterVictim
+	// ClusterOut is one cluster scenario's harvest.
+	ClusterOut = experiments.ClusterOut
 )
 
 // DefaultCPUHz is the simulated clock matching the paper's testbed
@@ -92,6 +112,17 @@ func Meter(spec JobSpec) (*RunOut, error) {
 		Attack:   spec.Attack,
 	})
 }
+
+// MeterCluster executes one cross-machine flood scenario: an attacker
+// machine's packet generator floods each victim machine's NIC over a
+// modeled link, and every machine advances in deterministic lockstep.
+func MeterCluster(spec ClusterRunSpec) (*ClusterOut, error) {
+	return experiments.RunCluster(spec)
+}
+
+// NewCluster builds a bare machine cluster for custom multi-machine
+// scenarios (spawn guests via each MachineSpec's Boot, then Run).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // BuildReport produces the provider-side attested usage report for a
 // finished run. scheme is "jiffy" (commodity billing) or
@@ -156,6 +187,7 @@ var experimentRunners = map[string]func(Options) (*Figure, error){
 	"ablation2":  experiments.AblationScheduler,
 	"ablation3":  experiments.AblationIRQAccounting,
 	"ablation4":  experiments.AblationDetector,
+	"cluster":    experiments.ClusterFlood,
 }
 
 // Experiments lists the regenerable artifact ids in a stable order.
@@ -169,7 +201,8 @@ func Experiments() []string {
 }
 
 // Reproduce regenerates one evaluation artifact ("figure4" ...
-// "figure11", "comparison", "mitigation").
+// "figure11", "comparison", "mitigation", the ablations, or the
+// cross-machine "cluster" flood scenario).
 func Reproduce(id string, o Options) (*Figure, error) {
 	run, ok := experimentRunners[id]
 	if !ok {

@@ -14,10 +14,10 @@ func TestWorkloadKeys(t *testing.T) {
 
 func TestExperimentsListedAndUnknownRejected(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 14 {
+	if len(ids) != 15 {
 		t.Fatalf("Experiments() = %d ids: %v", len(ids), ids)
 	}
-	for _, want := range []string{"figure4", "figure11", "comparison", "mitigation", "ablation1"} {
+	for _, want := range []string{"figure4", "figure11", "comparison", "mitigation", "ablation1", "cluster"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -1,0 +1,295 @@
+// Package cluster runs several simulated machines as one deterministic
+// topology: N seeded, self-contained kernel.Machines plus modeled
+// network links between their NICs. This is the substrate the paper's
+// externally driven attacks actually need — the interrupt flood of
+// Fig. 10 is launched from a second PC, not from inside the victim —
+// so the flooding attacker becomes a genuine machine whose transmit
+// schedule crosses a link instead of an in-machine event generator.
+//
+// Machines advance in deterministic lockstep virtual time. Each round
+// the cluster computes the earliest time any machine can make
+// progress (the min-next-event-time barrier), extends it by the
+// lookahead — the smallest link latency — and advances every machine
+// to that barrier with Machine.RunUntil. A packet sent at or after
+// the barrier base arrives at least one lookahead later, so no
+// machine ever needs an event from a region another machine has not
+// yet simulated; the round-robin order within a round is fixed, so
+// the whole cluster history is a pure function of its seeds.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// DefaultLatencyUs is the one-way link latency when a LinkSpec leaves
+// it zero: 500 µs, a 2008-era switched-LAN round trip's half.
+const DefaultLatencyUs = 500
+
+// DefaultLinkPPS is the wire's packet capacity when a LinkSpec leaves
+// it zero: ~148.8k minimum-size frames per second, a saturated
+// 100 Mb/s link.
+const DefaultLinkPPS = 148_800
+
+// MachineSpec declares one cluster member.
+type MachineSpec struct {
+	// Config assembles the machine; every machine in a cluster must
+	// share one CPUHz so the lockstep barrier is a single timebase.
+	Config kernel.Config
+	// Boot spawns the machine's initial processes (shell, workload,
+	// attack daemons). It runs during New after every machine and
+	// link is built but before any machine advances, so a guest body
+	// may capture a link (c.Link(i)) to transmit on.
+	Boot func(c *Cluster, m *kernel.Machine) error
+}
+
+// LinkSpec declares one one-way link between two machines' NICs.
+type LinkSpec struct {
+	// From and To index Config.Machines.
+	From, To int
+	// LatencyUs is the one-way propagation delay in microseconds;
+	// zero selects DefaultLatencyUs.
+	LatencyUs uint64
+	// PacketsPerSecond is the wire's serialisation capacity; packets
+	// offered faster queue behind each other. Zero selects
+	// DefaultLinkPPS.
+	PacketsPerSecond uint64
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	Machines []MachineSpec
+	Links    []LinkSpec
+	// MaxCycles bounds total virtual time as a runaway guard; zero
+	// selects one virtual hour.
+	MaxCycles sim.Cycles
+}
+
+// ErrStalled is returned by Run when unfinished machines remain but
+// none can ever make progress, even given network input that will
+// never arrive.
+var ErrStalled = errors.New("cluster: unfinished machines but no machine has pending work")
+
+// Link is a one-way network path from one machine's NIC to another's.
+// Send is only safe from code that runs while the cluster advances
+// the sending machine (guest routines, event callbacks) or between
+// rounds — the same single-driver discipline every machine API has.
+type Link struct {
+	from, to    *kernel.Machine
+	latency     sim.Cycles
+	gap         sim.Cycles // serialisation spacing at wire capacity
+	lastArrival sim.Cycles
+	sent        uint64
+}
+
+// Sent reports the packets carried since construction.
+func (l *Link) Sent() uint64 { return l.sent }
+
+// Latency reports the one-way propagation delay in cycles.
+func (l *Link) Latency() sim.Cycles { return l.latency }
+
+// Send transmits one packet: it arrives at the destination NIC one
+// latency after the sender's current virtual time, no earlier than
+// one serialisation gap after the previous packet's arrival, and
+// raises one receive interrupt there.
+func (l *Link) Send() {
+	arrive := l.from.Clock().Now() + l.latency
+	if min := l.lastArrival + l.gap; arrive < min {
+		arrive = min
+	}
+	l.lastArrival = arrive
+	l.sent++
+	l.to.NIC().InjectRx(arrive)
+}
+
+// Cluster is a set of machines advancing in lockstep plus the links
+// between them.
+type Cluster struct {
+	machines  []*kernel.Machine
+	links     []*Link
+	done      []bool
+	lookahead sim.Cycles
+	maxCycles sim.Cycles
+}
+
+// New builds the machines, wires the links, and runs every Boot
+// routine. On any error the already-built machines are shut down.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Machines) == 0 {
+		return nil, fmt.Errorf("cluster: no machines")
+	}
+	c := &Cluster{
+		machines:  make([]*kernel.Machine, len(cfg.Machines)),
+		done:      make([]bool, len(cfg.Machines)),
+		maxCycles: cfg.MaxCycles,
+	}
+	freq := cfg.Machines[0].Config.CPUHz
+	if freq == 0 {
+		freq = sim.DefaultCPUHz
+	}
+	if c.maxCycles == 0 {
+		c.maxCycles = sim.Cycles(freq) * 3600
+	}
+	for i, ms := range cfg.Machines {
+		f := ms.Config.CPUHz
+		if f == 0 {
+			f = sim.DefaultCPUHz
+		}
+		if f != freq {
+			return nil, fmt.Errorf("cluster: machine %d runs at %d Hz, machine 0 at %d Hz (one timebase required)", i, f, freq)
+		}
+		c.machines[i] = kernel.New(ms.Config)
+	}
+	perUs := sim.Cycles(uint64(freq) / 1_000_000)
+	if perUs == 0 {
+		perUs = 1
+	}
+	for li, ls := range cfg.Links {
+		if ls.From < 0 || ls.From >= len(c.machines) || ls.To < 0 || ls.To >= len(c.machines) {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: link %d connects %d->%d, have %d machines", li, ls.From, ls.To, len(c.machines))
+		}
+		latUs := ls.LatencyUs
+		if latUs == 0 {
+			latUs = DefaultLatencyUs
+		}
+		pps := ls.PacketsPerSecond
+		if pps == 0 {
+			pps = DefaultLinkPPS
+		}
+		gap := sim.Cycles(uint64(freq) / pps)
+		if gap == 0 {
+			gap = 1
+		}
+		c.links = append(c.links, &Link{
+			from:    c.machines[ls.From],
+			to:      c.machines[ls.To],
+			latency: sim.Cycles(latUs) * perUs,
+			gap:     gap,
+		})
+	}
+	// The lookahead is the shortest link latency: one round may only
+	// span a window narrower than any cross-machine signal's flight
+	// time. With no links, machines are independent; a tick-sized
+	// window keeps rounds cheap without any correctness constraint.
+	c.lookahead = 0
+	for _, l := range c.links {
+		if c.lookahead == 0 || l.latency < c.lookahead {
+			c.lookahead = l.latency
+		}
+	}
+	if c.lookahead == 0 {
+		c.lookahead = sim.Cycles(uint64(freq) / kernel.DefaultHZ)
+	}
+	for i, ms := range cfg.Machines {
+		if ms.Boot == nil {
+			continue
+		}
+		if err := ms.Boot(c, c.machines[i]); err != nil {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: boot machine %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// Size reports the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Machine returns cluster member i.
+func (c *Cluster) Machine(i int) *kernel.Machine { return c.machines[i] }
+
+// Link returns the i-th declared link.
+func (c *Cluster) Link(i int) *Link { return c.links[i] }
+
+// Done reports whether machine i has finished (every task exited).
+func (c *Cluster) Done(i int) bool { return c.done[i] }
+
+// Now reports the earliest virtual time any machine still has to
+// simulate — the cluster's lockstep frontier. With every machine
+// finished it reports the latest machine clock instead.
+func (c *Cluster) Now() sim.Cycles {
+	var frontier sim.Cycles
+	first := true
+	for i, m := range c.machines {
+		if c.done[i] {
+			continue
+		}
+		if t := m.Clock().Now(); first || t < frontier {
+			frontier, first = t, false
+		}
+	}
+	if first {
+		for _, m := range c.machines {
+			if t := m.Clock().Now(); t > frontier {
+				frontier = t
+			}
+		}
+	}
+	return frontier
+}
+
+// Run advances all machines in lockstep rounds until every machine's
+// tasks have exited. On error (including a machine failure) the whole
+// cluster is shut down.
+func (c *Cluster) Run() error {
+	for {
+		// The barrier base: the earliest time any unfinished machine
+		// can make progress on its own.
+		var tmin sim.Cycles
+		haveWork, allDone := false, true
+		for i, m := range c.machines {
+			if c.done[i] {
+				continue
+			}
+			allDone = false
+			at, ok := m.NextWorkAt()
+			if !ok {
+				continue // waiting for network input
+			}
+			if !haveWork || at < tmin {
+				tmin = at
+			}
+			haveWork = true
+		}
+		if allDone {
+			return nil
+		}
+		if !haveWork {
+			c.Shutdown()
+			return ErrStalled
+		}
+		target := tmin + c.lookahead
+		if target > c.maxCycles {
+			c.Shutdown()
+			return fmt.Errorf("cluster: exceeded %d virtual cycles (runaway scenario?)", c.maxCycles)
+		}
+		// Fixed machine order per round keeps cross-machine event
+		// insertion — and therefore the whole history — deterministic.
+		for i, m := range c.machines {
+			if c.done[i] {
+				continue
+			}
+			done, err := m.RunUntil(target)
+			if err != nil {
+				c.Shutdown()
+				return fmt.Errorf("cluster: machine %d: %w", i, err)
+			}
+			c.done[i] = done
+		}
+	}
+}
+
+// Shutdown tears down every machine's guest goroutines. Run calls it
+// on failure; callers abandoning a cluster early must call it to
+// avoid leaking parked goroutines. It is idempotent.
+func (c *Cluster) Shutdown() {
+	for _, m := range c.machines {
+		if m != nil {
+			m.Shutdown()
+		}
+	}
+}

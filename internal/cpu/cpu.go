@@ -53,6 +53,7 @@ type CostModel struct {
 	SyscallExit     sim.Cycles // return to user mode
 	IRQEntry        sim.Cycles // interrupt gate, register save
 	IRQHandlerNIC   sim.Cycles // NIC rx handler body per packet
+	IRQHandlerDisk  sim.Cycles // disk completion handler body per I/O
 	IRQExit         sim.Cycles // iret path
 	TimerHandler    sim.Cycles // timer tick bookkeeping itself
 	MinorFault      sim.Cycles // page present in page cache / zero page
@@ -86,6 +87,7 @@ func DefaultCosts(freq sim.Hz) CostModel {
 		SyscallExit:     perUs / 4,
 		IRQEntry:        perUs / 2,
 		IRQHandlerNIC:   2 * perUs,
+		IRQHandlerDisk:  2 * perUs,
 		IRQExit:         perUs / 2,
 		TimerHandler:    perUs,
 		MinorFault:      2 * perUs,

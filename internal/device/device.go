@@ -50,6 +50,7 @@ type NIC struct {
 	pending  *sim.Event
 	received uint64
 	rxFire   func() // reusable per-packet event callback
+	extFire  func() // reusable callback for externally injected packets
 }
 
 // NewNIC wires a NIC to the machine's event queue and clock. deliver
@@ -67,7 +68,20 @@ func NewNIC(queue *sim.EventQueue, clock *sim.Clock, rng *sim.Rand, deliver func
 			n.scheduleNext()
 		}
 	}
+	n.extFire = func() {
+		n.received++
+		n.deliver()
+	}
 	return n
+}
+
+// InjectRx schedules delivery of one externally generated packet (a
+// frame arriving over a cluster link from another machine) at virtual
+// time at. Injected packets are independent events — each raises one
+// receive interrupt — and are unaffected by StartFlood/StopFlood,
+// which drive the local flood generator only.
+func (n *NIC) InjectRx(at sim.Cycles) {
+	n.queue.Schedule(at, "nic-rx", n.extFire)
 }
 
 // Received reports total packets delivered since construction.
@@ -153,22 +167,29 @@ func (d *Disk) Submit(done func()) {
 	d.queue.Schedule(complete, "disk-read", done)
 }
 
+// maxWriteBacklog caps the write channel's backlog, in pages: a write
+// submitted when the channel is already this far behind is absorbed
+// by the cache and completes at the backlog horizon instead of
+// queueing further out, modelling writeback throttling rather than
+// unbounded queueing.
+const maxWriteBacklog = 64
+
 // SubmitWrite enqueues one background writeback (swap-out) and
-// schedules done at completion. The write channel is capped: when the
-// backlog exceeds maxBacklog pages the write is absorbed by the cache
-// immediately (done runs at the current backlog horizon), modelling
-// writeback throttling rather than unbounded queueing.
+// schedules done at completion. No completion is ever scheduled past
+// now + maxWriteBacklog*latency (the backlog horizon), and writeBusy
+// always reflects the last scheduled completion so a later submit
+// sees a consistent channel.
 func (d *Disk) SubmitWrite(done func()) {
-	start := d.clock.Now()
-	if d.writeBusy > start {
-		start = d.writeBusy
+	now := d.clock.Now()
+	start := d.writeBusy
+	if start < now {
+		start = now
 	}
-	const maxBacklog = 64
-	if start-d.clock.Now() > sim.Cycles(maxBacklog)*d.latency {
-		start = d.clock.Now() + sim.Cycles(maxBacklog)*d.latency
-	} else {
-		d.writeBusy = start + d.latency
+	complete := start + d.latency
+	if horizon := now + sim.Cycles(maxWriteBacklog)*d.latency; complete > horizon {
+		complete = horizon
 	}
+	d.writeBusy = complete
 	d.writes++
-	d.queue.Schedule(start+d.latency, "disk-write", done)
+	d.queue.Schedule(complete, "disk-write", done)
 }

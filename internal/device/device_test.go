@@ -114,6 +114,73 @@ func TestDiskSerialises(t *testing.T) {
 	}
 }
 
+// TestDiskWritebackHorizon pins the writeback throttling fix: no
+// completion may land past now + maxWriteBacklog*latency, and the
+// channel state must stay consistent so post-throttle writes still
+// serialise correctly.
+func TestDiskWritebackHorizon(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000)
+	const latency = 100
+	d := NewDisk(q, c, latency)
+
+	var done []sim.Cycles
+	const n = maxWriteBacklog + 10
+	for i := 0; i < n; i++ {
+		d.SubmitWrite(func() { done = append(done, c.Now()) })
+	}
+	horizon := sim.Cycles(maxWriteBacklog * latency)
+	drain(t, q, c, 10*n)
+	if len(done) != n {
+		t.Fatalf("completions = %d, want %d", len(done), n)
+	}
+	for i, at := range done {
+		if at > horizon {
+			t.Fatalf("write %d completed at %d, past the backlog horizon %d", i, at, horizon)
+		}
+	}
+	// The unthrottled prefix serialises one latency apart; the
+	// throttled tail is absorbed at the horizon.
+	for i := 0; i < maxWriteBacklog; i++ {
+		if want := sim.Cycles((i + 1) * latency); done[i] != want {
+			t.Fatalf("write %d completed at %d, want %d (serialised)", i, done[i], want)
+		}
+	}
+	for i := maxWriteBacklog; i < n; i++ {
+		if done[i] != horizon {
+			t.Fatalf("throttled write %d completed at %d, want horizon %d", i, done[i], horizon)
+		}
+	}
+	if d.Writes() != n {
+		t.Fatalf("Writes = %d, want %d", d.Writes(), n)
+	}
+
+	// After the backlog drains, the channel behaves normally again:
+	// the next write completes one latency out.
+	var after sim.Cycles
+	d.SubmitWrite(func() { after = c.Now() })
+	drain(t, q, c, 10)
+	if want := horizon + latency; after != want {
+		t.Fatalf("post-drain write completed at %d, want %d", after, want)
+	}
+}
+
+// TestNICFloodStartStopAllocates pins Cancel's event recycling end to
+// end: repeated flood start/stop cycles must not allocate.
+func TestNICFloodStartStopAllocates(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000)
+	nic := NewNIC(q, c, sim.NewRand(1), func() {})
+	nic.StartFlood(1000)
+	nic.StopFlood() // warm the free list
+	if allocs := testing.AllocsPerRun(200, func() {
+		nic.StartFlood(1000)
+		nic.StopFlood()
+	}); allocs > 0 {
+		t.Fatalf("flood start/stop cycle allocates %.1f objects per run", allocs)
+	}
+}
+
 func TestIRQString(t *testing.T) {
 	for irq, want := range map[IRQ]string{IRQTimer: "timer", IRQNIC: "nic", IRQDisk: "disk", IRQ(99): "unknown"} {
 		if got := irq.String(); got != want {

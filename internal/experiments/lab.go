@@ -158,19 +158,33 @@ func usageOf(m *kernel.Machine, name string, pid proc.PID) PartyUsage {
 	return pu
 }
 
-// Run executes one victim/attack combination on a fresh machine.
-func Run(spec RunSpec) (*RunOut, error) {
-	o := spec.Opts.norm()
-	m := kernel.New(o.machineConfig())
+// launched holds the handles a launched spec needs to harvest its
+// results once the machine has finished running. It exists so the
+// same launch/harvest pair serves both solo runs (Run) and cluster
+// victim machines, which are booted before a lockstep run and
+// harvested after it.
+type launched struct {
+	spec  RunSpec
+	prog  *workloads.Result
+	sess  *shell.Session
+	setup *attacks.Setup
+}
 
+// launchSpec arms the spec's attack and launches its workload through
+// the shell on m, which the caller has built (from spec.Opts or a
+// cluster machine config sharing its frequency and scale).
+func launchSpec(m *kernel.Machine, spec RunSpec) (*launched, error) {
+	o := spec.Opts.norm()
 	shellCfg := shell.Config{Env: map[string]string{}}
-	setup := attacks.Setup{
-		M:      m,
-		Shell:  &shellCfg,
-		JobEnv: map[string]string{},
+	l := &launched{
+		spec: spec,
+		setup: &attacks.Setup{
+			M:      m,
+			Shell:  &shellCfg,
+			JobEnv: map[string]string{},
+		},
 	}
 
-	var prog *workloads.Result
 	var job *shell.Job
 	if spec.Workload != "" {
 		wspec, err := workloads.SpecByKey(spec.Workload)
@@ -183,57 +197,70 @@ func Run(spec RunSpec) (*RunOut, error) {
 			SecondsOverride: wspec.BaselineSeconds * o.Scale,
 		}
 		p, res := wspec.Build(params)
-		prog = res
-		job = &shell.Job{Prog: p, Env: setup.JobEnv, Nice: spec.VictimNice}
-		setup.VictimName = p.Name
-		setup.VictimHotAddr = wspec.HotAddr
+		l.prog = res
+		job = &shell.Job{Prog: p, Env: l.setup.JobEnv, Nice: spec.VictimNice}
+		l.setup.VictimName = p.Name
+		l.setup.VictimHotAddr = wspec.HotAddr
 	} else if spec.Attack != nil {
 		// Attack-alone run: the attack process targets itself so it
 		// starts immediately and runs its full budget.
-		setup.VictimName = attacks.AttackerProcName
+		l.setup.VictimName = attacks.AttackerProcName
 	}
 
 	if spec.Attack != nil {
-		if err := spec.Attack.Arm(&setup); err != nil {
+		if err := spec.Attack.Arm(l.setup); err != nil {
 			return nil, fmt.Errorf("arm %s: %w", spec.Attack.Key(), err)
 		}
 	}
 
-	var sess *shell.Session
 	if job != nil {
 		var err error
-		sess, err = shell.Launch(m, shellCfg, *job)
+		l.sess, err = shell.Launch(m, shellCfg, *job)
 		if err != nil {
 			return nil, err
 		}
 	}
+	return l, nil
+}
 
-	if err := m.Run(); err != nil {
-		return nil, fmt.Errorf("run %s/%s: %w", spec.Workload, key(spec.Attack), err)
-	}
-	m.NIC().StopFlood()
-
+// harvest collects the finished machine's accounting into a RunOut.
+func (l *launched) harvest(m *kernel.Machine) *RunOut {
 	out := &RunOut{
-		Spec:         spec,
-		Result:       prog,
+		Spec:         l.spec,
+		Result:       l.prog,
 		Measurements: m.Measurements(),
 		ElapsedSec:   m.Clock().Seconds(m.Clock().Now()),
 		Machine:      m,
 	}
-	if sess != nil && len(sess.JobPIDs) > 0 {
-		vpid := sess.JobPIDs[0]
+	if l.sess != nil && len(l.sess.JobPIDs) > 0 {
+		vpid := l.sess.JobPIDs[0]
 		out.VictimPID = vpid
-		out.Victim = usageOf(m, spec.Workload, vpid)
+		out.Victim = usageOf(m, l.spec.Workload, vpid)
 		out.VictimStats = m.Stats(vpid)
 	}
-	for _, ap := range setup.Spawned {
+	for _, ap := range l.setup.Spawned {
 		out.Attackers = append(out.Attackers, usageOf(m, ap.Name, ap.PID))
 	}
 	if sys, ok := m.UsageBy("process-aware", metering.SystemPID); ok {
 		_, s := sys.Seconds(m.Clock().Freq())
 		out.SystemAccountSec = s
 	}
-	return out, nil
+	return out
+}
+
+// Run executes one victim/attack combination on a fresh machine.
+func Run(spec RunSpec) (*RunOut, error) {
+	o := spec.Opts.norm()
+	m := kernel.New(o.machineConfig())
+	l, err := launchSpec(m, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("run %s/%s: %w", spec.Workload, key(spec.Attack), err)
+	}
+	m.NIC().StopFlood()
+	return l.harvest(m), nil
 }
 
 // physMem resolves the configured RAM size (default 1 GiB).

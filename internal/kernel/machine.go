@@ -104,23 +104,35 @@ type Machine struct {
 	// another goroutine only at an actual task switch, so a guest
 	// action that completes without rescheduling costs no goroutine
 	// handoff at all. driver is the task whose goroutine currently
-	// drives (nil while the Run caller does); pendingDriver, when
-	// set, tells the driving loop to hand the engine to that task's
-	// goroutine and park; runDone carries the run's outcome back to
-	// the Run caller after it has handed the engine off.
+	// drives (nil while the Run/RunUntil caller does); pendingDriver,
+	// when set, tells the driving loop to hand the engine to that
+	// task's goroutine and park; runDone carries the run's outcome —
+	// finished, failed, or paused at a RunUntil barrier — back to the
+	// parked caller after it has handed the engine off.
 	driver        *task
 	pendingDriver *task
-	runDone       chan error
+	runDone       chan runSignal
 
-	// timerFire/preemptFire are the recurring event callbacks, built
-	// once so re-arming the timer or scheduling a preemption point
-	// does not allocate a closure per occurrence.
-	timerFire   func()
-	preemptFire func()
+	// RunUntil support: barrierFire is the reusable barrier-event
+	// callback that raises pauseReq; a driving goroutine that observes
+	// pauseReq suspends the engine and reports back to the RunUntil
+	// caller, recording itself in pausedDriver if it parks (a live
+	// guest mid-request) so the next RunUntil can resume it.
+	pauseReq     bool
+	pausedDriver *task
+	barrierFire  func()
+
+	// timerFire/preemptFire/writebackFire are the recurring event
+	// callbacks, built once so re-arming the timer, scheduling a
+	// preemption point, or completing a background writeback does not
+	// allocate a closure per occurrence.
+	timerFire     func()
+	preemptFire   func()
+	writebackFire func()
 
 	stats        map[proc.PID]*Stats
 	measurements []Measurement
-	measuredKeys map[string]bool
+	measuredKeys map[measureKey]bool
 
 	// groupCount tracks live tasks per thread group; the last exit
 	// releases the address space and snapshots final usage.
@@ -164,14 +176,16 @@ func New(cfg Config) *Machine {
 		reg:           cfg.Registry,
 		tasks:         make(map[proc.PID]*task),
 		stats:         make(map[proc.PID]*Stats),
-		measuredKeys:  make(map[string]bool),
+		measuredKeys:  make(map[measureKey]bool),
 		groupCount:    make(map[proc.PID]int),
 		finalUsage:    make(map[string]map[proc.PID]metering.Usage),
 		finalChildren: make(map[string]map[proc.PID]metering.Usage),
-		runDone:       make(chan error, 1),
+		runDone:       make(chan runSignal, 1),
 	}
 	m.timerFire = m.timerTick
 	m.preemptFire = func() { m.needResched = true }
+	m.writebackFire = m.diskIRQ
+	m.barrierFire = func() { m.pauseReq = true }
 	m.tickCycles = sim.Cycles(uint64(cfg.CPUHz) / cfg.HZ)
 
 	cyclesPerMs := sim.Cycles(uint64(cfg.CPUHz) / 1000)
@@ -364,6 +378,16 @@ func (m *Machine) newTask(p *proc.Proc, body guest.Routine) *task {
 		t.wakePending = false
 		m.wakeNow(t)
 	}
+	t.sleepFire = func() {
+		t.completed = true
+		m.wakeNow(t)
+	}
+	t.swapInFire = func() {
+		m.diskIRQ()
+		t.st.DiskWaitCycles += m.clock.Now() - t.blockedAt
+		t.completed = true
+		m.wakeNow(t)
+	}
 	m.tasks[p.PID] = t
 	return t
 }
@@ -377,12 +401,20 @@ func (m *Machine) statOf(tgid proc.PID) *Stats {
 	return s
 }
 
+// measureKey identifies one distinct measurement for deduplication.
+// A comparable struct key keeps the per-fork dedup lookup (inherited
+// images are re-measured at every fork) free of string building.
+type measureKey struct {
+	kind         MeasurementKind
+	name, digest string
+}
+
 // measure appends to the code-identity log. Entries are deduplicated
 // by (kind, name, digest), as a real integrity measurement
 // architecture measures each distinct binary once; this also bounds
 // the log under fork storms.
 func (m *Machine) measure(p *proc.Proc, kind MeasurementKind, name, digest string) {
-	key := fmt.Sprintf("%d\x00%s\x00%s", kind, name, digest)
+	key := measureKey{kind: kind, name: name, digest: digest}
 	if m.measuredKeys[key] {
 		return
 	}
@@ -390,6 +422,14 @@ func (m *Machine) measure(p *proc.Proc, kind MeasurementKind, name, digest strin
 	m.measurements = append(m.measurements, Measurement{
 		PID: p.PID, TGID: p.TGID, Kind: kind, Name: name, Digest: digest,
 	})
+}
+
+// runSignal is what a driving goroutine reports back to the parked
+// Run/RunUntil caller: the run finished (err nil), failed (err set),
+// or suspended at a RunUntil barrier (paused).
+type runSignal struct {
+	err    error
+	paused bool
 }
 
 // Run executes until every spawned task has exited. It returns
@@ -401,18 +441,92 @@ func (m *Machine) measure(p *proc.Proc, kind MeasurementKind, name, digest strin
 // Run parks until some driver reports the machine finished.
 func (m *Machine) Run() error {
 	defer m.shutdown()
+	_, err := m.driveToSignal()
+	return err
+}
+
+// RunUntil advances the machine until every spawned task has exited
+// or virtual time reaches limit, whichever comes first. done reports
+// that the machine finished (after which it is shut down and must not
+// be advanced again); a false done with a nil error means the engine
+// paused at the barrier and a later RunUntil may continue it. Driving
+// the machine in barrier slices produces the exact history Run would:
+// the barrier bounds every preemptible time advance, and only
+// non-preemptible kernel service lumps may overrun it (by at most one
+// lump). This is what lets a cluster interleave several machines in
+// deterministic lockstep virtual time.
+func (m *Machine) RunUntil(limit sim.Cycles) (done bool, err error) {
+	if m.closed {
+		return true, nil
+	}
+	if m.live == 0 {
+		m.shutdown()
+		return true, nil
+	}
+	if limit <= m.clock.Now() {
+		return false, nil
+	}
+	m.queue.Schedule(limit, "barrier", m.barrierFire)
+	done, err = m.driveToSignal()
+	if done || err != nil {
+		m.shutdown()
+	}
+	return done, err
+}
+
+// driveToSignal drives the engine on the caller's goroutine — or
+// resumes the guest goroutine that paused at the previous barrier —
+// until the run finishes, fails, or pauses again. It reports
+// done=true when every task has exited.
+func (m *Machine) driveToSignal() (bool, error) {
+	if u := m.pausedDriver; u != nil {
+		// Hand the engine back to the guest that paused mid-request;
+		// it drives until the next signal.
+		m.pausedDriver = nil
+		u.grant <- struct{}{}
+		sig := <-m.runDone
+		return !sig.paused && sig.err == nil, sig.err
+	}
 	for m.live > 0 {
+		if m.pauseReq {
+			m.pauseReq = false
+			return false, nil
+		}
 		if err := m.driveStep(); err != nil {
-			return err
+			return false, err
 		}
 		if u := m.pendingDriver; u != nil {
 			m.pendingDriver = nil
 			m.handoffTo(u)
-			return <-m.runDone
+			sig := <-m.runDone
+			return !sig.paused && sig.err == nil, sig.err
 		}
 	}
-	return nil
+	return true, nil
 }
+
+// NextWorkAt reports the virtual time at which this machine can next
+// make progress: now if a task is on or ready for the CPU (or a guest
+// driver is parked mid-request at a barrier), otherwise the next
+// pending event. ok is false when the machine can make no progress on
+// its own — it has finished, or every remaining task is blocked on a
+// condition only an external event (a cluster packet) can satisfy.
+func (m *Machine) NextWorkAt() (at sim.Cycles, ok bool) {
+	if m.closed || m.live == 0 {
+		return 0, false
+	}
+	if m.pausedDriver != nil || m.current != nil || m.sched.Runnable() > 0 {
+		return m.clock.Now(), true
+	}
+	return m.queue.PeekTime()
+}
+
+// Shutdown releases the machine's guest goroutines without running to
+// completion. A cluster uses it to tear down remaining machines after
+// one machine fails; Run and a completed RunUntil shut down
+// automatically. Shutdown is idempotent, and the machine cannot be
+// advanced afterwards.
+func (m *Machine) Shutdown() { m.shutdown() }
 
 // handoffTo moves the engine to task u's goroutine: starting it if it
 // has never run, waking it from awaitGrant otherwise. The caller must
@@ -426,10 +540,32 @@ func (m *Machine) handoffTo(u *task) {
 	u.grant <- struct{}{}
 }
 
-// finish reports the run's outcome to the parked Run caller. Called
-// by the last driving guest goroutine.
+// finish reports the run's outcome to the parked Run/RunUntil caller.
+// Called by the last driving guest goroutine.
 func (m *Machine) finish(err error) {
-	m.runDone <- err
+	m.runDone <- runSignal{err: err}
+}
+
+// pausePark suspends the engine at a barrier from a live guest driver:
+// the task records itself for resumption, reports the pause to the
+// parked RunUntil caller, and parks until the next RunUntil (or
+// machine shutdown) wakes it.
+func (m *Machine) pausePark(t *task) {
+	m.pauseReq = false
+	m.pausedDriver = t
+	m.runDone <- runSignal{paused: true}
+	if !t.awaitGrant() {
+		panic(killPanic{})
+	}
+}
+
+// pauseExit suspends the engine at a barrier from an exiting guest
+// driver: the goroutine is about to die, so instead of parking it
+// returns the engine to the RunUntil caller, which drives on resume.
+func (m *Machine) pauseExit() {
+	m.pauseReq = false
+	m.driver = nil
+	m.runDone <- runSignal{paused: true}
 }
 
 // shutdown unblocks any still-parked guest goroutines (they unwind
@@ -478,6 +614,11 @@ func (m *Machine) driveStep() error {
 
 	// Fire everything due now.
 	if !m.fireDue() {
+		return nil
+	}
+	if m.pauseReq {
+		// A RunUntil barrier fired: stop before taking another
+		// action; the drive loop suspends the engine here.
 		return nil
 	}
 
@@ -639,10 +780,13 @@ func (m *Machine) schedulePreempt(nice int) {
 		at = base + ((now-base)/interval+1)*interval
 	}
 	// Integer division can land the last grid point just shy of the
-	// next tick; snap it onto the tick so the timer's charge (which
-	// fires first — earlier event sequence number) still samples the
-	// task that ran up to the boundary.
-	if m.nextTickAt-at < interval/2 {
+	// next tick — or, when interval does not divide the tick evenly,
+	// past it. Snap both cases onto the tick: the wrap-prone
+	// subtraction below is only meaningful for points inside the
+	// jiffy, and the timer's charge (which fires first — earlier
+	// event sequence number) still samples the task that ran up to
+	// the boundary.
+	if at >= m.nextTickAt || m.nextTickAt-at < interval/2 {
 		at = m.nextTickAt
 	}
 	m.queue.Schedule(at, "preempt", m.preemptFire)
@@ -693,23 +837,13 @@ func (m *Machine) nicRx() {
 	m.irqWork(device.IRQNIC, c.IRQEntry+c.IRQHandlerNIC+c.IRQExit)
 }
 
-// submitDisk queues one swap I/O; its completion interrupt (billed to
-// whichever task is then current, like any IRQ) precedes the
-// completion action. This is one of Fig. 11's inflation channels:
-// the memory hog's I/O completions land on the victim. write selects
-// the background writeback channel (swap-outs) instead of the
-// blocking read channel (swap-ins).
-func (m *Machine) submitDisk(write bool, done func()) {
+// diskIRQ runs the disk completion interrupt: entry, the completion
+// handler body, and the iret path, billed to whichever task is then
+// current like any IRQ. This is one of Fig. 11's inflation channels:
+// the memory hog's I/O completions land on the victim.
+func (m *Machine) diskIRQ() {
 	c := m.cpu.Costs()
-	wrapped := func() {
-		m.irqWork(device.IRQDisk, c.IRQEntry+c.IRQEntry+c.IRQExit)
-		done()
-	}
-	if write {
-		m.disk.SubmitWrite(wrapped)
-	} else {
-		m.disk.Submit(wrapped)
-	}
+	m.irqWork(device.IRQDisk, c.IRQEntry+c.IRQHandlerDisk+c.IRQExit)
 }
 
 // irqWork advances wall time through an interrupt handler and reports
@@ -819,8 +953,8 @@ func (m *Machine) burnCompute(t *task) {
 		if !m.fireDue() {
 			return
 		}
-		if m.needResched || m.current != t {
-			// The step loop owns rescheduling decisions.
+		if m.pauseReq || m.needResched || m.current != t {
+			// The step loop owns rescheduling and barrier decisions.
 			return
 		}
 	}
@@ -863,6 +997,11 @@ func (m *Machine) beginPosted(t *task) {
 	}
 	m.steps++
 	m.fireDue() // we are servicing a live task, so live > 0 holds
+	if m.pauseReq {
+		// A barrier fired between requests: leave the request posted;
+		// it is serviced at the task's next dispatch after resume.
+		return
+	}
 	if m.current != nil && m.needResched {
 		m.preemptCurrent()
 	}

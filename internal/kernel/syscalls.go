@@ -119,10 +119,7 @@ func (m *Machine) beginRequest(t *task, r *request) {
 		wakeAt := m.clock.Now() + r.cycles
 		t.blockedAt = m.clock.Now()
 		m.blockCurrent(proc.Blocked)
-		m.queue.Schedule(wakeAt, "sleep-wake", func() {
-			t.completed = true
-			m.wakeNow(t)
-		})
+		m.queue.Schedule(wakeAt, "sleep-wake", t.sleepFire)
 
 	case rqNice:
 		st.Syscalls++
@@ -201,21 +198,19 @@ func (m *Machine) serviceAccess(t *task, r *request, skipWatch bool) {
 		}
 	}
 	// Dirty evictions queue asynchronous writeback: kernel setup time
-	// now, disk occupancy later, no blocking for this task.
+	// now, disk occupancy later, no blocking for this task. The
+	// completion interrupt (machine's writebackFire) is billed to
+	// whichever task is then current.
 	for i := 0; i < res.SwapOuts; i++ {
 		m.chargedAdvance(c.DiskAccessSetup, cpu.Kernel, t)
-		m.submitDisk(true, func() {})
+		m.disk.SubmitWrite(m.writebackFire)
 	}
 
 	if res.Kind == mem.MajorFault {
-		// Block until the swap-in completes.
+		// Block until the swap-in completes (IRQ first, then wake).
 		t.blockedAt = m.clock.Now()
 		m.blockCurrent(proc.Blocked)
-		m.submitDisk(false, func() {
-			st.DiskWaitCycles += m.clock.Now() - t.blockedAt
-			t.completed = true
-			m.wakeNow(t)
-		})
+		m.disk.Submit(t.swapInFire)
 		return
 	}
 	m.grantNow(t)

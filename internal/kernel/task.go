@@ -129,9 +129,14 @@ type task struct {
 	// wakePending marks a scheduled delayed wake so duplicate wake
 	// events are not enqueued. wakeFire is the reusable callback for
 	// those events, built once in newTask so the wake path does not
-	// allocate a closure per wakeup.
+	// allocate a closure per wakeup. sleepFire and swapInFire are the
+	// same idea for sleep expiry and blocking swap-in completion: a
+	// task has at most one of each in flight, so the steady-state
+	// sleep/fault loops of the runtime attacks allocate nothing.
 	wakePending bool
 	wakeFire    func()
+	sleepFire   func()
+	swapInFire  func()
 
 	// billable marks thread groups whose final usage must outlive
 	// reaping: directly spawned processes and anything that exec'd a
@@ -175,7 +180,9 @@ func (t *task) start() {
 // request is granted, handing the engine to other goroutines across
 // task switches and parking until it returns. The fast path — the
 // request completes without a task switch — involves no channel
-// operation or goroutine handoff at all.
+// operation or goroutine handoff at all. When a RunUntil barrier
+// fires, the goroutine parks with the engine suspended and resumes
+// driving at the next RunUntil.
 func (t *task) call(r *request) *request {
 	m := t.m
 	t.cur = r
@@ -184,6 +191,10 @@ func (t *task) call(r *request) *request {
 	// step budget exhausted) the request waits for dispatch.
 	m.beginPosted(t)
 	for !t.granted {
+		if m.pauseReq {
+			m.pausePark(t)
+			continue
+		}
 		if err := m.driveStep(); err != nil {
 			m.finish(err)
 			panic(killPanic{})
@@ -220,6 +231,12 @@ func (t *task) exitAndDrive(code int) {
 	for {
 		if m.live == 0 {
 			m.finish(nil)
+			return
+		}
+		if m.pauseReq {
+			// Barrier while unwinding: this goroutine is dying, so
+			// hand the engine back to the RunUntil caller and vanish.
+			m.pauseExit()
 			return
 		}
 		if err := m.driveStep(); err != nil {

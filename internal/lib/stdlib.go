@@ -26,9 +26,17 @@ const LibcName = "libc.so.6"
 // paper's substitution experiment).
 const LibmName = "libm.so.6"
 
-// heap is the per-process bump allocator backing the genuine malloc.
+// heap is the per-process allocator backing the genuine malloc: a
+// bump pointer plus size-class free lists, so free() really recycles
+// chunks the way glibc's fastbins do. Recycling matters beyond
+// realism: a malloc/free loop re-touches the same simulated pages
+// instead of growing the address space (and the host-side page table)
+// without bound.
 type heap struct {
-	next uint64
+	next       uint64
+	sizeOf     map[uint64]uint64   // chunk address → rounded size
+	freed      map[uint64]bool     // chunk address → currently on a free list
+	freeBySize map[uint64][]uint64 // rounded size → freed chunks (LIFO)
 }
 
 // HeapBase is where simulated process heaps start.
@@ -39,19 +47,45 @@ const HeapBase uint64 = 0x0060_0000
 // install a fresh copy.
 func NewLibc() *Library {
 	heaps := make(map[proc.PID]*heap)
-	alloc := func(pid proc.PID, size uint64) uint64 {
+	heapOf := func(pid proc.PID) *heap {
 		h := heaps[pid]
 		if h == nil {
-			h = &heap{next: HeapBase}
+			h = &heap{
+				next:       HeapBase,
+				sizeOf:     make(map[uint64]uint64),
+				freed:      make(map[uint64]bool),
+				freeBySize: make(map[uint64][]uint64),
+			}
 			heaps[pid] = h
 		}
-		addr := h.next
+		return h
+	}
+	alloc := func(pid proc.PID, size uint64) uint64 {
+		h := heapOf(pid)
 		if size == 0 {
 			size = 1
 		}
 		// Round to 16-byte alignment like glibc.
-		h.next += (size + 15) &^ 15
+		size = (size + 15) &^ 15
+		if bin := h.freeBySize[size]; len(bin) > 0 {
+			addr := bin[len(bin)-1]
+			h.freeBySize[size] = bin[:len(bin)-1]
+			h.freed[addr] = false
+			return addr
+		}
+		addr := h.next
+		h.next += size
+		h.sizeOf[addr] = size
 		return addr
+	}
+	release := func(pid proc.PID, addr uint64) {
+		h := heapOf(pid)
+		size := h.sizeOf[addr]
+		if size == 0 || h.freed[addr] {
+			return // not a live chunk of this heap (or a double free)
+		}
+		h.freed[addr] = true
+		h.freeBySize[size] = append(h.freeBySize[size], addr)
 	}
 	return &Library{
 		Name:    LibcName,
@@ -72,6 +106,7 @@ func NewLibc() *Library {
 				ctx.Compute(FreeCost)
 				if len(args) > 0 && args[0] != 0 {
 					ctx.Load(args[0])
+					release(ctx.PID(), args[0])
 				}
 				return 0
 			},

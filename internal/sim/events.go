@@ -74,14 +74,19 @@ func (q *EventQueue) Release(e *Event) {
 	q.free = append(q.free, e)
 }
 
-// Cancel removes e from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes e from the queue and returns it to the free list for
+// reuse by a later Schedule, so start/stop cycles (NIC.StopFlood)
+// allocate nothing in steady state. Cancelling an already-fired or
+// already-cancelled event is a no-op. After Cancel the caller must
+// drop its reference, exactly as after Release.
 func (q *EventQueue) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
 	heap.Remove(&q.h, e.index)
 	e.index = -1
+	e.Fire = nil
+	q.free = append(q.free, e)
 }
 
 // PeekTime returns the time of the earliest pending event. ok is

@@ -57,6 +57,30 @@ func TestEventQueueCancel(t *testing.T) {
 	q.Cancel(nil)
 }
 
+// TestEventQueueCancelRecycles pins the fix for cancelled events
+// being dropped on the floor: Cancel must return the event to the
+// free list so cancel/schedule cycles (NIC flood start/stop) reuse
+// storage instead of allocating.
+func TestEventQueueCancelRecycles(t *testing.T) {
+	q := NewEventQueue()
+	e := q.Schedule(5, "x", func() {})
+	q.Cancel(e)
+	e2 := q.Schedule(7, "y", func() {})
+	if e2 != e {
+		t.Fatal("Cancel did not recycle the event through the free list")
+	}
+	if e2.At != 7 || e2.Kind != "y" || e2.Cancelled() {
+		t.Fatalf("recycled event carries stale state: %+v", e2)
+	}
+	// Steady state: a cancel/schedule cycle allocates nothing.
+	if allocs := testing.AllocsPerRun(100, func() {
+		ev := q.Schedule(9, "z", func() {})
+		q.Cancel(ev)
+	}); allocs > 0 {
+		t.Fatalf("cancel/schedule cycle allocates %.1f objects per run", allocs)
+	}
+}
+
 func TestEventQueuePeek(t *testing.T) {
 	q := NewEventQueue()
 	if _, ok := q.PeekTime(); ok {

@@ -2,17 +2,37 @@ package sim
 
 import "math/rand"
 
-// Rand wraps a seeded math/rand source. All stochastic behaviour in
-// the simulator (packet inter-arrival jitter, address selection,
+// Rand wraps a seeded deterministic source. All stochastic behaviour
+// in the simulator (packet inter-arrival jitter, address selection,
 // workload shuffling) must draw from one of these so runs replay
 // exactly given the same seed.
 type Rand struct {
 	*rand.Rand
 }
 
+// source is a splitmix64 generator: 8 bytes of state versus
+// math/rand's ~5 KB lagged-Fibonacci table, which was the largest
+// single allocation in machine construction. Output is a fixed
+// function of the seed, so histories replay bit-for-bit across hosts.
+type source struct {
+	state uint64
+}
+
+func (s *source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *source) Seed(seed int64) { s.state = uint64(seed) }
+
 // NewRand returns a deterministic source for the given seed.
 func NewRand(seed int64) *Rand {
-	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+	return &Rand{Rand: rand.New(&source{state: uint64(seed)})}
 }
 
 // Jitter returns a value in [base - spread/2, base + spread/2),
