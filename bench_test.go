@@ -12,6 +12,10 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/guest"
+	"repro/internal/kernel"
 )
 
 // BenchScale is the victim/attack scale benchmarks run at.
@@ -184,6 +188,75 @@ func BenchmarkClusterFlood(b *testing.B) {
 		}
 		return (fig.Bars[2].Total() - fig.Bars[0].Total()) / fig.Bars[0].Total() * 100
 	}, "40kpps-inflation-%")
+}
+
+// BenchmarkClusterBidirectional measures the bidirectional link
+// machinery end to end: an ack-paced sender pushes a fixed transfer
+// through a finite-capacity wire while the receiver's echo daemon
+// acks every frame over the reverse direction, so each round trip
+// exercises NetSend, the serialisation pipes, NetRxWait blocking, and
+// the lockstep barrier. The metric is the sender's achieved rate in
+// frames per virtual second — the number ack pacing actually shapes.
+func BenchmarkClusterBidirectional(b *testing.B) {
+	const frames = 2000
+	const window = 16
+	var achieved float64
+	for i := 0; i < b.N; i++ {
+		cl, err := NewCluster(ClusterConfig{
+			Machines: []ClusterMachineSpec{
+				{
+					Config: kernel.Config{Seed: 2010, CPUHz: 1_000_000_000},
+					Boot: func(_ *Cluster, m *kernel.Machine) error {
+						_, err := m.Spawn(kernel.SpawnConfig{
+							Name:    "sender",
+							Content: "ack-paced pktgen v1",
+							Body: func(ctx guest.Context) {
+								sent, acked := uint64(0), uint64(0)
+								for sent < frames {
+									for sent < frames && sent < acked+window {
+										ctx.NetSend(0)
+										sent++
+									}
+									acked = ctx.NetRxWait(acked)
+								}
+							},
+						})
+						return err
+					},
+				},
+				{
+					Config: kernel.Config{Seed: 2011, CPUHz: 1_000_000_000},
+					Boot: func(_ *Cluster, m *kernel.Machine) error {
+						_, err := m.Spawn(kernel.SpawnConfig{
+							Name:    "echod",
+							Content: "echod v1",
+							Body: func(ctx guest.Context) {
+								seen, acked := uint64(0), uint64(0)
+								for acked < frames {
+									seen = ctx.NetRxWait(seen)
+									for acked < seen {
+										ctx.NetSend(0)
+										acked++
+									}
+								}
+							},
+						})
+						return err
+					},
+				},
+			},
+			Links: []ClusterLinkSpec{{From: 0, To: 1, LatencyUs: 250, PacketsPerSecond: cluster.DefaultLinkPPS}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := cl.Machine(0).Clock().Seconds(cl.Machine(0).Clock().Now())
+		achieved = frames / elapsed
+	}
+	b.ReportMetric(achieved, "acked-frames/vsec")
 }
 
 // BenchmarkMeterAllocs pins the allocation footprint of one metered

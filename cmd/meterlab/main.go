@@ -22,10 +22,14 @@
 //	              and across each artifact's machines — so up to n*n machines
 //	              may be live at once
 //	-attack k     (meter only) arm one attack: shell ctor subst sched thrash irqflood excflood
-//	-pps n        (cluster only) flood rate per victim link (default 40000)
-//	-latency-us n (cluster only) one-way link latency (default 500)
+//	-pps n        (cluster only) flood rate per victim link (default 40000; 0 = silent attacker)
+//	-latency-us n (cluster only) one-way link latency, must be > 0 (default 500)
 //	-victims s    (cluster only) victim workloads, e.g. "O,O" (default "O,O";
 //	              the first victim bills jiffy, the second process-aware)
+//	-link-pps n   (cluster only) per-link wire capacity (0 = 148800, a 100 Mb/s wire)
+//	-queue-depth n (cluster only) per-link tail-drop queue bound in packets (0 = 64)
+//	-lossless     (cluster only) idealised infinite-rate lossless wires (overrides
+//	              -link-pps/-queue-depth; replays the pre-lossy link model)
 //
 // Output is byte-identical at every -parallel setting; only the host
 // wall-clock changes.
@@ -62,9 +66,12 @@ func run(args []string) error {
 	sched := fs.String("sched", "o1", "scheduler policy: o1 or cfs")
 	parallel := fs.Int("parallel", 0, "campaign worker-pool size; 'all' fans out across artifacts and machines, up to n*n live machines (0 = all cores, 1 = sequential)")
 	attackKey := fs.String("attack", "", "attack to arm for 'meter'")
-	pps := fs.Uint64("pps", 40_000, "flood rate per victim link for 'cluster'")
-	latencyUs := fs.Uint64("latency-us", 500, "one-way link latency for 'cluster'")
+	pps := fs.Int64("pps", 40_000, "flood rate per victim link for 'cluster' (0 = silent attacker)")
+	latencyUs := fs.Int64("latency-us", 500, "one-way link latency for 'cluster', microseconds (> 0)")
 	victims := fs.String("victims", "O,O", "victim workloads for 'cluster' (comma-separated)")
+	linkPPS := fs.Int64("link-pps", 0, "per-link wire capacity for 'cluster' (0 = 148800)")
+	queueDepth := fs.Int64("queue-depth", 0, "per-link tail-drop queue bound for 'cluster', packets (0 = 64)")
+	lossless := fs.Bool("lossless", false, "idealised infinite-rate lossless wires for 'cluster'")
 
 	switch cmd {
 	case "list":
@@ -97,7 +104,14 @@ func run(args []string) error {
 		case "all":
 			return runAllArtifacts(opts)
 		case "cluster":
-			return runCluster(*victims, *pps, *latencyUs, opts)
+			return runCluster(clusterFlags{
+				victims:    *victims,
+				pps:        *pps,
+				latencyUs:  *latencyUs,
+				linkPPS:    *linkPPS,
+				queueDepth: *queueDepth,
+				lossless:   *lossless,
+			}, opts)
 		default:
 			return meterJob(target, *attackKey, opts)
 		}
@@ -107,10 +121,22 @@ func run(args []string) error {
 	}
 }
 
-// runCluster executes one custom cross-machine flood scenario and
-// prints every victim host's bill under its own billing scheme (the
-// first victim bills jiffy, the second process-aware, alternating).
-func runCluster(victims string, pps, latencyUs uint64, opts cpumeter.Options) error {
+// clusterFlags carries the cluster mode's raw flag values; they are
+// validated before any machine is built so bad input yields a usage
+// error instead of a panic or a silently degenerate run.
+type clusterFlags struct {
+	victims    string
+	pps        int64
+	latencyUs  int64
+	linkPPS    int64
+	queueDepth int64
+	lossless   bool
+}
+
+// parseVictims validates and expands the -victims flag: the first
+// victim bills jiffy, the second process-aware, alternating.
+func parseVictims(victims string) ([]cpumeter.ClusterVictim, error) {
+	known := cpumeter.WorkloadKeys()
 	billing := []string{"jiffy", "process-aware"}
 	var vs []cpumeter.ClusterVictim
 	for _, w := range strings.Split(victims, ",") {
@@ -118,26 +144,61 @@ func runCluster(victims string, pps, latencyUs uint64, opts cpumeter.Options) er
 		if w == "" {
 			continue
 		}
+		ok := false
+		for _, k := range known {
+			if w == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown victim workload %q (have %s)", w, strings.Join(known, ", "))
+		}
 		vs = append(vs, cpumeter.ClusterVictim{Workload: w, Billing: billing[len(vs)%len(billing)]})
 	}
 	if len(vs) == 0 {
-		return fmt.Errorf("cluster: no victims in %q", victims)
+		return nil, fmt.Errorf("cluster: no victims in %q (want comma-separated workloads from %s)", victims, strings.Join(known, ", "))
+	}
+	return vs, nil
+}
+
+// runCluster executes one custom cross-machine flood scenario and
+// prints every victim host's bill under its own billing scheme.
+func runCluster(f clusterFlags, opts cpumeter.Options) error {
+	vs, err := parseVictims(f.victims)
+	if err != nil {
+		return err
+	}
+	if f.pps < 0 {
+		return fmt.Errorf("cluster: -pps %d is negative (0 means a silent attacker)", f.pps)
+	}
+	if f.latencyUs <= 0 {
+		return fmt.Errorf("cluster: -latency-us %d must be > 0 (signals need flight time for deterministic lockstep)", f.latencyUs)
+	}
+	if f.linkPPS < 0 || f.queueDepth < 0 {
+		return fmt.Errorf("cluster: -link-pps %d and -queue-depth %d must be >= 0", f.linkPPS, f.queueDepth)
+	}
+	linkPPS := uint64(f.linkPPS)
+	if f.lossless {
+		linkPPS = cpumeter.UnlimitedLinkPPS
 	}
 	start := time.Now()
 	out, err := cpumeter.MeterCluster(cpumeter.ClusterRunSpec{
-		Opts:          opts,
-		Victims:       vs,
-		FloodPPS:      pps,
-		LinkLatencyUs: latencyUs,
+		Opts:           opts,
+		Victims:        vs,
+		FloodPPS:       uint64(f.pps),
+		LinkLatencyUs:  uint64(f.latencyUs),
+		LinkPPS:        linkPPS,
+		LinkQueueDepth: uint64(f.queueDepth),
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("cluster: 1 attacker + %d victim machines, %d pps per link, %d us link latency (elapsed %.1f virtual s)\n",
-		len(vs), pps, latencyUs, out.ElapsedSec)
+		len(vs), f.pps, f.latencyUs, out.ElapsedSec)
 	for i, v := range out.Victims {
-		fmt.Printf("  victim %d (%s, bills %s): sent %d frames, received %d\n",
-			i+1, v.Run.Spec.Workload, v.Billing, out.PacketsSent[i], v.PacketsReceived)
+		fmt.Printf("  victim %d (%s, bills %s): sent %d frames, received %d, dropped %d\n",
+			i+1, v.Run.Spec.Workload, v.Billing, out.PacketsSent[i], v.PacketsReceived, out.PacketsDropped[i])
 		for _, scheme := range []string{"jiffy", "tsc", "process-aware"} {
 			marker := " "
 			if scheme == v.Billing {

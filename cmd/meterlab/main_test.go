@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterFlagValidation pins the cluster-mode hardening: bad
+// input yields a usage error naming the problem instead of a panic or
+// a silently degenerate run.
+func TestClusterFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown victim workload", []string{"cluster", "-victims", "0"}, "unknown victim workload"},
+		{"empty victims", []string{"cluster", "-victims", " , "}, "no victims"},
+		{"negative pps", []string{"cluster", "-pps", "-5"}, "negative"},
+		{"zero latency", []string{"cluster", "-latency-us", "0"}, "must be > 0"},
+		{"negative latency", []string{"cluster", "-latency-us", "-10"}, "must be > 0"},
+		{"negative link pps", []string{"cluster", "-link-pps", "-1"}, ">= 0"},
+		{"negative queue depth", []string{"cluster", "-queue-depth", "-2"}, ">= 0"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: run(%v) accepted", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseVictimsAlternatesBilling pins the victim expansion rule.
+func TestParseVictimsAlternatesBilling(t *testing.T) {
+	vs, err := parseVictims("O, W ,B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("parsed %d victims, want 3", len(vs))
+	}
+	wantBilling := []string{"jiffy", "process-aware", "jiffy"}
+	wantWork := []string{"O", "W", "B"}
+	for i, v := range vs {
+		if v.Workload != wantWork[i] || v.Billing != wantBilling[i] {
+			t.Errorf("victim %d = %s/%s, want %s/%s", i, v.Workload, v.Billing, wantWork[i], wantBilling[i])
+		}
+	}
+}
+
+// TestUnknownCommandAndMissingArgs covers the entry-point errors.
+func TestUnknownCommandAndMissingArgs(t *testing.T) {
+	for _, args := range [][]string{nil, {"bogus"}, {"run"}, {"meter"}} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestClusterModeRunsAtTinyScale smokes the whole cluster path with
+// valid flags, including the new wire-shaping ones.
+func TestClusterModeRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	args := []string{"cluster", "-victims", "O", "-pps", "5000", "-scale", "0.005",
+		"-link-pps", "20000", "-queue-depth", "32"}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v) = %v", args, err)
+	}
+}

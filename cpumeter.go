@@ -84,7 +84,38 @@ type (
 	ClusterVictim = experiments.ClusterVictim
 	// ClusterOut is one cluster scenario's harvest.
 	ClusterOut = experiments.ClusterOut
+	// ClusterSharedSwapSpec couples machines' swap devices into one
+	// physically shared device hosted by one machine.
+	ClusterSharedSwapSpec = cluster.SharedSwapSpec
+	// MultiFloodSpec describes N attacker machines converging on one
+	// victim through a shared bottleneck wire.
+	MultiFloodSpec = experiments.MultiFloodSpec
+	// MultiFloodOut is one multi-attacker scenario's harvest.
+	MultiFloodOut = experiments.MultiFloodOut
+	// SwapFloodSpec describes a memory-hog neighbor machine
+	// pressuring the swap device a victim host exports.
+	SwapFloodSpec = experiments.SwapFloodSpec
+	// SwapFloodOut is one shared-swap scenario's harvest.
+	SwapFloodOut = experiments.SwapFloodOut
 )
+
+// UnlimitedLinkPPS selects an idealised lossless infinite-rate wire
+// in link and cluster specs (no serialisation gap, no queue, no
+// drops) — the first cluster model's behaviour, which such a config
+// replays bit-for-bit.
+const UnlimitedLinkPPS = cluster.UnlimitedPPS
+
+// MeterMultiFlood executes one N-attackers → one-victim bottleneck
+// flood scenario in deterministic lockstep.
+func MeterMultiFlood(spec MultiFloodSpec) (*MultiFloodOut, error) {
+	return experiments.RunMultiFlood(spec)
+}
+
+// MeterSwapFlood executes one shared-swap pressure scenario (the
+// cross-machine exception flood) in deterministic lockstep.
+func MeterSwapFlood(spec SwapFloodSpec) (*SwapFloodOut, error) {
+	return experiments.RunSwapFlood(spec)
+}
 
 // DefaultCPUHz is the simulated clock matching the paper's testbed
 // (2.53 GHz).
@@ -188,6 +219,8 @@ var experimentRunners = map[string]func(Options) (*Figure, error){
 	"ablation3":  experiments.AblationIRQAccounting,
 	"ablation4":  experiments.AblationDetector,
 	"cluster":    experiments.ClusterFlood,
+	"multiflood": experiments.MultiAttackerFlood,
+	"swapflood":  experiments.CrossMachineExceptionFlood,
 }
 
 // Experiments lists the regenerable artifact ids in a stable order.

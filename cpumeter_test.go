@@ -14,10 +14,10 @@ func TestWorkloadKeys(t *testing.T) {
 
 func TestExperimentsListedAndUnknownRejected(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 15 {
+	if len(ids) != 17 {
 		t.Fatalf("Experiments() = %d ids: %v", len(ids), ids)
 	}
-	for _, want := range []string{"figure4", "figure11", "comparison", "mitigation", "ablation1", "cluster"} {
+	for _, want := range []string{"figure4", "figure11", "comparison", "mitigation", "ablation1", "cluster", "multiflood", "swapflood"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -6,22 +6,36 @@
 // so the flooding attacker becomes a genuine machine whose transmit
 // schedule crosses a link instead of an in-machine event generator.
 //
+// Links are bidirectional, finite-capacity channels. Each declared
+// LinkSpec yields a forward direction (From→To) and a reverse
+// direction (To→From, via Link.Reverse); each direction serialises
+// frames at the wire's packet rate through a bounded queue with
+// deterministic tail-drop, counted in Sent/Delivered/Dropped. Both
+// directions are registered as NIC transmit routes on their sending
+// machines, so guests transmit through the billed kernel tx path
+// (guest.Context.NetSend) and receivers can reply — ack-paced flows
+// whose rate is shaped by the receiver's responsiveness.
+//
 // Machines advance in deterministic lockstep virtual time. Each round
 // the cluster computes the earliest time any machine can make
 // progress (the min-next-event-time barrier), extends it by the
-// lookahead — the smallest link latency — and advances every machine
-// to that barrier with Machine.RunUntil. A packet sent at or after
-// the barrier base arrives at least one lookahead later, so no
-// machine ever needs an event from a region another machine has not
-// yet simulated; the round-robin order within a round is fixed, so
-// the whole cluster history is a pure function of its seeds.
+// lookahead — the smallest cross-machine signal flight time — and
+// advances every machine to that barrier with Machine.RunUntil. A
+// packet sent at or after the barrier base arrives at least one
+// lookahead later, so no machine ever needs an event from a region
+// another machine has not yet simulated; the round-robin order within
+// a round is fixed, so the whole cluster history is a pure function
+// of its seeds.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/device"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -33,6 +47,23 @@ const DefaultLatencyUs = 500
 // it zero: ~148.8k minimum-size frames per second, a saturated
 // 100 Mb/s link.
 const DefaultLinkPPS = 148_800
+
+// UnlimitedPPS selects an infinite-rate wire: no serialisation gap,
+// no queue, no drops — the idealised lossless pipe of the first
+// cluster model. A lossless infinite-rate link replays histories
+// recorded under that model bit-for-bit.
+const UnlimitedPPS = math.MaxUint64
+
+// DefaultQueueDepth is a link direction's tail-drop queue bound, in
+// packets, when a LinkSpec leaves it zero (a shallow 2008-era switch
+// port buffer). A frame that would have to queue this deep behind
+// earlier frames is dropped instead of delivered.
+const DefaultQueueDepth = 64
+
+// DefaultSwapServiceUs is the host-side CPU service per remote swap
+// page when a SharedSwapSpec leaves it zero: ~40 µs of block-layer,
+// copy, and reply work, in line with 2008-era NFS/NBD page service.
+const DefaultSwapServiceUs = 40
 
 // MachineSpec declares one cluster member.
 type MachineSpec struct {
@@ -46,7 +77,9 @@ type MachineSpec struct {
 	Boot func(c *Cluster, m *kernel.Machine) error
 }
 
-// LinkSpec declares one one-way link between two machines' NICs.
+// LinkSpec declares one bidirectional link between two machines'
+// NICs. Each direction gets its own serialisation/queue state from
+// the same rate and depth parameters.
 type LinkSpec struct {
 	// From and To index Config.Machines.
 	From, To int
@@ -54,55 +87,158 @@ type LinkSpec struct {
 	// zero selects DefaultLatencyUs.
 	LatencyUs uint64
 	// PacketsPerSecond is the wire's serialisation capacity; packets
-	// offered faster queue behind each other. Zero selects
-	// DefaultLinkPPS.
+	// offered faster queue behind each other and tail-drop beyond
+	// QueueDepth. Zero selects DefaultLinkPPS; UnlimitedPPS selects
+	// an idealised lossless infinite-rate wire.
 	PacketsPerSecond uint64
+	// QueueDepth bounds each direction's queue, in packets; zero
+	// selects DefaultQueueDepth. Ignored under UnlimitedPPS.
+	QueueDepth uint64
+	// Bottleneck, when non-empty, names a shared last-hop pipe: the
+	// forward directions of all links carrying the same tag serialise
+	// through one queue (N attackers converging on one victim share
+	// the victim's ingress wire). Tagged links must agree on
+	// PacketsPerSecond and QueueDepth (after default resolution).
+	// Reverse directions keep private pipes.
+	//
+	// Sharing granularity is the lockstep round: within one round,
+	// frames from different machines reach the pipe in machine order
+	// rather than strict virtual-time order (the sender needs its
+	// carry/drop feedback synchronously, so resolution cannot be
+	// deferred to the barrier). A later-indexed machine's frame may
+	// therefore queue behind — or tail-drop after — an earlier-
+	// indexed machine's virtually-later frame; the skew is bounded by
+	// one lookahead window (the smallest link latency) and the
+	// history remains a pure function of the Config.
+	Bottleneck string
+}
+
+// SharedSwapSpec declares that one machine (Host) physically owns the
+// swap device that the Clients mount remotely: all their disks share
+// one occupancy channel (I/O contends for the same spindle), and each
+// client page I/O additionally bills the host — a NIC rx interrupt
+// plus ServiceUs of swap-server work at the I/O's completion — to
+// whichever task is then current there. This is the cross-machine
+// exception-flood substrate: a memory hog on a neighbor machine
+// pressures the shared swap while the victim is billed on the host.
+//
+// Swap request frames are injected into the host NIC directly rather
+// than traversing a declared Link: they see no wire serialisation,
+// queue drops, or sender-side tx billing. The shared device-occupancy
+// channel is what gates swap throughput; a lossy swap transport would
+// need request/retry semantics and is future work.
+type SharedSwapSpec struct {
+	Host    int
+	Clients []int
+	// ServiceUs is the host-side CPU service per remote page; zero
+	// selects DefaultSwapServiceUs.
+	ServiceUs uint64
 }
 
 // Config assembles a Cluster.
 type Config struct {
 	Machines []MachineSpec
 	Links    []LinkSpec
+	// SharedSwap, when non-nil, couples machines' swap devices into
+	// one physically shared device hosted by one machine.
+	SharedSwap *SharedSwapSpec
 	// MaxCycles bounds total virtual time as a runaway guard; zero
 	// selects one virtual hour.
 	MaxCycles sim.Cycles
 }
 
 // ErrStalled is returned by Run when unfinished machines remain but
-// none can ever make progress, even given network input that will
-// never arrive.
+// none can ever make progress: every remaining task is blocked on
+// network input (NetRxWait, wait-forever) and no frame is in flight.
 var ErrStalled = errors.New("cluster: unfinished machines but no machine has pending work")
 
-// Link is a one-way network path from one machine's NIC to another's.
+// pipe is one direction's serialisation and queue state. Links
+// declared with the same Bottleneck tag share one pipe for their
+// forward directions. rng perturbs per-frame service time when the
+// wire is the binding constraint (variable frame sizes); it is seeded
+// from the cluster seed and the pipe's declaration position, so
+// histories stay a pure function of the Config.
+type pipe struct {
+	gap         sim.Cycles // serialisation spacing at wire capacity; 0 = infinite rate
+	depth       uint64     // tail-drop bound in packets
+	lastArrival sim.Cycles
+	rng         *sim.Rand
+}
+
+// Link is one direction of a network path between two machines' NICs.
 // Send is only safe from code that runs while the cluster advances
 // the sending machine (guest routines, event callbacks) or between
 // rounds — the same single-driver discipline every machine API has.
 type Link struct {
-	from, to    *kernel.Machine
-	latency     sim.Cycles
-	gap         sim.Cycles // serialisation spacing at wire capacity
-	lastArrival sim.Cycles
-	sent        uint64
+	from, to *kernel.Machine
+	latency  sim.Cycles
+	pipe     *pipe
+	rev      *Link
+
+	sent      uint64
+	delivered uint64
+	dropped   uint64
 }
 
-// Sent reports the packets carried since construction.
+// Sent reports frames offered to this direction since construction.
 func (l *Link) Sent() uint64 { return l.sent }
+
+// Delivered reports frames handed to the destination NIC's event
+// queue. A frame still in flight when the destination machine halts
+// is lost there; that window is bounded by one link latency.
+func (l *Link) Delivered() uint64 { return l.delivered }
+
+// Dropped reports frames not delivered: tail-dropped at the wire's
+// queue, or offered after the destination machine had finished.
+func (l *Link) Dropped() uint64 { return l.dropped }
 
 // Latency reports the one-way propagation delay in cycles.
 func (l *Link) Latency() sim.Cycles { return l.latency }
 
-// Send transmits one packet: it arrives at the destination NIC one
-// latency after the sender's current virtual time, no earlier than
-// one serialisation gap after the previous packet's arrival, and
-// raises one receive interrupt there.
-func (l *Link) Send() {
-	arrive := l.from.Clock().Now() + l.latency
-	if min := l.lastArrival + l.gap; arrive < min {
-		arrive = min
-	}
-	l.lastArrival = arrive
+// Reverse returns the opposite direction of this link.
+func (l *Link) Reverse() *Link { return l.rev }
+
+// Send offers one frame to this direction. A carried frame arrives at
+// the destination NIC one latency after the sender's current virtual
+// time — no earlier than one serialisation gap after the previous
+// frame on the same pipe — and raises one receive interrupt there. A
+// frame that would queue QueueDepth or more gap-slots deep, or whose
+// destination machine has already finished, is tail-dropped instead;
+// Send reports whether the frame was carried. Sent = Delivered +
+// Dropped always holds.
+func (l *Link) Send() bool {
 	l.sent++
+	if l.to.Closed() {
+		l.dropped++
+		return false
+	}
+	arrive := l.from.Clock().Now() + l.latency
+	if p := l.pipe; p.gap > 0 {
+		if floor := p.lastArrival + p.gap; arrive < floor {
+			if queued := uint64((floor - arrive) / p.gap); queued >= p.depth {
+				l.dropped++
+				return false
+			}
+			// The wire is the binding constraint: per-frame service
+			// time varies with frame size, so perturb the nominal gap
+			// (deterministically). Without this a saturated pipe
+			// delivers on an exact modular grid that can phase-lock
+			// with the receiver's timer-tick grid and bias what the
+			// tick sampler observes. Frames never arrive before their
+			// own flight time or out of order.
+			g := p.rng.Jitter(p.gap, p.gap/4+1)
+			if g == 0 {
+				g = 1
+			}
+			if jittered := p.lastArrival + g; jittered > arrive {
+				arrive = jittered
+			}
+		}
+		p.lastArrival = arrive
+	}
+	l.delivered++
 	l.to.NIC().InjectRx(arrive)
+	return true
 }
 
 // Cluster is a set of machines advancing in lockstep plus the links
@@ -115,8 +251,31 @@ type Cluster struct {
 	maxCycles sim.Cycles
 }
 
-// New builds the machines, wires the links, and runs every Boot
-// routine. On any error the already-built machines are shut down.
+// newPipe builds one direction's serialisation state from a spec.
+// seed drives the pipe's service-time perturbation.
+func newPipe(freq sim.Hz, pps, depth uint64, seed int64) *pipe {
+	if pps == 0 {
+		pps = DefaultLinkPPS
+	}
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	var gap sim.Cycles
+	if pps != UnlimitedPPS {
+		gap = sim.Cycles(uint64(freq) / pps)
+		if gap == 0 {
+			gap = 1
+		}
+	}
+	return &pipe{gap: gap, depth: depth, rng: sim.NewRand(seed)}
+}
+
+// New builds the machines, wires the links (registering both
+// directions as NIC transmit routes on their sending machines, in
+// Config.Links order: each link contributes its forward direction to
+// From's route list, then its reverse direction to To's), couples any
+// shared swap, and runs every Boot routine. On any error the
+// already-built machines are shut down.
 func New(cfg Config) (*Cluster, error) {
 	if len(cfg.Machines) == 0 {
 		return nil, fmt.Errorf("cluster: no machines")
@@ -147,6 +306,7 @@ func New(cfg Config) (*Cluster, error) {
 	if perUs == 0 {
 		perUs = 1
 	}
+	shared := make(map[string]*pipe)
 	for li, ls := range cfg.Links {
 		if ls.From < 0 || ls.From >= len(c.machines) || ls.To < 0 || ls.To >= len(c.machines) {
 			c.Shutdown()
@@ -156,25 +316,43 @@ func New(cfg Config) (*Cluster, error) {
 		if latUs == 0 {
 			latUs = DefaultLatencyUs
 		}
-		pps := ls.PacketsPerSecond
-		if pps == 0 {
-			pps = DefaultLinkPPS
+		pipeSeed := cfg.Machines[0].Config.Seed*1_000_003 + int64(li)*2
+		fwdPipe := newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, pipeSeed)
+		if ls.Bottleneck != "" {
+			if b, ok := shared[ls.Bottleneck]; ok {
+				// Compare resolved parameters, so an explicit value and
+				// the default it resolves to are not a false mismatch.
+				if b.gap != fwdPipe.gap || b.depth != fwdPipe.depth {
+					c.Shutdown()
+					return nil, fmt.Errorf("cluster: link %d bottleneck %q resolves to gap=%d depth=%d, earlier link resolved gap=%d depth=%d",
+						li, ls.Bottleneck, fwdPipe.gap, fwdPipe.depth, b.gap, b.depth)
+				}
+				fwdPipe = b
+			} else {
+				shared[ls.Bottleneck] = fwdPipe
+			}
 		}
-		gap := sim.Cycles(uint64(freq) / pps)
-		if gap == 0 {
-			gap = 1
-		}
-		c.links = append(c.links, &Link{
+		fwd := &Link{
 			from:    c.machines[ls.From],
 			to:      c.machines[ls.To],
 			latency: sim.Cycles(latUs) * perUs,
-			gap:     gap,
-		})
+			pipe:    fwdPipe,
+		}
+		rev := &Link{
+			from:    c.machines[ls.To],
+			to:      c.machines[ls.From],
+			latency: fwd.latency,
+			pipe:    newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, pipeSeed+1),
+		}
+		fwd.rev, rev.rev = rev, fwd
+		c.machines[ls.From].NIC().AddTxRoute(fwd.Send)
+		c.machines[ls.To].NIC().AddTxRoute(rev.Send)
+		c.links = append(c.links, fwd)
 	}
-	// The lookahead is the shortest link latency: one round may only
-	// span a window narrower than any cross-machine signal's flight
-	// time. With no links, machines are independent; a tick-sized
-	// window keeps rounds cheap without any correctness constraint.
+	// The lookahead is the shortest cross-machine signal flight time:
+	// one round may only span a window narrower than it. With no
+	// links, machines are independent; a tick-sized window keeps
+	// rounds cheap without any correctness constraint.
 	c.lookahead = 0
 	for _, l := range c.links {
 		if c.lookahead == 0 || l.latency < c.lookahead {
@@ -183,6 +361,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if c.lookahead == 0 {
 		c.lookahead = sim.Cycles(uint64(freq) / kernel.DefaultHZ)
+	}
+	if ss := cfg.SharedSwap; ss != nil {
+		if err := c.wireSharedSwap(ss, freq, perUs); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
 	}
 	for i, ms := range cfg.Machines {
 		if ms.Boot == nil {
@@ -196,14 +380,72 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// wireSharedSwap couples the spec'd machines' disks through one
+// shared occupancy channel and bills the host for every client I/O.
+func (c *Cluster) wireSharedSwap(ss *SharedSwapSpec, freq sim.Hz, perUs sim.Cycles) error {
+	if ss.Host < 0 || ss.Host >= len(c.machines) {
+		return fmt.Errorf("cluster: shared swap host %d out of range (%d machines)", ss.Host, len(c.machines))
+	}
+	if len(ss.Clients) == 0 {
+		return fmt.Errorf("cluster: shared swap declares no clients")
+	}
+	seen := map[int]bool{ss.Host: true}
+	ch := device.NewDiskChannel()
+	host := c.machines[ss.Host]
+	host.Disk().Share(ch)
+	svcUs := ss.ServiceUs
+	if svcUs == 0 {
+		svcUs = DefaultSwapServiceUs
+	}
+	svc := sim.Cycles(svcUs) * perUs
+	// One reusable service callback per cluster: the per-I/O path
+	// allocates nothing.
+	svcFire := host.IRQWork(device.IRQDisk, svc)
+	for _, ci := range ss.Clients {
+		if ci < 0 || ci >= len(c.machines) {
+			return fmt.Errorf("cluster: shared swap client %d out of range (%d machines)", ci, len(c.machines))
+		}
+		if seen[ci] {
+			return fmt.Errorf("cluster: shared swap lists machine %d twice", ci)
+		}
+		seen[ci] = true
+		cm := c.machines[ci]
+		cm.Disk().Share(ch)
+		cm.Disk().OnIO(func(complete sim.Cycles) {
+			if host.Closed() {
+				return
+			}
+			// The request frame's rx interrupt plus the swap server's
+			// block-layer/copy/reply work land on the host at the
+			// I/O's completion, billed to whichever task is current.
+			// (Modeling simplification: swap request frames are
+			// injected directly rather than traversing a Link, so
+			// they see no wire serialisation, queue drops, or
+			// sender-side tx billing — the device-occupancy channel
+			// below is what gates swap throughput.)
+			host.NIC().InjectRx(complete)
+			host.ScheduleIRQWork(complete, svcFire)
+		})
+	}
+	// Swap notifications fly one disk latency ahead at minimum; keep
+	// the lockstep window comfortably inside that horizon.
+	if dl := mem.DiskLatency(freq) / 2; c.lookahead > dl && dl > 0 {
+		c.lookahead = dl
+	}
+	return nil
+}
+
 // Size reports the number of machines.
 func (c *Cluster) Size() int { return len(c.machines) }
 
 // Machine returns cluster member i.
 func (c *Cluster) Machine(i int) *kernel.Machine { return c.machines[i] }
 
-// Link returns the i-th declared link.
+// Link returns the forward direction of the i-th declared link.
 func (c *Cluster) Link(i int) *Link { return c.links[i] }
+
+// Links reports the number of declared links.
+func (c *Cluster) Links() int { return len(c.links) }
 
 // Done reports whether machine i has finished (every task exited).
 func (c *Cluster) Done(i int) bool { return c.done[i] }
@@ -233,8 +475,10 @@ func (c *Cluster) Now() sim.Cycles {
 }
 
 // Run advances all machines in lockstep rounds until every machine's
-// tasks have exited. On error (including a machine failure) the whole
-// cluster is shut down.
+// tasks have exited. On error (including a machine failure, and the
+// ErrStalled case where every unfinished machine is blocked on
+// network input with nothing in flight) the whole cluster is shut
+// down.
 func (c *Cluster) Run() error {
 	for {
 		// The barrier base: the earliest time any unfinished machine

@@ -185,6 +185,394 @@ func TestClusterDeterminism(t *testing.T) {
 	}
 }
 
+// TestLinkTailDropAccounting saturates a slow wire and demands the
+// deterministic tail-drop bookkeeping: Sent = Delivered + Dropped,
+// drops occur, and the victim receives exactly the delivered frames.
+func TestLinkTailDropAccounting(t *testing.T) {
+	const offered = 4000
+	cfg := Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 41, CPUHz: testHz},
+				Boot: func(c *Cluster, m *kernel.Machine) error {
+					link := c.Link(0)
+					interval := sim.Cycles(testHz / 40_000) // 40k pps offered
+					_, err := m.Spawn(kernel.SpawnConfig{
+						Name:    "pktgen",
+						Content: "pktgen v1",
+						Body: func(ctx guest.Context) {
+							for i := 0; i < offered; i++ {
+								link.Send()
+								ctx.Sleep(interval)
+							}
+						},
+					})
+					return err
+				},
+			},
+			{
+				Config: kernel.Config{Seed: 42, CPUHz: testHz},
+				Boot: func(_ *Cluster, m *kernel.Machine) error {
+					return spawnBusy(m, "victim", 0.3)
+				},
+			},
+		},
+		// A 10k-pps wire with a shallow queue against a 40k-pps
+		// offered rate: steady-state drops ~3/4.
+		Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 200, PacketsPerSecond: 10_000, QueueDepth: 16}},
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	l := cl.Link(0)
+	if l.Sent() != offered {
+		t.Fatalf("Sent = %d, want %d", l.Sent(), offered)
+	}
+	if l.Sent() != l.Delivered()+l.Dropped() {
+		t.Fatalf("Sent %d != Delivered %d + Dropped %d", l.Sent(), l.Delivered(), l.Dropped())
+	}
+	if l.Dropped() < offered/2 {
+		t.Fatalf("Dropped = %d of %d, want heavy tail-drop at 4x oversubscription", l.Dropped(), offered)
+	}
+	if got := cl.Machine(1).NIC().Received(); got != l.Delivered() {
+		t.Fatalf("victim received %d, link delivered %d", got, l.Delivered())
+	}
+}
+
+// TestLinkSendToFinishedMachineCountsDropped pins the accounting fix:
+// frames offered after the destination machine completes are dropped,
+// not silently lost between Sent and Delivered.
+func TestLinkSendToFinishedMachineCountsDropped(t *testing.T) {
+	const packets = 300
+	cfg := Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 51, CPUHz: testHz},
+				Boot: func(c *Cluster, m *kernel.Machine) error {
+					link := c.Link(0)
+					interval := sim.Cycles(testHz / 1000) // 1 ms apart: outlives the victim by far
+					_, err := m.Spawn(kernel.SpawnConfig{
+						Name:    "pktgen",
+						Content: "pktgen v1",
+						Body: func(ctx guest.Context) {
+							for i := 0; i < packets; i++ {
+								link.Send()
+								ctx.Sleep(interval)
+							}
+						},
+					})
+					return err
+				},
+			},
+			{
+				Config: kernel.Config{Seed: 52, CPUHz: testHz},
+				Boot: func(_ *Cluster, m *kernel.Machine) error {
+					// Finishes after ~10 ms; most frames arrive later.
+					return spawnBusy(m, "victim", 0.01)
+				},
+			},
+		},
+		Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 200}},
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	l := cl.Link(0)
+	if l.Sent() != packets {
+		t.Fatalf("Sent = %d, want %d", l.Sent(), packets)
+	}
+	if l.Sent() != l.Delivered()+l.Dropped() {
+		t.Fatalf("Sent %d != Delivered %d + Dropped %d", l.Sent(), l.Delivered(), l.Dropped())
+	}
+	if l.Dropped() == 0 {
+		t.Fatal("no drops recorded for frames offered after the victim finished")
+	}
+	if got := cl.Machine(1).NIC().Received(); got > l.Delivered() {
+		t.Fatalf("victim received %d > delivered %d", got, l.Delivered())
+	}
+}
+
+// TestBidirectionalReplyDelivers exercises the reverse path through
+// the billed guest tx entry point: machine 0 sends one frame; machine
+// 1's responder blocks in NetRxWait, acks over the reverse direction
+// (its route 0), and machine 0's waiter sees the ack.
+func TestBidirectionalReplyDelivers(t *testing.T) {
+	var gotAck uint64
+	cfg := Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 61, CPUHz: testHz},
+				Boot: func(_ *Cluster, m *kernel.Machine) error {
+					_, err := m.Spawn(kernel.SpawnConfig{
+						Name:    "sender",
+						Content: "sender v1",
+						Body: func(ctx guest.Context) {
+							if !ctx.NetSend(0) {
+								t.Error("forward send dropped on an idle wire")
+							}
+							gotAck = ctx.NetRxWait(0)
+						},
+					})
+					return err
+				},
+			},
+			{
+				Config: kernel.Config{Seed: 62, CPUHz: testHz},
+				Boot: func(_ *Cluster, m *kernel.Machine) error {
+					_, err := m.Spawn(kernel.SpawnConfig{
+						Name:    "echod",
+						Content: "echod v1",
+						Body: func(ctx guest.Context) {
+							ctx.NetRxWait(0)
+							if !ctx.NetSend(0) { // route 0 here is the reverse direction
+								t.Error("reverse send dropped on an idle wire")
+							}
+						},
+					})
+					return err
+				},
+			},
+		},
+		Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 250}},
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAck != 1 {
+		t.Fatalf("sender saw %d acks, want 1", gotAck)
+	}
+	fwd := cl.Link(0)
+	if fwd.Delivered() != 1 || fwd.Reverse().Delivered() != 1 {
+		t.Fatalf("forward delivered %d, reverse delivered %d, want 1/1", fwd.Delivered(), fwd.Reverse().Delivered())
+	}
+}
+
+// TestAckPacedFlowShapedByVictimResponsiveness pins the tentpole's
+// headline property: a window-paced sender's effective rate is set by
+// how fast the victim's responder can turn frames into acks, so
+// loading the victim machine with a compute-bound job measurably
+// stretches the same transfer.
+func TestAckPacedFlowShapedByVictimResponsiveness(t *testing.T) {
+	const frames = 200
+	const window = 8
+	run := func(loadVictim bool) sim.Cycles {
+		cfg := Config{
+			Machines: []MachineSpec{
+				{
+					Config: kernel.Config{Seed: 71, CPUHz: testHz},
+					Boot: func(_ *Cluster, m *kernel.Machine) error {
+						_, err := m.Spawn(kernel.SpawnConfig{
+							Name:    "sender",
+							Content: "ack-paced pktgen v1",
+							Body: func(ctx guest.Context) {
+								sent, acked := uint64(0), uint64(0)
+								for sent < frames {
+									for sent < frames && sent < acked+window {
+										ctx.NetSend(0)
+										sent++
+									}
+									acked = ctx.NetRxWait(acked)
+								}
+							},
+						})
+						return err
+					},
+				},
+				{
+					Config: kernel.Config{Seed: 72, CPUHz: testHz},
+					Boot: func(_ *Cluster, m *kernel.Machine) error {
+						if loadVictim {
+							// A nice -10 compute hog competes with echod
+							// for the victim CPU, delaying every ack.
+							if _, err := m.Spawn(kernel.SpawnConfig{
+								Name:    "cruncher",
+								Content: "cruncher v1",
+								Nice:    -10,
+								Body: func(ctx guest.Context) {
+									ctx.Compute(sim.Cycles(float64(testHz) * 0.5))
+								},
+							}); err != nil {
+								return err
+							}
+						}
+						_, err := m.Spawn(kernel.SpawnConfig{
+							Name:    "echod",
+							Content: "echod v1",
+							Body: func(ctx guest.Context) {
+								seen, ackedBack := uint64(0), uint64(0)
+								for ackedBack < frames {
+									seen = ctx.NetRxWait(seen)
+									for ackedBack < seen {
+										ctx.NetSend(0)
+										ackedBack++
+									}
+								}
+							},
+						})
+						return err
+					},
+				},
+			},
+			Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 250}},
+		}
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := cl.Link(0).Delivered(); got != frames {
+			t.Fatalf("delivered %d frames, want %d", got, frames)
+		}
+		return cl.Machine(0).Clock().Now()
+	}
+	idle := run(false)
+	loaded := run(true)
+	if loaded <= idle {
+		t.Fatalf("loaded victim finished transfer in %d cycles, idle in %d: ack pacing did not shape the sender", loaded, idle)
+	}
+}
+
+// TestClusterStalledOnNetworkWait pins ErrStalled: every machine
+// blocked on network input with nothing in flight is a stall, not an
+// endless tick loop.
+func TestClusterStalledOnNetworkWait(t *testing.T) {
+	cl, err := New(Config{Machines: []MachineSpec{{
+		Config: kernel.Config{Seed: 81, CPUHz: testHz},
+		Boot: func(_ *Cluster, m *kernel.Machine) error {
+			_, err := m.Spawn(kernel.SpawnConfig{
+				Name:    "reader",
+				Content: "reader v1",
+				Body: func(ctx guest.Context) {
+					ctx.NetRxWait(0) // nothing will ever arrive
+				},
+			})
+			return err
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != ErrStalled {
+		t.Fatalf("Run = %v, want ErrStalled", err)
+	}
+}
+
+// TestSharedSwapBillsHost pins the cross-machine exception-flood
+// substrate: a neighbor's page I/O against the swap device the host
+// exports lands rx interrupts plus service work on the host, visible
+// in its process-aware system account, while the disks contend
+// through one shared channel.
+func TestSharedSwapBillsHost(t *testing.T) {
+	const pageSize = 4096
+	cfg := Config{
+		Machines: []MachineSpec{
+			{
+				// Host: a long-lived busy job absorbs the remote service.
+				Config: kernel.Config{Seed: 91, CPUHz: testHz},
+				Boot: func(_ *Cluster, m *kernel.Machine) error {
+					return spawnBusy(m, "victim", 0.4)
+				},
+			},
+			{
+				// Neighbor: tiny RAM, sweeps twice its RAM so it pages.
+				Config: kernel.Config{Seed: 92, CPUHz: testHz, PhysMemBytes: 1 << 20},
+				Boot: func(_ *Cluster, m *kernel.Machine) error {
+					_, err := m.Spawn(kernel.SpawnConfig{
+						Name:    "memhog",
+						Content: "memhog v1",
+						Body: func(ctx guest.Context) {
+							const pages = 2 * (1 << 20) / pageSize
+							for n := 0; n < pages+40; n++ {
+								ctx.Store(uint64(n%pages) * pageSize)
+								ctx.Compute(2000)
+							}
+						},
+					})
+					return err
+				},
+			},
+		},
+		Links:      []LinkSpec{{From: 1, To: 0, LatencyUs: 300}},
+		SharedSwap: &SharedSwapSpec{Host: 0, Clients: []int{1}},
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	host, neighbor := cl.Machine(0), cl.Machine(1)
+	ios := neighbor.Disk().IOs() + neighbor.Disk().Writes()
+	if ios == 0 {
+		t.Fatal("neighbor hog issued no I/O against the shared swap")
+	}
+	if rx := host.NIC().Received(); rx == 0 {
+		t.Fatal("host NIC saw no remote swap request frames")
+	}
+	sys, ok := host.UsageBy("process-aware", metering.SystemPID)
+	if !ok || sys.System == 0 {
+		t.Fatalf("host system account = %+v, want nonzero remote-service time", sys)
+	}
+}
+
+// TestSharedSwapRejectsBadSpecs covers shared-swap validation.
+func TestSharedSwapRejectsBadSpecs(t *testing.T) {
+	mk := func(ss *SharedSwapSpec) error {
+		_, err := New(Config{
+			Machines: []MachineSpec{
+				{Config: kernel.Config{Seed: 1, CPUHz: testHz}},
+				{Config: kernel.Config{Seed: 2, CPUHz: testHz}},
+			},
+			SharedSwap: ss,
+		})
+		return err
+	}
+	for name, ss := range map[string]*SharedSwapSpec{
+		"host out of range":   {Host: 5, Clients: []int{1}},
+		"client out of range": {Host: 0, Clients: []int{9}},
+		"no clients":          {Host: 0},
+		"host as client":      {Host: 0, Clients: []int{0}},
+		"duplicate client":    {Host: 0, Clients: []int{1, 1}},
+	} {
+		if err := mk(ss); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestBottleneckRejectsMismatchedParams covers shared-pipe validation.
+func TestBottleneckRejectsMismatchedParams(t *testing.T) {
+	_, err := New(Config{
+		Machines: []MachineSpec{
+			{Config: kernel.Config{Seed: 1, CPUHz: testHz}},
+			{Config: kernel.Config{Seed: 2, CPUHz: testHz}},
+			{Config: kernel.Config{Seed: 3, CPUHz: testHz}},
+		},
+		Links: []LinkSpec{
+			{From: 0, To: 2, PacketsPerSecond: 10_000, Bottleneck: "up"},
+			{From: 1, To: 2, PacketsPerSecond: 20_000, Bottleneck: "up"},
+		},
+	})
+	if err == nil {
+		t.Fatal("mismatched bottleneck params accepted")
+	}
+}
+
 func TestClusterRejectsMixedClocks(t *testing.T) {
 	_, err := New(Config{Machines: []MachineSpec{
 		{Config: kernel.Config{Seed: 1, CPUHz: testHz}},

@@ -54,6 +54,7 @@ type CostModel struct {
 	IRQEntry        sim.Cycles // interrupt gate, register save
 	IRQHandlerNIC   sim.Cycles // NIC rx handler body per packet
 	IRQHandlerDisk  sim.Cycles // disk completion handler body per I/O
+	NICTx           sim.Cycles // NIC tx path per frame (ring fill, doorbell)
 	IRQExit         sim.Cycles // iret path
 	TimerHandler    sim.Cycles // timer tick bookkeeping itself
 	MinorFault      sim.Cycles // page present in page cache / zero page
@@ -88,6 +89,7 @@ func DefaultCosts(freq sim.Hz) CostModel {
 		IRQEntry:        perUs / 2,
 		IRQHandlerNIC:   2 * perUs,
 		IRQHandlerDisk:  2 * perUs,
+		NICTx:           2 * perUs,
 		IRQExit:         perUs / 2,
 		TimerHandler:    perUs,
 		MinorFault:      2 * perUs,

@@ -45,12 +45,20 @@ type NIC struct {
 	deliver func() // kernel's IRQ entry for IRQNIC
 
 	rate     uint64 // packets per second
+	rateFrac uint64 // Freq%rate accumulator carried across packets
 	jitter   bool
 	active   bool
 	pending  *sim.Event
 	received uint64
 	rxFire   func() // reusable per-packet event callback
 	extFire  func() // reusable callback for externally injected packets
+
+	// Transmit path: routes are the wires this NIC can push frames
+	// onto (a cluster registers one per outgoing link direction); each
+	// reports whether the frame was carried or dropped downstream.
+	routes    []func() bool
+	txCarried uint64
+	txDropped uint64
 }
 
 // NewNIC wires a NIC to the machine's event queue and clock. deliver
@@ -87,6 +95,37 @@ func (n *NIC) InjectRx(at sim.Cycles) {
 // Received reports total packets delivered since construction.
 func (n *NIC) Received() uint64 { return n.received }
 
+// AddTxRoute registers an outgoing wire and returns its route index.
+// send is invoked once per transmitted frame in the sender's context
+// and reports whether the frame was carried (false: dropped at the
+// wire's queue or by a dead destination).
+func (n *NIC) AddTxRoute(send func() bool) int {
+	n.routes = append(n.routes, send)
+	return len(n.routes) - 1
+}
+
+// TxRoutes reports the number of registered transmit routes.
+func (n *NIC) TxRoutes() int { return len(n.routes) }
+
+// Transmit pushes one frame out the given route. It reports whether
+// the frame was carried; frames to an unknown route (a machine with
+// no uplink) or refused by the wire count as transmit drops. The
+// kernel charges the tx-path CPU time around this call.
+func (n *NIC) Transmit(route int) bool {
+	if route < 0 || route >= len(n.routes) || !n.routes[route]() {
+		n.txDropped++
+		return false
+	}
+	n.txCarried++
+	return true
+}
+
+// Transmitted reports frames successfully handed to a wire.
+func (n *NIC) Transmitted() uint64 { return n.txCarried }
+
+// TxDropped reports transmit attempts that were not carried.
+func (n *NIC) TxDropped() uint64 { return n.txDropped }
+
 // Active reports whether a flood is in progress.
 func (n *NIC) Active() bool { return n.active }
 
@@ -104,17 +143,32 @@ func (n *NIC) StartFlood(packetsPerSecond uint64) {
 	n.scheduleNext()
 }
 
-// StopFlood cancels any pending delivery.
+// StopFlood cancels any pending delivery and resets the generator's
+// rate, jitter, and fractional-interval state, so a later StartFlood
+// at the same rate replays exactly like a flood started on a fresh
+// NIC (given the same random-source position).
 func (n *NIC) StopFlood() {
 	if n.pending != nil {
 		n.queue.Cancel(n.pending)
 		n.pending = nil
 	}
 	n.active = false
+	n.rate = 0
+	n.rateFrac = 0
+	n.jitter = false
 }
 
 func (n *NIC) scheduleNext() {
-	interval := sim.Cycles(uint64(n.clock.Freq()) / n.rate)
+	// Freq/rate truncates; carry the remainder across packets so the
+	// achieved rate matches the requested one over any horizon instead
+	// of drifting high by up to rate/Freq packets per second.
+	freq := uint64(n.clock.Freq())
+	interval := sim.Cycles(freq / n.rate)
+	n.rateFrac += freq % n.rate
+	if n.rateFrac >= n.rate {
+		n.rateFrac -= n.rate
+		interval++
+	}
 	if interval == 0 {
 		interval = 1
 	}
@@ -127,6 +181,19 @@ func (n *NIC) scheduleNext() {
 	n.pending = n.queue.Schedule(n.clock.Now()+interval, "nic-rx", n.rxFire)
 }
 
+// DiskChannel is the occupancy state of one physical swap device:
+// the completion horizons of its read and write channels. Each Disk
+// owns a private channel by default; a cluster may point several
+// machines' Disks at one shared channel so their I/O contends for the
+// same spindle (a swap partition on shared network storage).
+type DiskChannel struct {
+	readBusy  sim.Cycles
+	writeBusy sim.Cycles
+}
+
+// NewDiskChannel returns an idle shared-device state.
+func NewDiskChannel() *DiskChannel { return &DiskChannel{} }
+
 // Disk is the swap device. Reads (swap-ins, which block a faulting
 // process) serialise on the read channel; writebacks go through a
 // separate write channel modelling the drive's write cache and the
@@ -137,16 +204,26 @@ type Disk struct {
 	clock   *sim.Clock
 	latency sim.Cycles
 
-	readBusy  sim.Cycles
-	writeBusy sim.Cycles
-	ios       uint64
-	writes    uint64
+	ch     *DiskChannel
+	notify func(complete sim.Cycles)
+	ios    uint64
+	writes uint64
 }
 
 // NewDisk returns a disk with the given per-page access latency.
 func NewDisk(queue *sim.EventQueue, clock *sim.Clock, latency sim.Cycles) *Disk {
-	return &Disk{queue: queue, clock: clock, latency: latency}
+	return &Disk{queue: queue, clock: clock, latency: latency, ch: &DiskChannel{}}
 }
+
+// Share points this disk at a shared device channel, so its I/O
+// serialises against every other disk sharing the channel. Call
+// before any I/O is submitted.
+func (d *Disk) Share(ch *DiskChannel) { d.ch = ch }
+
+// OnIO registers a per-submission hook invoked with each I/O's
+// completion time, in the submitter's context. A cluster uses it to
+// bill the host serving a remotely mounted swap device.
+func (d *Disk) OnIO(fn func(complete sim.Cycles)) { d.notify = fn }
 
 // IOs reports the number of completed read accesses.
 func (d *Disk) IOs() uint64 { return d.ios }
@@ -158,13 +235,16 @@ func (d *Disk) Writes() uint64 { return d.writes }
 // at completion. Reads serialise behind in-flight reads only.
 func (d *Disk) Submit(done func()) {
 	start := d.clock.Now()
-	if d.readBusy > start {
-		start = d.readBusy
+	if d.ch.readBusy > start {
+		start = d.ch.readBusy
 	}
 	complete := start + d.latency
-	d.readBusy = complete
+	d.ch.readBusy = complete
 	d.ios++
 	d.queue.Schedule(complete, "disk-read", done)
+	if d.notify != nil {
+		d.notify(complete)
+	}
 }
 
 // maxWriteBacklog caps the write channel's backlog, in pages: a write
@@ -181,7 +261,7 @@ const maxWriteBacklog = 64
 // sees a consistent channel.
 func (d *Disk) SubmitWrite(done func()) {
 	now := d.clock.Now()
-	start := d.writeBusy
+	start := d.ch.writeBusy
 	if start < now {
 		start = now
 	}
@@ -189,7 +269,10 @@ func (d *Disk) SubmitWrite(done func()) {
 	if horizon := now + sim.Cycles(maxWriteBacklog)*d.latency; complete > horizon {
 		complete = horizon
 	}
-	d.writeBusy = complete
+	d.ch.writeBusy = complete
 	d.writes++
 	d.queue.Schedule(complete, "disk-write", done)
+	if d.notify != nil {
+		d.notify(complete)
+	}
 }

@@ -70,6 +70,89 @@ func TestNICZeroRateIsNoop(t *testing.T) {
 	}
 }
 
+// TestNICRateExactWithoutJitter pins the truncation-drift fix: at a
+// rate that does not divide the clock frequency, the fractional
+// remainder must carry across packets so one virtual second delivers
+// the requested count, not freq/(freq/rate) of it. With jitter
+// disabled, 1 MHz at 3000 pps must deliver 3000±1 packets (the old
+// integer-division schedule delivered 3003).
+func TestNICRateExactWithoutJitter(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := sim.NewClock(1_000_000)
+	var delivered int
+	nic := NewNIC(q, c, sim.NewRand(1), func() { delivered++ })
+	nic.StartFlood(3000)
+	nic.jitter = false // white-box: isolate the rate schedule from its stochastic spread
+	for q.Len() > 0 && c.Now() < 1_000_000 {
+		e := q.Pop()
+		c.AdvanceTo(e.At)
+		e.Fire()
+	}
+	nic.StopFlood()
+	if delivered < 2999 || delivered > 3001 {
+		t.Fatalf("delivered = %d packets in 1 s at 3000 pps, want 3000±1", delivered)
+	}
+}
+
+// TestNICRestartReplaysLikeFresh pins the StopFlood state-reset fix:
+// after stop, a second StartFlood at the same rate must produce a
+// delivery schedule bit-identical to a flood started on a fresh NIC
+// whose random source sits at the same position. Stale rate/jitter or
+// a carried fractional remainder would shift the restarted schedule.
+func TestNICRestartReplaysLikeFresh(t *testing.T) {
+	const rate = 777 // does not divide 1 MHz: exercises the fractional carry
+	const warm = 50  // packets delivered before the stop
+	const compare = 50
+
+	intervals := func(nic *NIC, q *sim.EventQueue, c *sim.Clock, n int) []sim.Cycles {
+		var out []sim.Cycles
+		last := c.Now()
+		for len(out) < n && q.Len() > 0 {
+			e := q.Pop()
+			c.AdvanceTo(e.At)
+			before := int(nic.Received())
+			e.Fire()
+			if int(nic.Received()) > before {
+				out = append(out, c.Now()-last)
+				last = c.Now()
+			}
+		}
+		return out
+	}
+
+	// NIC A: start, deliver warm packets, stop, start again.
+	qa := sim.NewEventQueue()
+	ca := sim.NewClock(1_000_000)
+	na := NewNIC(qa, ca, sim.NewRand(99), func() {})
+	na.StartFlood(rate)
+	intervals(na, qa, ca, warm)
+	na.StopFlood()
+	na.StartFlood(rate)
+	got := intervals(na, qa, ca, compare)
+
+	// NIC B: fresh, with its random source advanced by the draws A's
+	// first flood consumed (one per scheduleNext: the start plus one
+	// per delivered packet).
+	qb := sim.NewEventQueue()
+	cb := sim.NewClock(1_000_000)
+	rb := sim.NewRand(99)
+	for i := 0; i < warm+1; i++ {
+		rb.Int63()
+	}
+	nb := NewNIC(qb, cb, rb, func() {})
+	nb.StartFlood(rate)
+	want := intervals(nb, qb, cb, compare)
+
+	if len(got) != compare || len(want) != compare {
+		t.Fatalf("collected %d/%d intervals, want %d", len(got), len(want), compare)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("interval %d: restarted flood %d cycles, fresh flood %d cycles (stale StopFlood state)", i, got[i], want[i])
+		}
+	}
+}
+
 func TestNICRestartReplacesRate(t *testing.T) {
 	q := sim.NewEventQueue()
 	c := sim.NewClock(1_000_000)

@@ -53,6 +53,14 @@ type ClusterRunSpec struct {
 	// LinkLatencyUs is the one-way link latency; zero selects
 	// cluster.DefaultLatencyUs.
 	LinkLatencyUs uint64
+	// LinkPPS is each attacker→victim wire's serialisation capacity;
+	// zero selects cluster.DefaultLinkPPS, cluster.UnlimitedPPS an
+	// idealised lossless infinite-rate pipe (the first cluster
+	// model, which such a config replays bit-for-bit).
+	LinkPPS uint64
+	// LinkQueueDepth bounds each wire's tail-drop queue in packets;
+	// zero selects cluster.DefaultQueueDepth.
+	LinkQueueDepth uint64
 }
 
 // ClusterVictimOut is one victim machine's harvest.
@@ -74,6 +82,9 @@ type ClusterOut struct {
 	Victims []ClusterVictimOut
 	// PacketsSent counts frames the attacker offered per victim link.
 	PacketsSent []uint64
+	// PacketsDropped counts frames per victim link that the wire
+	// tail-dropped or that were offered after the victim finished.
+	PacketsDropped []uint64
 	// ElapsedSec is the slowest machine's virtual wall time.
 	ElapsedSec float64
 }
@@ -83,6 +94,18 @@ type ClusterOut struct {
 // single-machine runs of the same campaign.
 func clusterSeed(seed int64, i int) int64 {
 	return seed*1_000_003 + int64(i+1)
+}
+
+// clusterElapsedSec reports the slowest machine's virtual wall time —
+// the shared ElapsedSec semantics of every cluster harvest.
+func clusterElapsedSec(cl *cluster.Cluster) float64 {
+	var sec float64
+	for i := 0; i < cl.Size(); i++ {
+		if s := cl.Machine(i).Clock().Seconds(cl.Machine(i).Clock().Now()); s > sec {
+			sec = s
+		}
+	}
+	return sec
 }
 
 // victimAccountants builds the three schemes with the billing scheme
@@ -210,7 +233,12 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 
 	links := make([]cluster.LinkSpec, len(spec.Victims))
 	for i := range spec.Victims {
-		links[i] = cluster.LinkSpec{From: 0, To: i + 1, LatencyUs: spec.LinkLatencyUs}
+		links[i] = cluster.LinkSpec{
+			From: 0, To: i + 1,
+			LatencyUs:        spec.LinkLatencyUs,
+			PacketsPerSecond: spec.LinkPPS,
+			QueueDepth:       spec.LinkQueueDepth,
+		}
 	}
 
 	cl, err := cluster.New(cluster.Config{Machines: machines, Links: links})
@@ -221,10 +249,7 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 		return nil, fmt.Errorf("cluster %s: %w", clusterKey(spec), err)
 	}
 
-	out := &ClusterOut{Spec: spec}
-	// The attacker machine deliberately outlives the victims, so it
-	// usually carries the latest clock.
-	out.ElapsedSec = cl.Machine(0).Clock().Seconds(cl.Machine(0).Clock().Now())
+	out := &ClusterOut{Spec: spec, ElapsedSec: clusterElapsedSec(cl)}
 	for i := range spec.Victims {
 		m := cl.Machine(i + 1)
 		billing := spec.Victims[i].Billing
@@ -237,9 +262,7 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 			PacketsReceived: m.NIC().Received(),
 		})
 		out.PacketsSent = append(out.PacketsSent, cl.Link(i).Sent())
-		if sec := m.Clock().Seconds(m.Clock().Now()); sec > out.ElapsedSec {
-			out.ElapsedSec = sec
-		}
+		out.PacketsDropped = append(out.PacketsDropped, cl.Link(i).Dropped())
 	}
 	return out, nil
 }
@@ -279,6 +302,15 @@ func victimBillSeconds(v ClusterVictimOut) (user, sys float64) {
 // bill inflates with the rate; the process-aware bill does not,
 // because handler time lands on the system account.
 func ClusterFlood(o Options) (*Figure, error) {
+	return clusterFloodWith(o, 0, 0)
+}
+
+// clusterFloodWith is ClusterFlood with explicit wire parameters: the
+// lossless-replay regression test renders the artifact under an
+// idealised infinite-rate link and demands byte-identity with the
+// default finite-capacity wire (whose queue never binds at these
+// offered rates).
+func clusterFloodWith(o Options, linkPPS, queueDepth uint64) (*Figure, error) {
 	o = o.norm()
 	rates := []uint64{0, 10_000, 40_000}
 	victims := []ClusterVictim{
@@ -287,7 +319,7 @@ func ClusterFlood(o Options) (*Figure, error) {
 	}
 	specs := make([]ClusterRunSpec, len(rates))
 	for i, pps := range rates {
-		specs[i] = ClusterRunSpec{Opts: o, Victims: victims, FloodPPS: pps}
+		specs[i] = ClusterRunSpec{Opts: o, Victims: victims, FloodPPS: pps, LinkPPS: linkPPS, LinkQueueDepth: queueDepth}
 	}
 	outs, err := RunAllClusters(specs, o.Parallelism)
 	if err != nil {

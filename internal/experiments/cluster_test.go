@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/cluster"
 )
 
 func quickClusterSpec(pps uint64) ClusterRunSpec {
@@ -100,6 +102,26 @@ func TestClusterFloodParallelDeterminism(t *testing.T) {
 	}
 	if s, p := seq.Render(), par.Render(); s != p {
 		t.Errorf("parallel render diverged from sequential\n--- sequential ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestLosslessInfiniteRateReplaysClusterArtifact pins backward
+// compatibility with the first (idealised) link model: rendering the
+// cluster artifact over lossless infinite-rate wires is byte-
+// identical to the default finite-capacity wire, whose serialisation
+// floor and queue never bind at the artifact's offered rates.
+func TestLosslessInfiniteRateReplaysClusterArtifact(t *testing.T) {
+	o := quick()
+	def, err := clusterFloodWith(o, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := clusterFloodWith(o, cluster.UnlimitedPPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, i := def.Render(), ideal.Render(); d != i {
+		t.Errorf("lossless infinite-rate render diverged from default wire\n--- default ---\n%s--- lossless ---\n%s", d, i)
 	}
 }
 

@@ -1,0 +1,270 @@
+// Cross-machine exception flood: the paper's memory-hog attack
+// (Section IV-B4 / Fig. 11) launched from a neighbor machine against
+// shared swap. The victim host physically owns the swap device and
+// exports it; the neighbor mounts it remotely and runs a hog whose
+// footprint over-commits its own RAM, so every hog page fault becomes
+// a remote swap I/O: the request's rx interrupt plus the swap
+// server's block-layer work land on the victim host, billed to
+// whichever task is current there — the victim job, under commodity
+// accounting. The neighbor never runs a single instruction on the
+// victim host, yet the victim's bill inflates.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+)
+
+// SwapFloodSpec describes one shared-swap pressure scenario: machine
+// 0 is the victim host (runs the billed job and serves swap), machine
+// 1 the neighbor (runs the hog when Hog is set).
+type SwapFloodSpec struct {
+	Opts Options
+	// Victim is the billed job on the swap host.
+	Victim ClusterVictim
+	// Hog arms the neighbor's memory hog; false is the baseline.
+	Hog bool
+	// NeighborMemBytes sizes the neighbor machine's RAM; zero selects
+	// 1/8 of the victim host's (small enough that the hog pages
+	// constantly without needing a paper-scale footprint).
+	NeighborMemBytes uint64
+	// HogSeconds bounds the hog's pressure window; zero derives 1.5x
+	// the victim's baseline so the pressure outlives the victim.
+	HogSeconds float64
+	// ServiceUs is the host-side service per remote page; zero
+	// selects cluster.DefaultSwapServiceUs.
+	ServiceUs uint64
+	// LinkLatencyUs is the host↔neighbor link latency; zero selects
+	// cluster.DefaultLatencyUs.
+	LinkLatencyUs uint64
+}
+
+// SwapFloodOut is one shared-swap scenario's harvest.
+type SwapFloodOut struct {
+	Spec   SwapFloodSpec
+	Victim ClusterVictimOut
+	// RemoteReads/RemoteWrites count the neighbor's page I/Os against
+	// the shared device; each one billed the host an rx interrupt
+	// plus swap-server service.
+	RemoteReads, RemoteWrites uint64
+	// HostRxPackets counts remote-swap request frames the host's NIC
+	// received.
+	HostRxPackets uint64
+	// HogMajorFaults counts the hog's own major faults on the
+	// neighbor machine.
+	HogMajorFaults uint64
+	// ElapsedSec is the slowest machine's virtual wall time.
+	ElapsedSec float64
+}
+
+// swapHogRate approximates the hog's sustainable page-touch rate: one
+// blocking swap-in per touch at mem.DiskLatency, so ~200 touches per
+// virtual second. The budget only bounds the pressure window; the
+// actual rate is set by the (possibly contended) shared device.
+const swapHogRate = 200
+
+// RunSwapFlood executes one shared-swap scenario in deterministic
+// lockstep.
+func RunSwapFlood(spec SwapFloodSpec) (*SwapFloodOut, error) {
+	o := spec.Opts.norm()
+	tick := sim.Cycles(uint64(o.Freq) / o.HZ)
+	accts, err := victimAccountants(spec.Victim.Billing, tick)
+	if err != nil {
+		return nil, err
+	}
+	hogSec := spec.HogSeconds
+	if hogSec == 0 {
+		s, err := (ClusterRunSpec{Victims: []ClusterVictim{spec.Victim}}).floodSeconds(o)
+		if err != nil {
+			return nil, err
+		}
+		hogSec = s
+	}
+	neighborMem := spec.NeighborMemBytes
+	if neighborMem == 0 {
+		neighborMem = physMem(o) / 8
+	}
+
+	var launch *launched
+	hostCfg := o.machineConfig()
+	hostCfg.Seed = clusterSeed(o.Seed, 0)
+	hostCfg.Accountants = accts
+	neighborCfg := o.machineConfig()
+	neighborCfg.Seed = clusterSeed(o.Seed, 1)
+	neighborCfg.PhysMemBytes = neighborMem
+
+	// The hog sweeps a footprint of twice the neighbor's RAM, so
+	// after the first pass every store evicts a dirty page and
+	// swap-ins serialise on the shared device. The budget covers one
+	// full warmup sweep (minor faults, fast) plus hogSec worth of
+	// steady-state device-bound major faulting.
+	footprint := 2 * neighborMem
+	pages := footprint / mem.DefaultPageSize
+	touches := pages + uint64(hogSec*swapHogRate)
+
+	var hogPID proc.PID
+	machines := []cluster.MachineSpec{
+		{
+			Config: hostCfg,
+			Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
+				l, err := launchSpec(m, RunSpec{
+					Opts:       o,
+					Workload:   spec.Victim.Workload,
+					VictimNice: spec.Victim.Nice,
+				})
+				if err != nil {
+					return err
+				}
+				launch = l
+				return nil
+			},
+		},
+		{
+			Config: neighborCfg,
+			Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
+				if !spec.Hog {
+					return nil // baseline: the neighbor is quiet
+				}
+				p, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "memhog",
+					Content: "remote-swap memory exhaustion attack v1",
+					Body: func(ctx guest.Context) {
+						base := ctx.Call1("malloc", footprint)
+						for n := uint64(0); n < touches; n++ {
+							ctx.Store(base + (n%pages)*mem.DefaultPageSize)
+							ctx.Compute(2000)
+						}
+					},
+				})
+				if p != nil {
+					hogPID = p.PID
+				}
+				return err
+			},
+		},
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Machines: machines,
+		Links:    []cluster.LinkSpec{{From: 1, To: 0, LatencyUs: spec.LinkLatencyUs}},
+		SharedSwap: &cluster.SharedSwapSpec{
+			Host:      0,
+			Clients:   []int{1},
+			ServiceUs: spec.ServiceUs,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Run(); err != nil {
+		return nil, fmt.Errorf("swapflood %s: %w", swapFloodKey(spec), err)
+	}
+
+	host, neighbor := cl.Machine(0), cl.Machine(1)
+	billing := spec.Victim.Billing
+	if billing == "" {
+		billing = "jiffy"
+	}
+	out := &SwapFloodOut{
+		Spec: spec,
+		Victim: ClusterVictimOut{
+			Billing:         billing,
+			Run:             launch.harvest(host),
+			PacketsReceived: host.NIC().Received(),
+		},
+		RemoteReads:   neighbor.Disk().IOs(),
+		RemoteWrites:  neighbor.Disk().Writes(),
+		HostRxPackets: host.NIC().Received(),
+	}
+	if hogPID != 0 {
+		out.HogMajorFaults = neighbor.Stats(hogPID).MajorFaults
+	}
+	out.ElapsedSec = clusterElapsedSec(cl)
+	return out, nil
+}
+
+func swapFloodKey(spec SwapFloodSpec) string {
+	hog := "baseline"
+	if spec.Hog {
+		hog = "hog"
+	}
+	return fmt.Sprintf("%s/%s", hog, spec.Victim.Billing)
+}
+
+// RunAllSwapFloods executes every scenario on its own lockstep
+// machine set across the campaign worker pool — the RunAll contract.
+func RunAllSwapFloods(specs []SwapFloodSpec, parallelism int) ([]*SwapFloodOut, error) {
+	outs := make([]*SwapFloodOut, len(specs))
+	errs := make([]error, len(specs))
+	RunIndexed(len(specs), parallelism, func(i int) {
+		outs[i], errs[i] = RunSwapFlood(specs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("swapflood run %d (%s): %w", i, swapFloodKey(specs[i]), err)
+		}
+	}
+	return outs, nil
+}
+
+// CrossMachineExceptionFlood regenerates the cluster-level exception
+// flood: a neighbor machine's memory hog pressures the swap device
+// the victim host exports, once against a jiffy-billed host and once
+// against a process-aware host. The commodity bill absorbs the remote
+// swap service; the process-aware host diverts it to the system
+// account.
+func CrossMachineExceptionFlood(o Options) (*Figure, error) {
+	o = o.norm()
+	billings := []string{"jiffy", "process-aware"}
+	specs := make([]SwapFloodSpec, 0, 2*len(billings))
+	for _, billing := range billings {
+		for _, hog := range []bool{false, true} {
+			specs = append(specs, SwapFloodSpec{
+				Opts:   o,
+				Victim: ClusterVictim{Workload: "O", Billing: billing},
+				Hog:    hog,
+			})
+		}
+	}
+	outs, err := RunAllSwapFloods(specs, o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("cross-machine exception flood: %w", err)
+	}
+
+	fig := &Figure{
+		ID:    "Cluster Exception Flood",
+		Title: "Cross-Machine Exception Flooding (memory-hog neighbor vs. shared-swap host)",
+		Unit:  "CPU seconds (billed by the victim host's own scheme)",
+	}
+	groups := []string{"jiffy-host", "procaware-host"}
+	labels := []string{"no hog", "memhog neighbor"}
+	for bi, group := range groups {
+		for hi, label := range labels {
+			out := outs[bi*2+hi]
+			user, sys := victimBillSeconds(out.Victim)
+			fig.Bars = append(fig.Bars, textplot.Bar{
+				Group: group,
+				Label: label,
+				Segments: []textplot.Segment{
+					{Name: "user", Value: user},
+					{Name: "system", Value: sys},
+				},
+			})
+		}
+	}
+	hogged := outs[1] // jiffy host under pressure
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("neighbor hog took %d major faults, issuing %d remote reads + %d remote writebacks against the host's swap (%d request frames at the host NIC)",
+			hogged.HogMajorFaults, hogged.RemoteReads, hogged.RemoteWrites, hogged.HostRxPackets),
+		"expectation: jiffy-billed host's system time grows with remote swap service (rx interrupts + block-layer work land on the current task); process-aware host's bill is flat",
+		fmt.Sprintf("system account on the process-aware host under pressure: %.2f s", outs[3].Victim.Run.SystemAccountSec),
+	)
+	return fig, nil
+}

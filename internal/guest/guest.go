@@ -124,6 +124,26 @@ type Context interface {
 	// the billing accountant, like getrusage(RUSAGE_SELF).
 	Usage() (user, system sim.Cycles)
 
+	// NetSend transmits one frame on the machine's NIC out the given
+	// route (a cluster registers one route per outgoing link
+	// direction; route 0 is the machine's first uplink). The kernel
+	// charges the sendto syscall plus the driver tx path as system
+	// time. It reports whether the frame was carried: false models
+	// ENOBUFS-style local drop feedback — no route, a full queue on
+	// the wire, or a dead destination.
+	NetSend(route int) bool
+
+	// NetRx reads the total frames the machine's NIC has delivered
+	// (a packet-socket statistics read, charged as a syscall).
+	NetRx() uint64
+
+	// NetRxWait blocks until the NIC has delivered more than seen
+	// frames, then returns the new total. A responder daemon pairs it
+	// with NetSend to acknowledge traffic, which is what lets a
+	// cluster express ack-paced flows whose rate is shaped by the
+	// receiver's responsiveness.
+	NetRxWait(seen uint64) uint64
+
 	// Exec replaces the task's image with prog, as execve does: the
 	// kernel charges image load and dynamic-linking time, library
 	// constructors run, then prog.Main, then destructors. Exec

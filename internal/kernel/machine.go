@@ -95,6 +95,10 @@ type Machine struct {
 	lastRun *task
 	live    int
 
+	// netWaiters are tasks blocked in NetRxWait, in block order; the
+	// NIC rx path completes their requests as frames arrive.
+	netWaiters []*task
+
 	needResched bool
 	closed      bool
 
@@ -213,7 +217,7 @@ func New(cfg Config) *Machine {
 
 	// Arm the periodic timer.
 	m.nextTickAt = m.tickCycles
-	m.queue.Schedule(m.nextTickAt, "timer", m.timerFire)
+	m.queue.Schedule(m.nextTickAt, sim.KindTimer, m.timerFire)
 	return m
 }
 
@@ -506,19 +510,48 @@ func (m *Machine) driveToSignal() (bool, error) {
 }
 
 // NextWorkAt reports the virtual time at which this machine can next
-// make progress: now if a task is on or ready for the CPU (or a guest
-// driver is parked mid-request at a barrier), otherwise the next
-// pending event. ok is false when the machine can make no progress on
-// its own — it has finished, or every remaining task is blocked on a
-// condition only an external event (a cluster packet) can satisfy.
+// make progress: now if a task is on or ready for the CPU, otherwise
+// the next pending event. ok is false when the machine can make no
+// progress on its own — it has finished, or every remaining task is
+// blocked on a condition only an external event (a cluster packet)
+// can satisfy. The periodic timer tick does not count as work: ticks
+// wake nothing, so a machine whose queue holds only its own ticks is
+// idle until the network feeds it. (Which guest goroutine happens to
+// hold the suspended engine is irrelevant to whether work exists.)
 func (m *Machine) NextWorkAt() (at sim.Cycles, ok bool) {
 	if m.closed || m.live == 0 {
 		return 0, false
 	}
-	if m.pausedDriver != nil || m.current != nil || m.sched.Runnable() > 0 {
+	if m.current != nil || m.sched.Runnable() > 0 {
 		return m.clock.Now(), true
 	}
+	if m.queue.PendingNonTimer() == 0 {
+		return 0, false
+	}
 	return m.queue.PeekTime()
+}
+
+// Closed reports whether the machine has been shut down (finished or
+// torn down); a closed machine can never deliver another event, so a
+// cluster link counts frames sent to it as drops.
+func (m *Machine) Closed() bool { return m.closed }
+
+// IRQWork builds a reusable event callback performing cost cycles of
+// interrupt-context work on the given line, billed to whichever task
+// is current when it fires. Build it once and pass it to
+// ScheduleIRQWork per occurrence, so recurring injected work (a
+// cluster's remote-device service, fired per client I/O) does not
+// allocate a closure per event.
+func (m *Machine) IRQWork(irq device.IRQ, cost sim.Cycles) func() {
+	return func() { m.irqWork(irq, cost) }
+}
+
+// ScheduleIRQWork schedules a callback built by IRQWork at virtual
+// time at. A cluster uses it for the host-side service of remotely
+// mounted devices (e.g. a neighbor machine's swap I/O against a swap
+// partition this machine exports).
+func (m *Machine) ScheduleIRQWork(at sim.Cycles, work func()) {
+	m.queue.Schedule(at, "irq-work", work)
 }
 
 // Shutdown releases the machine's guest goroutines without running to
@@ -629,9 +662,15 @@ func (m *Machine) driveStep() error {
 
 	if m.current == nil {
 		if !m.dispatch() {
-			// Nothing runnable: idle to the next event.
+			// Nothing runnable: idle to the next event. A queue
+			// holding only the periodic tick can never wake anyone,
+			// so a solo machine in that state (every live task blocked
+			// on input that cannot arrive) is deadlocked rather than
+			// idle; in a cluster the RunUntil barrier is always
+			// pending, so lockstep slices never trip this and the
+			// cluster-level stall detector owns the verdict.
 			at, ok := m.queue.PeekTime()
-			if !ok {
+			if !ok || m.queue.PendingNonTimer() == 0 {
 				return ErrDeadlock
 			}
 			m.cpu.Idle(at)
@@ -828,13 +867,37 @@ func (m *Machine) timerTick() {
 	m.acct.OnTick(cur, mode)
 	m.irqWork(device.IRQTimer, m.cpu.Costs().TimerHandler)
 	m.nextTickAt += m.tickCycles
-	m.queue.Schedule(m.nextTickAt, "timer", m.timerFire)
+	m.queue.Schedule(m.nextTickAt, sim.KindTimer, m.timerFire)
 }
 
-// nicRx services one received packet.
+// nicRx services one received packet, then completes any NetRxWait
+// whose threshold the delivery crossed (softirq hands the frame to
+// the socket and the scheduler wakes the reader after the usual
+// wakeup latency).
 func (m *Machine) nicRx() {
 	c := m.cpu.Costs()
 	m.irqWork(device.IRQNIC, c.IRQEntry+c.IRQHandlerNIC+c.IRQExit)
+	if len(m.netWaiters) == 0 {
+		return
+	}
+	n := m.nic.Received()
+	kept := m.netWaiters[:0]
+	for _, t := range m.netWaiters {
+		if !t.p.Alive() || t.cur == nil || t.completed {
+			continue // stale entry: drop
+		}
+		if n > t.cur.addr {
+			t.cur.ret = n
+			t.completed = true
+			m.wakeAfterLatency(t)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(m.netWaiters); i++ {
+		m.netWaiters[i] = nil
+	}
+	m.netWaiters = kept
 }
 
 // diskIRQ runs the disk completion interrupt: entry, the completion

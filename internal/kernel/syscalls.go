@@ -27,6 +27,7 @@ var (
 var syscallServiceUs = map[string]sim.Cycles{
 	"read":      2,
 	"write":     2,
+	"sendto":    2,
 	"open":      3,
 	"close":     1,
 	"stat":      2,
@@ -154,6 +155,34 @@ func (m *Machine) beginRequest(t *task, r *request) {
 			}
 		}
 		m.grantNow(t)
+
+	case rqNetSend:
+		st.Syscalls++
+		// sendto entry/service/exit, then the driver's tx path — ring
+		// descriptor fill and doorbell — all system time of the sender.
+		m.chargedAdvance(m.syscallCost("sendto")+c.NICTx, cpu.Kernel, t)
+		r.wok = m.nic.Transmit(int(r.addr))
+		m.grantNow(t)
+
+	case rqNetRx:
+		st.Syscalls++
+		m.chargedAdvance(m.syscallCost("read"), cpu.Kernel, t)
+		r.ret = m.nic.Received()
+		m.grantNow(t)
+
+	case rqNetRxWait:
+		st.Syscalls++
+		m.chargedAdvance(m.syscallCost("read"), cpu.Kernel, t)
+		if n := m.nic.Received(); n > r.addr {
+			r.ret = n
+			m.grantNow(t)
+			break
+		}
+		// Block until the NIC delivers a fresh frame; nicRx completes
+		// the request. Wait order is block order (deterministic).
+		t.blockedAt = m.clock.Now()
+		m.blockCurrent(proc.Blocked)
+		m.netWaiters = append(m.netWaiters, t)
 
 	default:
 		panic(fmt.Sprintf("kernel: unknown request kind %d from %v", r.kind, t.p))

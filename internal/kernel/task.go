@@ -27,6 +27,9 @@ const (
 	rqUsage
 	rqExec
 	rqFind
+	rqNetSend
+	rqNetRx
+	rqNetRxWait
 )
 
 // request is one guest action awaiting kernel service. The guest
@@ -38,7 +41,7 @@ type request struct {
 
 	// Inputs.
 	cycles sim.Cycles     // rqCompute, rqSleep
-	addr   uint64         // rqAccess
+	addr   uint64         // rqAccess; route for rqNetSend; seen for rqNetRxWait
 	write  bool           // rqAccess
 	name   string         // rqSyscall, rqFork, rqThread
 	body   guest.Routine  // rqFork, rqThread
@@ -389,6 +392,21 @@ func (c *guestCtx) Ptrace(req guest.PtraceRequest, pid proc.PID, addr, data uint
 func (c *guestCtx) Usage() (user, system sim.Cycles) {
 	r := c.do(request{kind: rqUsage})
 	return r.u, r.s
+}
+
+func (c *guestCtx) NetSend(route int) bool {
+	r := c.do(request{kind: rqNetSend, addr: uint64(route)})
+	return r.wok
+}
+
+func (c *guestCtx) NetRx() uint64 {
+	r := c.do(request{kind: rqNetRx})
+	return r.ret
+}
+
+func (c *guestCtx) NetRxWait(seen uint64) uint64 {
+	r := c.do(request{kind: rqNetRxWait, addr: seen})
+	return r.ret
 }
 
 // Exec loads a program image: the kernel charges execve and dynamic

@@ -25,13 +25,21 @@ type Event struct {
 // (either fired or cancelled).
 func (e *Event) Cancelled() bool { return e.index < 0 }
 
+// KindTimer is the diagnostic kind of the periodic timer tick. The
+// queue counts these separately: a machine whose only pending events
+// are its own ticks can never make progress by itself (ticks wake
+// nothing), which is how a cluster distinguishes "idle until the next
+// wake/disk/packet event" from "stalled waiting for network input".
+const KindTimer = "timer"
+
 // EventQueue is a deterministic priority queue of events ordered by
 // virtual time, breaking ties by insertion order. A free list recycles
 // popped events so steady-state scheduling does not allocate.
 type EventQueue struct {
-	h    eventHeap
-	seq  uint64
-	free []*Event
+	h      eventHeap
+	seq    uint64
+	free   []*Event
+	timers int // pending events whose Kind is KindTimer
 }
 
 // NewEventQueue returns an empty queue.
@@ -57,8 +65,16 @@ func (q *EventQueue) Schedule(at Cycles, kind string, fn func()) *Event {
 		e = &Event{At: at, Kind: kind, Fire: fn, seq: q.seq}
 	}
 	heap.Push(&q.h, e)
+	if kind == KindTimer {
+		q.timers++
+	}
 	return e
 }
+
+// PendingNonTimer reports how many pending events are anything other
+// than the periodic timer tick. Zero means the queue holds nothing
+// that could ever change task state on its own.
+func (q *EventQueue) PendingNonTimer() int { return len(q.h) - q.timers }
 
 // Release returns a fired (or cancelled) event to the free list for
 // reuse by a later Schedule. Releasing an event that is back in the
@@ -86,6 +102,9 @@ func (q *EventQueue) Cancel(e *Event) {
 	heap.Remove(&q.h, e.index)
 	e.index = -1
 	e.Fire = nil
+	if e.Kind == KindTimer {
+		q.timers--
+	}
 	q.free = append(q.free, e)
 }
 
@@ -105,6 +124,9 @@ func (q *EventQueue) Pop() *Event {
 	}
 	e := heap.Pop(&q.h).(*Event)
 	e.index = -1
+	if e.Kind == KindTimer {
+		q.timers--
+	}
 	return e
 }
 
