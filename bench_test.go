@@ -214,7 +214,7 @@ func BenchmarkClusterBidirectional(b *testing.B) {
 								sent, acked := uint64(0), uint64(0)
 								for sent < frames {
 									for sent < frames && sent < acked+window {
-										ctx.NetSend(0)
+										ctx.NetSend(guest.Frame{Dst: 2})
 										sent++
 									}
 									acked = ctx.NetRxWait(acked)
@@ -235,7 +235,7 @@ func BenchmarkClusterBidirectional(b *testing.B) {
 								for acked < frames {
 									seen = ctx.NetRxWait(seen)
 									for acked < seen {
-										ctx.NetSend(0)
+										ctx.NetSend(guest.Frame{Dst: 1})
 										acked++
 									}
 								}
@@ -257,6 +257,23 @@ func BenchmarkClusterBidirectional(b *testing.B) {
 		achieved = frames / elapsed
 	}
 	b.ReportMetric(achieved, "acked-frames/vsec")
+}
+
+// BenchmarkRouterFlood regenerates the routed-fabric artifact: three
+// 5-machine clusters (silent, 10k, 20k pps per attacker) where every
+// victim-bound frame crosses a billed router machine and the egress
+// wire runs RED/ECN. The metric is the router forwarding daemon's
+// jiffy bill at the top rate — the cross-machine distortion the
+// scenario exists to show.
+func BenchmarkRouterFlood(b *testing.B) {
+	benchFigure(b, "routerflood", func(fig *Figure) float64 {
+		// Bars alternate router-fwd/victim-host per rate; the last
+		// router-fwd bar is the top-rate bill.
+		if len(fig.Bars) < 2 {
+			return 0
+		}
+		return fig.Bars[len(fig.Bars)-2].Total()
+	}, "router-bill-sec")
 }
 
 // BenchmarkMeterAllocs pins the allocation footprint of one metered

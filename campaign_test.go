@@ -10,7 +10,7 @@ import (
 // self-contained and results aggregate in declaration order, so the
 // schedule must not leak into the output.
 func TestReproduceAllParallelDeterminism(t *testing.T) {
-	ids := []string{"figure4", "figure7", "ablation1", "cluster", "multiflood", "swapflood"}
+	ids := []string{"figure4", "figure7", "ablation1", "cluster", "multiflood", "swapflood", "routerflood"}
 	opts := func(par int) Options {
 		return Options{
 			Seed:         7,

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	meterlab list
-//	meterlab run <artifact> [flags]     one of figure4..figure11, comparison, mitigation, cluster
+//	meterlab run <artifact> [flags]     one of figure4..figure11, comparison, mitigation,
+//	                                    cluster, multiflood, swapflood, routerflood
 //	meterlab all [flags]                every artifact in order
 //	meterlab meter <O|P|W|B> [flags]    meter one job and print all schemes
 //	meterlab cluster [flags]            run one cross-machine flood scenario:
@@ -30,6 +31,11 @@
 //	-queue-depth n (cluster only) per-link tail-drop queue bound in packets (0 = 64)
 //	-lossless     (cluster only) idealised infinite-rate lossless wires (overrides
 //	              -link-pps/-queue-depth; replays the pre-lossy link model)
+//	-red-min n    (cluster only) RED/ECN early-feedback start, in queue slots
+//	              (0 = RED disabled, pure tail-drop)
+//	-red-max n    (cluster only) RED all-feedback threshold (default 3x -red-min,
+//	              capped at the queue depth)
+//	-red-maxp n   (cluster only) RED max mark/drop probability in percent (default 50)
 //
 // Output is byte-identical at every -parallel setting; only the host
 // wall-clock changes.
@@ -72,6 +78,9 @@ func run(args []string) error {
 	linkPPS := fs.Int64("link-pps", 0, "per-link wire capacity for 'cluster' (0 = 148800)")
 	queueDepth := fs.Int64("queue-depth", 0, "per-link tail-drop queue bound for 'cluster', packets (0 = 64)")
 	lossless := fs.Bool("lossless", false, "idealised infinite-rate lossless wires for 'cluster'")
+	redMin := fs.Int64("red-min", 0, "RED early-feedback start for 'cluster', queue slots (0 = RED disabled)")
+	redMax := fs.Int64("red-max", 0, "RED all-feedback threshold for 'cluster' (0 = 3x -red-min, capped at queue depth)")
+	redMaxP := fs.Int64("red-maxp", 50, "RED max mark/drop probability for 'cluster', percent")
 
 	switch cmd {
 	case "list":
@@ -111,6 +120,9 @@ func run(args []string) error {
 				linkPPS:    *linkPPS,
 				queueDepth: *queueDepth,
 				lossless:   *lossless,
+				redMin:     *redMin,
+				redMax:     *redMax,
+				redMaxP:    *redMaxP,
 			}, opts)
 		default:
 			return meterJob(target, *attackKey, opts)
@@ -131,6 +143,39 @@ type clusterFlags struct {
 	linkPPS    int64
 	queueDepth int64
 	lossless   bool
+	redMin     int64
+	redMax     int64
+	redMaxP    int64
+}
+
+// redSpec resolves the RED flags: nil (disabled) when -red-min is 0,
+// otherwise a validated spec with the -red-max default derived from
+// -red-min and the resolved queue depth.
+func (f clusterFlags) redSpec() (*cpumeter.REDSpec, error) {
+	if f.redMin == 0 {
+		if f.redMax != 0 || f.redMaxP != 50 {
+			return nil, fmt.Errorf("cluster: -red-max/-red-maxp have no effect without -red-min (RED is disabled at -red-min 0)")
+		}
+		return nil, nil
+	}
+	if f.redMin < 0 || f.redMax < 0 || f.redMaxP < 1 || f.redMaxP > 100 {
+		return nil, fmt.Errorf("cluster: -red-min %d and -red-max %d must be >= 0 and -red-maxp %d in 1..100", f.redMin, f.redMax, f.redMaxP)
+	}
+	if f.lossless {
+		return nil, fmt.Errorf("cluster: -red-min is meaningless with -lossless (an infinite-rate wire has no queue)")
+	}
+	depth := uint64(f.queueDepth)
+	if depth == 0 {
+		depth = cpumeter.DefaultLinkQueueDepth
+	}
+	maxDepth := uint64(f.redMax)
+	if maxDepth == 0 {
+		maxDepth = 3 * uint64(f.redMin)
+		if maxDepth > depth {
+			maxDepth = depth
+		}
+	}
+	return &cpumeter.REDSpec{MinDepth: uint64(f.redMin), MaxDepth: maxDepth, MaxPct: uint64(f.redMaxP)}, nil
 }
 
 // parseVictims validates and expands the -victims flag: the first
@@ -182,6 +227,10 @@ func runCluster(f clusterFlags, opts cpumeter.Options) error {
 	if f.lossless {
 		linkPPS = cpumeter.UnlimitedLinkPPS
 	}
+	red, err := f.redSpec()
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	out, err := cpumeter.MeterCluster(cpumeter.ClusterRunSpec{
 		Opts:           opts,
@@ -190,6 +239,7 @@ func runCluster(f clusterFlags, opts cpumeter.Options) error {
 		LinkLatencyUs:  uint64(f.latencyUs),
 		LinkPPS:        linkPPS,
 		LinkQueueDepth: uint64(f.queueDepth),
+		LinkRED:        red,
 	})
 	if err != nil {
 		return err

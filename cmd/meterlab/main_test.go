@@ -21,6 +21,12 @@ func TestClusterFlagValidation(t *testing.T) {
 		{"negative latency", []string{"cluster", "-latency-us", "-10"}, "must be > 0"},
 		{"negative link pps", []string{"cluster", "-link-pps", "-1"}, ">= 0"},
 		{"negative queue depth", []string{"cluster", "-queue-depth", "-2"}, ">= 0"},
+		{"red-max without red-min", []string{"cluster", "-red-max", "16"}, "without -red-min"},
+		{"red-maxp without red-min", []string{"cluster", "-red-maxp", "80"}, "without -red-min"},
+		{"negative red-min", []string{"cluster", "-red-min", "-3"}, "-red-min"},
+		{"red-maxp out of range", []string{"cluster", "-red-min", "8", "-red-maxp", "200"}, "1..100"},
+		{"red with lossless", []string{"cluster", "-red-min", "8", "-lossless"}, "-lossless"},
+		{"inverted red thresholds", []string{"cluster", "-red-min", "30", "-red-max", "8"}, "MinDepth"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args)

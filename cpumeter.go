@@ -31,6 +31,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/guest"
 	"repro/internal/integrity"
 	"repro/internal/kernel"
 	"repro/internal/proc"
@@ -66,6 +67,17 @@ type (
 	// PID identifies a simulated process.
 	PID = proc.PID
 
+	// Frame is one addressed fabric frame: Src/Dst fabric addresses,
+	// a flow id, a payload size, and the ECN/CE/ECE bits.
+	Frame = cluster.Frame
+	// FabricAddr is a machine's fabric address (machine i of a
+	// cluster is addressed i+1).
+	FabricAddr = cluster.Addr
+	// REDSpec parameterises a link's RED/ECN queue-feedback policy.
+	REDSpec = cluster.REDSpec
+	// RouteSpec installs one static multi-hop routing-table entry.
+	RouteSpec = cluster.RouteSpec
+
 	// Cluster is a set of machines advancing in deterministic
 	// lockstep virtual time, joined by modeled network links.
 	Cluster = cluster.Cluster
@@ -97,6 +109,15 @@ type (
 	SwapFloodSpec = experiments.SwapFloodSpec
 	// SwapFloodOut is one shared-swap scenario's harvest.
 	SwapFloodOut = experiments.SwapFloodOut
+	// RouterFloodSpec describes attackers flooding a victim host
+	// through a shared, billed router machine with a RED/ECN egress.
+	RouterFloodSpec = experiments.RouterFloodSpec
+	// RouterFloodOut is one routed-flood scenario's harvest.
+	RouterFloodOut = experiments.RouterFloodOut
+	// AckFlowConfig parameterises an ack-paced ECN transfer.
+	AckFlowConfig = experiments.AckFlowConfig
+	// AckFlowStats is an ack-paced transfer's harvest.
+	AckFlowStats = experiments.AckFlowStats
 )
 
 // UnlimitedLinkPPS selects an idealised lossless infinite-rate wire
@@ -104,6 +125,10 @@ type (
 // drops) — the first cluster model's behaviour, which such a config
 // replays bit-for-bit.
 const UnlimitedLinkPPS = cluster.UnlimitedPPS
+
+// DefaultLinkQueueDepth is a link direction's tail-drop queue bound
+// in packets when a spec leaves it zero.
+const DefaultLinkQueueDepth = cluster.DefaultQueueDepth
 
 // MeterMultiFlood executes one N-attackers → one-victim bottleneck
 // flood scenario in deterministic lockstep.
@@ -116,6 +141,23 @@ func MeterMultiFlood(spec MultiFloodSpec) (*MultiFloodOut, error) {
 func MeterSwapFlood(spec SwapFloodSpec) (*SwapFloodOut, error) {
 	return experiments.RunSwapFlood(spec)
 }
+
+// MeterRouterFlood executes one attackers → router → victim scenario
+// in deterministic lockstep: the router is a real billed machine
+// running cluster.Forwarder, and its egress wire applies RED/ECN
+// queue feedback.
+func MeterRouterFlood(spec RouterFloodSpec) (*RouterFloodOut, error) {
+	return experiments.RunRouterFlood(spec)
+}
+
+// Forwarder returns the store-and-forward router guest: spawn it on
+// a cluster machine marked Service to turn that machine into a
+// billed router (see cluster.Forwarder).
+func Forwarder(lookup sim.Cycles) guest.Routine { return cluster.Forwarder(lookup) }
+
+// DefaultForwardUs is a software router's default per-frame
+// lookup/queue service in microseconds.
+const DefaultForwardUs = cluster.DefaultForwardUs
 
 // DefaultCPUHz is the simulated clock matching the paper's testbed
 // (2.53 GHz).
@@ -204,23 +246,24 @@ func WorkloadKeys() []string {
 
 // experimentRunners maps artifact ids to their runners.
 var experimentRunners = map[string]func(Options) (*Figure, error){
-	"figure4":    experiments.Figure4,
-	"figure5":    experiments.Figure5,
-	"figure6":    experiments.Figure6,
-	"figure7":    experiments.Figure7,
-	"figure8":    experiments.Figure8,
-	"figure9":    experiments.Figure9,
-	"figure10":   experiments.Figure10,
-	"figure11":   experiments.Figure11,
-	"comparison": experiments.ComparisonTable,
-	"mitigation": experiments.TrustedMitigation,
-	"ablation1":  experiments.AblationTickRate,
-	"ablation2":  experiments.AblationScheduler,
-	"ablation3":  experiments.AblationIRQAccounting,
-	"ablation4":  experiments.AblationDetector,
-	"cluster":    experiments.ClusterFlood,
-	"multiflood": experiments.MultiAttackerFlood,
-	"swapflood":  experiments.CrossMachineExceptionFlood,
+	"figure4":     experiments.Figure4,
+	"figure5":     experiments.Figure5,
+	"figure6":     experiments.Figure6,
+	"figure7":     experiments.Figure7,
+	"figure8":     experiments.Figure8,
+	"figure9":     experiments.Figure9,
+	"figure10":    experiments.Figure10,
+	"figure11":    experiments.Figure11,
+	"comparison":  experiments.ComparisonTable,
+	"mitigation":  experiments.TrustedMitigation,
+	"ablation1":   experiments.AblationTickRate,
+	"ablation2":   experiments.AblationScheduler,
+	"ablation3":   experiments.AblationIRQAccounting,
+	"ablation4":   experiments.AblationDetector,
+	"cluster":     experiments.ClusterFlood,
+	"multiflood":  experiments.MultiAttackerFlood,
+	"swapflood":   experiments.CrossMachineExceptionFlood,
+	"routerflood": experiments.RouterFlood,
 }
 
 // Experiments lists the regenerable artifact ids in a stable order.

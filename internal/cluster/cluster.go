@@ -34,10 +34,21 @@ import (
 	"math"
 
 	"repro/internal/device"
+	"repro/internal/guest"
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
+
+// Frame is one addressed fabric frame (see device.Frame): Src/Dst
+// fabric addresses, a flow id, a payload size, and the ECN
+// capability and congestion-experienced bits.
+type Frame = device.Frame
+
+// Addr is a fabric address (see device.Addr). A cluster assigns
+// machine i the address Addr(i+1); zero is reserved for
+// "unaddressed".
+type Addr = device.Addr
 
 // DefaultLatencyUs is the one-way link latency when a LinkSpec leaves
 // it zero: 500 µs, a 2008-era switched-LAN round trip's half.
@@ -67,6 +78,9 @@ const DefaultSwapServiceUs = 40
 
 // MachineSpec declares one cluster member.
 type MachineSpec struct {
+	// Name optionally names the machine for diagnostics. Non-empty
+	// names must be unique within a cluster.
+	Name string
 	// Config assembles the machine; every machine in a cluster must
 	// share one CPUHz so the lockstep barrier is a single timebase.
 	Config kernel.Config
@@ -75,6 +89,16 @@ type MachineSpec struct {
 	// link is built but before any machine advances, so a guest body
 	// may capture a link (c.Link(i)) to transmit on.
 	Boot func(c *Cluster, m *kernel.Machine) error
+	// Service marks a machine whose tasks may legitimately block on
+	// network input forever (a forwarding router's daemon, an echo
+	// responder). When every unfinished machine is a service machine
+	// and no frame is in flight, the cluster shuts the service
+	// machines down and completes instead of reporting ErrStalled.
+	// The retirement is machine-granular: if a Service machine also
+	// hosts a finite job, a stall of that job is indistinguishable
+	// from quiescence here, so callers co-hosting jobs with daemons
+	// must verify the job's own completion after Run.
+	Service bool
 }
 
 // LinkSpec declares one bidirectional link between two machines'
@@ -111,6 +135,60 @@ type LinkSpec struct {
 	// one lookahead window (the smallest link latency) and the
 	// history remains a pure function of the Config.
 	Bottleneck string
+	// RED, when non-nil, arms RED/ECN-style queue feedback on both of
+	// this link's directions (each direction keeps its own queue
+	// state and random stream). Nil keeps pure tail-drop, which
+	// replays pre-RED histories bit-for-bit. Bottleneck-tagged links
+	// must agree on RED parameters like they agree on rate and depth.
+	RED *REDSpec
+}
+
+// REDSpec parameterises one pipe's random-early-detection policy.
+// When a frame would queue q deep (in serialisation slots) behind
+// earlier frames:
+//
+//   - q < MinDepth: carried unmolested;
+//   - MinDepth <= q < MaxDepth: marked-or-dropped with probability
+//     ramping linearly from ~0 up to MaxPct%;
+//   - q >= MaxDepth: always marked-or-dropped.
+//
+// An ECN-capable frame (Frame.ECN) is marked — CE set, still carried
+// — so an ack-paced sender can back off without losing the frame;
+// anything else is early-dropped. The coin flips come from the
+// pipe's own seeded splitmix64 stream, so histories stay a pure
+// function of the Config. The hard QueueDepth tail-drop bound still
+// applies above all of this.
+type REDSpec struct {
+	// MinDepth and MaxDepth are the early-feedback thresholds in
+	// queue slots; MinDepth must be < MaxDepth, and MaxDepth at most
+	// the link's resolved QueueDepth.
+	MinDepth, MaxDepth uint64
+	// MaxPct is the mark/drop probability (percent, 1..100) reached
+	// as the queue grows to MaxDepth.
+	MaxPct uint64
+}
+
+// validate checks a RED spec against its link's resolved queue depth.
+func (r *REDSpec) validate(depth uint64) error {
+	if r.MinDepth >= r.MaxDepth {
+		return fmt.Errorf("RED MinDepth %d must be < MaxDepth %d", r.MinDepth, r.MaxDepth)
+	}
+	if r.MaxDepth > depth {
+		return fmt.Errorf("RED MaxDepth %d exceeds queue depth %d", r.MaxDepth, depth)
+	}
+	if r.MaxPct == 0 || r.MaxPct > 100 {
+		return fmt.Errorf("RED MaxPct %d must be in 1..100", r.MaxPct)
+	}
+	return nil
+}
+
+// RouteSpec installs one static routing-table entry: on machine On,
+// frames addressed to machine Dst leave through On's link to the
+// directly connected neighbor Via. Direct-neighbor routes are
+// installed automatically from Links; RouteSpecs express the
+// multi-hop paths behind routers.
+type RouteSpec struct {
+	On, Dst, Via int
 }
 
 // SharedSwapSpec declares that one machine (Host) physically owns the
@@ -139,6 +217,9 @@ type SharedSwapSpec struct {
 type Config struct {
 	Machines []MachineSpec
 	Links    []LinkSpec
+	// Routes are static multi-hop routing-table entries on top of the
+	// automatic direct-neighbor routes.
+	Routes []RouteSpec
 	// SharedSwap, when non-nil, couples machines' swap devices into
 	// one physically shared device hosted by one machine.
 	SharedSwap *SharedSwapSpec
@@ -161,8 +242,26 @@ var ErrStalled = errors.New("cluster: unfinished machines but no machine has pen
 type pipe struct {
 	gap         sim.Cycles // serialisation spacing at wire capacity; 0 = infinite rate
 	depth       uint64     // tail-drop bound in packets
+	red         *REDSpec   // nil: pure tail-drop
 	lastArrival sim.Cycles
 	rng         *sim.Rand
+}
+
+// redHit decides whether a frame queuing q slots deep takes early
+// feedback, drawing from the pipe's deterministic stream only when
+// the policy is armed and the queue has reached MinDepth.
+func (p *pipe) redHit(q uint64) bool {
+	r := p.red
+	if r == nil || q < r.MinDepth {
+		return false
+	}
+	if q >= r.MaxDepth {
+		return true
+	}
+	// Probability ramps linearly over [MinDepth, MaxDepth) up to
+	// MaxPct%, evaluated in 1/65536 units with one draw per decision.
+	prob := (q - r.MinDepth + 1) * r.MaxPct * 65536 / ((r.MaxDepth - r.MinDepth) * 100)
+	return uint64(p.rng.Int63n(65536)) < prob
 }
 
 // Link is one direction of a network path between two machines' NICs.
@@ -178,6 +277,8 @@ type Link struct {
 	sent      uint64
 	delivered uint64
 	dropped   uint64
+	marked    uint64
+	earlyDrop uint64
 }
 
 // Sent reports frames offered to this direction since construction.
@@ -189,8 +290,17 @@ func (l *Link) Sent() uint64 { return l.sent }
 func (l *Link) Delivered() uint64 { return l.delivered }
 
 // Dropped reports frames not delivered: tail-dropped at the wire's
-// queue, or offered after the destination machine had finished.
+// queue, RED-early-dropped, or offered after the destination machine
+// had finished.
 func (l *Link) Dropped() uint64 { return l.dropped }
+
+// Marked reports ECN-capable frames this direction carried with a
+// fresh CE congestion mark from its RED policy.
+func (l *Link) Marked() uint64 { return l.marked }
+
+// EarlyDropped reports the subset of Dropped that RED discarded
+// before the hard tail-drop bound (non-ECN frames under congestion).
+func (l *Link) EarlyDropped() uint64 { return l.earlyDrop }
 
 // Latency reports the one-way propagation delay in cycles.
 func (l *Link) Latency() sim.Cycles { return l.latency }
@@ -198,15 +308,18 @@ func (l *Link) Latency() sim.Cycles { return l.latency }
 // Reverse returns the opposite direction of this link.
 func (l *Link) Reverse() *Link { return l.rev }
 
-// Send offers one frame to this direction. A carried frame arrives at
-// the destination NIC one latency after the sender's current virtual
-// time — no earlier than one serialisation gap after the previous
-// frame on the same pipe — and raises one receive interrupt there. A
-// frame that would queue QueueDepth or more gap-slots deep, or whose
-// destination machine has already finished, is tail-dropped instead;
-// Send reports whether the frame was carried. Sent = Delivered +
-// Dropped always holds.
-func (l *Link) Send() bool {
+// Send offers one addressed frame to this direction. A carried frame
+// arrives at the destination NIC one latency after the sender's
+// current virtual time — no earlier than one serialisation gap after
+// the previous frame on the same pipe — and raises one receive
+// interrupt there, parking the frame in the destination kernel's
+// receive buffer. A frame that would queue QueueDepth or more
+// gap-slots deep, or whose destination machine has already finished,
+// is tail-dropped instead; with RED armed, a frame queueing past
+// MinDepth may take early feedback first — a CE mark if it is
+// ECN-capable, an early drop otherwise. Send reports whether the
+// frame was carried. Sent = Delivered + Dropped always holds.
+func (l *Link) Send(f Frame) bool {
 	l.sent++
 	if l.to.Closed() {
 		l.dropped++
@@ -215,9 +328,21 @@ func (l *Link) Send() bool {
 	arrive := l.from.Clock().Now() + l.latency
 	if p := l.pipe; p.gap > 0 {
 		if floor := p.lastArrival + p.gap; arrive < floor {
-			if queued := uint64((floor - arrive) / p.gap); queued >= p.depth {
+			queued := uint64((floor - arrive) / p.gap)
+			if queued >= p.depth {
 				l.dropped++
 				return false
+			}
+			if p.redHit(queued) {
+				if !f.ECN {
+					l.dropped++
+					l.earlyDrop++
+					return false
+				}
+				if !f.CE {
+					l.marked++
+				}
+				f.CE = true
 			}
 			// The wire is the binding constraint: per-frame service
 			// time varies with frame size, so perturb the nominal gap
@@ -237,7 +362,7 @@ func (l *Link) Send() bool {
 		p.lastArrival = arrive
 	}
 	l.delivered++
-	l.to.NIC().InjectRx(arrive)
+	l.to.NIC().InjectRxFrame(arrive, f)
 	return true
 }
 
@@ -245,6 +370,8 @@ func (l *Link) Send() bool {
 // between them.
 type Cluster struct {
 	machines  []*kernel.Machine
+	names     []string
+	service   []bool
 	links     []*Link
 	done      []bool
 	lookahead sim.Cycles
@@ -252,8 +379,9 @@ type Cluster struct {
 }
 
 // newPipe builds one direction's serialisation state from a spec.
-// seed drives the pipe's service-time perturbation.
-func newPipe(freq sim.Hz, pps, depth uint64, seed int64) *pipe {
+// seed drives the pipe's service-time perturbation and RED coin
+// flips.
+func newPipe(freq sim.Hz, pps, depth uint64, red *REDSpec, seed int64) *pipe {
 	if pps == 0 {
 		pps = DefaultLinkPPS
 	}
@@ -267,21 +395,42 @@ func newPipe(freq sim.Hz, pps, depth uint64, seed int64) *pipe {
 			gap = 1
 		}
 	}
-	return &pipe{gap: gap, depth: depth, rng: sim.NewRand(seed)}
+	return &pipe{gap: gap, depth: depth, red: red, rng: sim.NewRand(seed)}
 }
 
-// New builds the machines, wires the links (registering both
-// directions as NIC transmit routes on their sending machines, in
-// Config.Links order: each link contributes its forward direction to
-// From's route list, then its reverse direction to To's), couples any
-// shared swap, and runs every Boot routine. On any error the
-// already-built machines are shut down.
+// AddrOf reports machine i's fabric address (machine i is addressed
+// i+1; zero is reserved).
+func (c *Cluster) AddrOf(i int) Addr {
+	if i < 0 || i >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: AddrOf(%d) out of range: cluster has %d machines", i, len(c.machines)))
+	}
+	return Addr(i + 1)
+}
+
+// machineDesc names machine i for error messages.
+func (c *Cluster) machineDesc(i int) string {
+	if c.names[i] != "" {
+		return fmt.Sprintf("machine %d (%s)", i, c.names[i])
+	}
+	return fmt.Sprintf("machine %d", i)
+}
+
+// New builds the machines, assigns each a fabric address (machine i
+// gets Addr(i+1)), wires the links (registering both directions as
+// NIC transmit routes on their sending machines, in Config.Links
+// order: each link contributes its forward direction to From's route
+// list, then its reverse direction to To's, installing
+// direct-neighbor routing-table entries as it goes), applies static
+// Routes, couples any shared swap, and runs every Boot routine. On
+// any error the already-built machines are shut down.
 func New(cfg Config) (*Cluster, error) {
 	if len(cfg.Machines) == 0 {
 		return nil, fmt.Errorf("cluster: no machines")
 	}
 	c := &Cluster{
 		machines:  make([]*kernel.Machine, len(cfg.Machines)),
+		names:     make([]string, len(cfg.Machines)),
+		service:   make([]bool, len(cfg.Machines)),
 		done:      make([]bool, len(cfg.Machines)),
 		maxCycles: cfg.MaxCycles,
 	}
@@ -292,6 +441,7 @@ func New(cfg Config) (*Cluster, error) {
 	if c.maxCycles == 0 {
 		c.maxCycles = sim.Cycles(freq) * 3600
 	}
+	seenNames := make(map[string]int)
 	for i, ms := range cfg.Machines {
 		f := ms.Config.CPUHz
 		if f == 0 {
@@ -300,32 +450,67 @@ func New(cfg Config) (*Cluster, error) {
 		if f != freq {
 			return nil, fmt.Errorf("cluster: machine %d runs at %d Hz, machine 0 at %d Hz (one timebase required)", i, f, freq)
 		}
+		if ms.Name != "" {
+			if prev, dup := seenNames[ms.Name]; dup {
+				return nil, fmt.Errorf("cluster: machines %d and %d both named %q (names must be unique)", prev, i, ms.Name)
+			}
+			seenNames[ms.Name] = i
+		}
+		c.names[i] = ms.Name
+		c.service[i] = ms.Service
 		c.machines[i] = kernel.New(ms.Config)
+		c.machines[i].NIC().SetAddr(Addr(i + 1))
 	}
 	perUs := sim.Cycles(uint64(freq) / 1_000_000)
 	if perUs == 0 {
 		perUs = 1
 	}
 	shared := make(map[string]*pipe)
+	// nbrRoute[on] maps a directly connected neighbor index to the
+	// first route on machine `on` that reaches it — what static
+	// RouteSpecs resolve Via through.
+	nbrRoute := make([]map[int]int, len(c.machines))
+	addRoute := func(on, neighbor, route int) {
+		if nbrRoute[on] == nil {
+			nbrRoute[on] = make(map[int]int)
+		}
+		if _, ok := nbrRoute[on][neighbor]; !ok {
+			nbrRoute[on][neighbor] = route
+		}
+		nic := c.machines[on].NIC()
+		if _, ok := nic.RouteTo(Addr(neighbor + 1)); !ok {
+			nic.SetRoute(Addr(neighbor+1), route)
+		}
+	}
 	for li, ls := range cfg.Links {
 		if ls.From < 0 || ls.From >= len(c.machines) || ls.To < 0 || ls.To >= len(c.machines) {
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: link %d connects %d->%d, have %d machines", li, ls.From, ls.To, len(c.machines))
+			return nil, fmt.Errorf("cluster: link %d connects %d->%d, but machine indices range over 0..%d", li, ls.From, ls.To, len(c.machines)-1)
+		}
+		if ls.From == ls.To {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: link %d is a self-link on %s (loopback is not a wire)", li, c.machineDesc(ls.From))
 		}
 		latUs := ls.LatencyUs
 		if latUs == 0 {
 			latUs = DefaultLatencyUs
 		}
 		pipeSeed := cfg.Machines[0].Config.Seed*1_000_003 + int64(li)*2
-		fwdPipe := newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, pipeSeed)
+		fwdPipe := newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, ls.RED, pipeSeed)
+		if ls.RED != nil {
+			if err := ls.RED.validate(fwdPipe.depth); err != nil {
+				c.Shutdown()
+				return nil, fmt.Errorf("cluster: link %d: %w", li, err)
+			}
+		}
 		if ls.Bottleneck != "" {
 			if b, ok := shared[ls.Bottleneck]; ok {
 				// Compare resolved parameters, so an explicit value and
 				// the default it resolves to are not a false mismatch.
-				if b.gap != fwdPipe.gap || b.depth != fwdPipe.depth {
+				if b.gap != fwdPipe.gap || b.depth != fwdPipe.depth || !redEqual(b.red, fwdPipe.red) {
 					c.Shutdown()
-					return nil, fmt.Errorf("cluster: link %d bottleneck %q resolves to gap=%d depth=%d, earlier link resolved gap=%d depth=%d",
-						li, ls.Bottleneck, fwdPipe.gap, fwdPipe.depth, b.gap, b.depth)
+					return nil, fmt.Errorf("cluster: link %d bottleneck %q resolves to gap=%d depth=%d red=%v, earlier link resolved gap=%d depth=%d red=%v",
+						li, ls.Bottleneck, fwdPipe.gap, fwdPipe.depth, fwdPipe.red, b.gap, b.depth, b.red)
 				}
 				fwdPipe = b
 			} else {
@@ -342,12 +527,18 @@ func New(cfg Config) (*Cluster, error) {
 			from:    c.machines[ls.To],
 			to:      c.machines[ls.From],
 			latency: fwd.latency,
-			pipe:    newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, pipeSeed+1),
+			pipe:    newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, ls.RED, pipeSeed+1),
 		}
 		fwd.rev, rev.rev = rev, fwd
-		c.machines[ls.From].NIC().AddTxRoute(fwd.Send)
-		c.machines[ls.To].NIC().AddTxRoute(rev.Send)
+		addRoute(ls.From, ls.To, c.machines[ls.From].NIC().AddTxRoute(fwd.Send))
+		addRoute(ls.To, ls.From, c.machines[ls.To].NIC().AddTxRoute(rev.Send))
 		c.links = append(c.links, fwd)
+	}
+	for ri, rs := range cfg.Routes {
+		if err := c.installRoute(rs, nbrRoute); err != nil {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: route %d: %w", ri, err)
+		}
 	}
 	// The lookahead is the shortest cross-machine signal flight time:
 	// one round may only span a window narrower than it. With no
@@ -378,6 +569,36 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// redEqual compares two RED resolutions for bottleneck agreement.
+func redEqual(a, b *REDSpec) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+// installRoute validates one static route and writes the routing-
+// table entry on its machine.
+func (c *Cluster) installRoute(rs RouteSpec, nbrRoute []map[int]int) error {
+	n := len(c.machines)
+	if rs.On < 0 || rs.On >= n || rs.Dst < 0 || rs.Dst >= n || rs.Via < 0 || rs.Via >= n {
+		return fmt.Errorf("{On:%d Dst:%d Via:%d} references machines outside 0..%d", rs.On, rs.Dst, rs.Via, n-1)
+	}
+	if rs.Dst == rs.On {
+		return fmt.Errorf("%s routes to itself", c.machineDesc(rs.On))
+	}
+	route, ok := nbrRoute[rs.On][rs.Via]
+	if !ok {
+		return fmt.Errorf("%s has no link to via-%s", c.machineDesc(rs.On), c.machineDesc(rs.Via))
+	}
+	nic := c.machines[rs.On].NIC()
+	if existing, ok := nic.RouteTo(Addr(rs.Dst + 1)); ok && existing != route {
+		return fmt.Errorf("%s already routes to %s via a different next hop", c.machineDesc(rs.On), c.machineDesc(rs.Dst))
+	}
+	nic.SetRoute(Addr(rs.Dst+1), route)
+	return nil
 }
 
 // wireSharedSwap couples the spec'd machines' disks through one
@@ -438,11 +659,31 @@ func (c *Cluster) wireSharedSwap(ss *SharedSwapSpec, freq sim.Hz, perUs sim.Cycl
 // Size reports the number of machines.
 func (c *Cluster) Size() int { return len(c.machines) }
 
-// Machine returns cluster member i.
-func (c *Cluster) Machine(i int) *kernel.Machine { return c.machines[i] }
+// Machine returns cluster member i. It panics with a descriptive
+// message on an out-of-range index.
+func (c *Cluster) Machine(i int) *kernel.Machine {
+	if i < 0 || i >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: Machine(%d) out of range: cluster has %d machines (0..%d)", i, len(c.machines), len(c.machines)-1))
+	}
+	return c.machines[i]
+}
 
-// Link returns the forward direction of the i-th declared link.
-func (c *Cluster) Link(i int) *Link { return c.links[i] }
+// Name reports machine i's declared name ("" if unnamed).
+func (c *Cluster) Name(i int) string {
+	if i < 0 || i >= len(c.names) {
+		panic(fmt.Sprintf("cluster: Name(%d) out of range: cluster has %d machines (0..%d)", i, len(c.names), len(c.names)-1))
+	}
+	return c.names[i]
+}
+
+// Link returns the forward direction of the i-th declared link. It
+// panics with a descriptive message on an out-of-range index.
+func (c *Cluster) Link(i int) *Link {
+	if i < 0 || i >= len(c.links) {
+		panic(fmt.Sprintf("cluster: Link(%d) out of range: cluster declares %d links (0..%d)", i, len(c.links), len(c.links)-1))
+	}
+	return c.links[i]
+}
 
 // Links reports the number of declared links.
 func (c *Cluster) Links() int { return len(c.links) }
@@ -503,6 +744,27 @@ func (c *Cluster) Run() error {
 			return nil
 		}
 		if !haveWork {
+			// Every unfinished machine is blocked on network input with
+			// nothing in flight. If all of them are service machines
+			// (daemons that wait for traffic forever), the fabric has
+			// quiesced: retire them and complete. Anything else is a
+			// genuine stall.
+			allService := true
+			for i := range c.machines {
+				if !c.done[i] && !c.service[i] {
+					allService = false
+					break
+				}
+			}
+			if allService {
+				for i, m := range c.machines {
+					if !c.done[i] {
+						m.Shutdown()
+						c.done[i] = true
+					}
+				}
+				return nil
+			}
 			c.Shutdown()
 			return ErrStalled
 		}
@@ -534,6 +796,46 @@ func (c *Cluster) Shutdown() {
 	for _, m := range c.machines {
 		if m != nil {
 			m.Shutdown()
+		}
+	}
+}
+
+// DefaultForwardUs is a software router's per-frame lookup/queue
+// service when a forwarder leaves it unset: ~3 µs of FIB lookup,
+// header rewrite, and queue handling.
+const DefaultForwardUs = 3
+
+// Forwarder returns the forwarding guest a router machine runs: it
+// blocks for traffic, then drains the kernel's receive buffer,
+// spending lookup cycles of user-mode table work per frame before
+// retransmitting it — Src preserved — toward its destination via
+// NetForward. Every step is billed on the router machine like any
+// guest's work (the receive interrupts, the read and sendto
+// syscalls, the lookup cycles), so the router's own bill is a
+// first-class observable: an attacker flooding through a shared
+// router inflates the router's metered time without ever running an
+// instruction there. Spawn it on a MachineSpec with Service set —
+// the daemon never exits; the cluster retires it when the fabric
+// quiesces.
+func Forwarder(lookup sim.Cycles) guest.Routine {
+	return func(ctx guest.Context) {
+		self := ctx.NetAddr()
+		seen := uint64(0)
+		for {
+			seen = ctx.NetRxWait(seen)
+			for {
+				f, ok := ctx.NetRecv()
+				if !ok {
+					break
+				}
+				if lookup > 0 {
+					ctx.Compute(lookup)
+				}
+				if f.Dst == self {
+					continue // addressed to the router itself: consumed
+				}
+				ctx.NetForward(f)
+			}
 		}
 	}
 }

@@ -88,7 +88,7 @@ func TestCrossMachineFloodDelivers(t *testing.T) {
 						Content: "pktgen v1",
 						Body: func(ctx guest.Context) {
 							for i := 0; i < packets; i++ {
-								link.Send()
+								link.Send(Frame{Src: 1, Dst: 2})
 								ctx.Syscall("sendto")
 								ctx.Sleep(interval)
 							}
@@ -150,7 +150,7 @@ func TestClusterDeterminism(t *testing.T) {
 							Content: "pktgen v1",
 							Body: func(ctx guest.Context) {
 								for i := 0; i < 1000; i++ {
-									link.Send()
+									link.Send(Frame{Src: 1, Dst: 2})
 									ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
 								}
 							},
@@ -202,7 +202,7 @@ func TestLinkTailDropAccounting(t *testing.T) {
 						Content: "pktgen v1",
 						Body: func(ctx guest.Context) {
 							for i := 0; i < offered; i++ {
-								link.Send()
+								link.Send(Frame{Src: 1, Dst: 2})
 								ctx.Sleep(interval)
 							}
 						},
@@ -260,7 +260,7 @@ func TestLinkSendToFinishedMachineCountsDropped(t *testing.T) {
 						Content: "pktgen v1",
 						Body: func(ctx guest.Context) {
 							for i := 0; i < packets; i++ {
-								link.Send()
+								link.Send(Frame{Src: 1, Dst: 2})
 								ctx.Sleep(interval)
 							}
 						},
@@ -301,24 +301,28 @@ func TestLinkSendToFinishedMachineCountsDropped(t *testing.T) {
 }
 
 // TestBidirectionalReplyDelivers exercises the reverse path through
-// the billed guest tx entry point: machine 0 sends one frame; machine
-// 1's responder blocks in NetRxWait, acks over the reverse direction
-// (its route 0), and machine 0's waiter sees the ack.
+// the billed guest tx entry point: machine 0 sends one addressed
+// frame; machine 1's responder blocks in NetRxWait, reads the frame's
+// headers via NetRecv, acks the frame's own Src over the reverse
+// direction, and machine 0's waiter sees the ack.
 func TestBidirectionalReplyDelivers(t *testing.T) {
 	var gotAck uint64
+	var ackFrame Frame
 	cfg := Config{
 		Machines: []MachineSpec{
 			{
 				Config: kernel.Config{Seed: 61, CPUHz: testHz},
-				Boot: func(_ *Cluster, m *kernel.Machine) error {
+				Boot: func(c *Cluster, m *kernel.Machine) error {
+					peer := c.AddrOf(1)
 					_, err := m.Spawn(kernel.SpawnConfig{
 						Name:    "sender",
 						Content: "sender v1",
 						Body: func(ctx guest.Context) {
-							if !ctx.NetSend(0) {
+							if !ctx.NetSend(guest.Frame{Dst: peer, Flow: 42}) {
 								t.Error("forward send dropped on an idle wire")
 							}
 							gotAck = ctx.NetRxWait(0)
+							ackFrame, _ = ctx.NetRecv()
 						},
 					})
 					return err
@@ -332,7 +336,11 @@ func TestBidirectionalReplyDelivers(t *testing.T) {
 						Content: "echod v1",
 						Body: func(ctx guest.Context) {
 							ctx.NetRxWait(0)
-							if !ctx.NetSend(0) { // route 0 here is the reverse direction
+							f, ok := ctx.NetRecv()
+							if !ok {
+								t.Error("no frame behind the rx interrupt")
+							}
+							if !ctx.NetSend(guest.Frame{Dst: f.Src, Flow: f.Flow}) {
 								t.Error("reverse send dropped on an idle wire")
 							}
 						},
@@ -352,6 +360,9 @@ func TestBidirectionalReplyDelivers(t *testing.T) {
 	}
 	if gotAck != 1 {
 		t.Fatalf("sender saw %d acks, want 1", gotAck)
+	}
+	if ackFrame.Src != 2 || ackFrame.Flow != 42 {
+		t.Fatalf("ack frame = %+v, want Src 2 / Flow 42 (responder acks the frame's own sender and flow)", ackFrame)
 	}
 	fwd := cl.Link(0)
 	if fwd.Delivered() != 1 || fwd.Reverse().Delivered() != 1 {
@@ -380,7 +391,7 @@ func TestAckPacedFlowShapedByVictimResponsiveness(t *testing.T) {
 								sent, acked := uint64(0), uint64(0)
 								for sent < frames {
 									for sent < frames && sent < acked+window {
-										ctx.NetSend(0)
+										ctx.NetSend(guest.Frame{Dst: 2})
 										sent++
 									}
 									acked = ctx.NetRxWait(acked)
@@ -415,7 +426,7 @@ func TestAckPacedFlowShapedByVictimResponsiveness(t *testing.T) {
 								for ackedBack < frames {
 									seen = ctx.NetRxWait(seen)
 									for ackedBack < seen {
-										ctx.NetSend(0)
+										ctx.NetSend(guest.Frame{Dst: 1})
 										ackedBack++
 									}
 								}

@@ -34,6 +34,42 @@ func (i IRQ) String() string {
 	}
 }
 
+// Addr is a fabric address: the network-visible identity of one
+// machine's NIC. Zero means "unaddressed" (a solo machine outside any
+// fabric); a cluster assigns each member a nonzero address.
+type Addr uint16
+
+// Frame is one addressed network frame. Frames are plain values —
+// they travel by copy through pipes, NIC queues, and the kernel's
+// receive buffer, so carrying them allocates nothing.
+type Frame struct {
+	// Src and Dst are fabric addresses. The kernel's send path stamps
+	// Src with the sending NIC's own address; a forwarding router
+	// retransmits frames with Src preserved, which is what lets a
+	// receiver ack the original sender through intermediate hops.
+	Src, Dst Addr
+	// Flow distinguishes traffic classes sharing a path (a responder
+	// acks its flow's data frames and drains everything else).
+	Flow uint32
+	// Bytes is the frame's payload size; zero means a minimum-size
+	// frame. It is carried for observability; wire serialisation
+	// models per-frame service time via deterministic jitter.
+	Bytes uint32
+	// ECN marks the frame ECN-capable: a RED queue under congestion
+	// marks it (sets CE) instead of early-dropping it.
+	ECN bool
+	// CE is the congestion-experienced mark, set by a RED queue on an
+	// ECN-capable frame. A responder echoes the mark in its ack so
+	// the sender can back off.
+	CE bool
+	// ECE is the congestion echo a responder sets on its ack when the
+	// data frame it acknowledges carried CE. It is distinct from CE:
+	// a RED queue on the ack's own return path may stamp the ack with
+	// a fresh CE, which the sender ignores — only the echo of the
+	// data path's congestion drives backoff.
+	ECE bool
+}
+
 // NIC is the simulated network adapter. When flooding is active it
 // raises one receive interrupt per arriving packet. The paper floods
 // the victim host with junk IP packets from a second PC; Rate models
@@ -53,12 +89,33 @@ type NIC struct {
 	rxFire   func() // reusable per-packet event callback
 	extFire  func() // reusable callback for externally injected packets
 
+	// Addressed receive path: injected frames wait in a min-heap
+	// ordered exactly like their delivery events, so frameFire pops
+	// the frame belonging to the event that is firing. lastFrame
+	// holds that frame for the kernel's rx handler to collect.
+	frameFire func()
+	frameQ    []pendingFrame
+	frameSeq  uint64
+	lastFrame Frame
+	hasFrame  bool
+
 	// Transmit path: routes are the wires this NIC can push frames
 	// onto (a cluster registers one per outgoing link direction); each
 	// reports whether the frame was carried or dropped downstream.
-	routes    []func() bool
+	// table maps destination fabric addresses to route indices, so
+	// transmits are resolved by address instead of hard-wired route.
+	addr      Addr
+	table     map[Addr]int
+	routes    []func(Frame) bool
 	txCarried uint64
 	txDropped uint64
+}
+
+// pendingFrame is one injected frame awaiting its delivery event.
+type pendingFrame struct {
+	at  sim.Cycles
+	seq uint64
+	f   Frame
 }
 
 // NewNIC wires a NIC to the machine's event queue and clock. deliver
@@ -80,11 +137,18 @@ func NewNIC(queue *sim.EventQueue, clock *sim.Clock, rng *sim.Rand, deliver func
 		n.received++
 		n.deliver()
 	}
+	n.frameFire = func() {
+		n.lastFrame = n.popFrame()
+		n.hasFrame = true
+		n.received++
+		n.deliver()
+		n.hasFrame = false
+	}
 	return n
 }
 
-// InjectRx schedules delivery of one externally generated packet (a
-// frame arriving over a cluster link from another machine) at virtual
+// InjectRx schedules delivery of one externally generated packet with
+// no frame payload (a remote-swap request notification) at virtual
 // time at. Injected packets are independent events — each raises one
 // receive interrupt — and are unaffected by StartFlood/StopFlood,
 // which drive the local flood generator only.
@@ -92,16 +156,109 @@ func (n *NIC) InjectRx(at sim.Cycles) {
 	n.queue.Schedule(at, "nic-rx", n.extFire)
 }
 
+// InjectRxFrame schedules delivery of one addressed frame (arriving
+// over a cluster link) at virtual time at. The frame raises one
+// receive interrupt and is handed to the kernel's receive buffer,
+// where guests read it via NetRecv.
+func (n *NIC) InjectRxFrame(at sim.Cycles, f Frame) {
+	n.pushFrame(pendingFrame{at: at, seq: n.frameSeq, f: f})
+	n.frameSeq++
+	n.queue.Schedule(at, "nic-rx", n.frameFire)
+}
+
+// TakeRxFrame returns the frame belonging to the receive interrupt
+// currently being delivered, if any (local flood packets and
+// payload-less injections carry none). The kernel's rx handler calls
+// it exactly once per delivery.
+func (n *NIC) TakeRxFrame() (Frame, bool) {
+	if !n.hasFrame {
+		return Frame{}, false
+	}
+	n.hasFrame = false
+	return n.lastFrame, true
+}
+
+// pushFrame/popFrame maintain the pending-frame min-heap ordered by
+// (arrival time, injection order) — the same order the event queue
+// fires equal-time events in, so each frameFire pops its own frame.
+func (n *NIC) pushFrame(p pendingFrame) {
+	n.frameQ = append(n.frameQ, p)
+	i := len(n.frameQ) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !frameLess(n.frameQ[i], n.frameQ[parent]) {
+			break
+		}
+		n.frameQ[i], n.frameQ[parent] = n.frameQ[parent], n.frameQ[i]
+		i = parent
+	}
+}
+
+func (n *NIC) popFrame() Frame {
+	top := n.frameQ[0].f
+	last := len(n.frameQ) - 1
+	n.frameQ[0] = n.frameQ[last]
+	n.frameQ[last] = pendingFrame{}
+	n.frameQ = n.frameQ[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && frameLess(n.frameQ[l], n.frameQ[small]) {
+			small = l
+		}
+		if r < last && frameLess(n.frameQ[r], n.frameQ[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		n.frameQ[i], n.frameQ[small] = n.frameQ[small], n.frameQ[i]
+		i = small
+	}
+	return top
+}
+
+func frameLess(a, b pendingFrame) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // Received reports total packets delivered since construction.
 func (n *NIC) Received() uint64 { return n.received }
+
+// SetAddr assigns this NIC its fabric address (a cluster does this at
+// wiring time). The kernel's send path stamps outgoing frames' Src
+// with it.
+func (n *NIC) SetAddr(a Addr) { n.addr = a }
+
+// Addr reports the NIC's fabric address (zero outside any fabric).
+func (n *NIC) Addr() Addr { return n.addr }
 
 // AddTxRoute registers an outgoing wire and returns its route index.
 // send is invoked once per transmitted frame in the sender's context
 // and reports whether the frame was carried (false: dropped at the
 // wire's queue or by a dead destination).
-func (n *NIC) AddTxRoute(send func() bool) int {
+func (n *NIC) AddTxRoute(send func(Frame) bool) int {
 	n.routes = append(n.routes, send)
 	return len(n.routes) - 1
+}
+
+// SetRoute points frames addressed to dst at the given route index.
+// The table is allocated lazily so solo machines carry none.
+func (n *NIC) SetRoute(dst Addr, route int) {
+	if n.table == nil {
+		n.table = make(map[Addr]int)
+	}
+	n.table[dst] = route
+}
+
+// RouteTo resolves a destination address to a route index.
+func (n *NIC) RouteTo(dst Addr) (int, bool) {
+	route, ok := n.table[dst]
+	return route, ok
 }
 
 // TxRoutes reports the number of registered transmit routes.
@@ -111,13 +268,25 @@ func (n *NIC) TxRoutes() int { return len(n.routes) }
 // the frame was carried; frames to an unknown route (a machine with
 // no uplink) or refused by the wire count as transmit drops. The
 // kernel charges the tx-path CPU time around this call.
-func (n *NIC) Transmit(route int) bool {
-	if route < 0 || route >= len(n.routes) || !n.routes[route]() {
+func (n *NIC) Transmit(route int, f Frame) bool {
+	if route < 0 || route >= len(n.routes) || !n.routes[route](f) {
 		n.txDropped++
 		return false
 	}
 	n.txCarried++
 	return true
+}
+
+// TransmitTo resolves f.Dst through the routing table and pushes the
+// frame out the resolved route. Frames to destinations with no route
+// count as transmit drops, mirroring a missing FIB entry.
+func (n *NIC) TransmitTo(f Frame) bool {
+	route, ok := n.table[f.Dst]
+	if !ok {
+		n.txDropped++
+		return false
+	}
+	return n.Transmit(route, f)
 }
 
 // Transmitted reports frames successfully handed to a wire.

@@ -1,0 +1,192 @@
+// ECN-aware ack-paced flows: the well-behaved traffic that shares a
+// routed fabric with the attacks. A sender paces a fixed transfer
+// under a congestion window; the receiver's echo daemon acks each
+// data frame back to the frame's own source address (per-flow
+// addressing — the responder acks specific senders, not "the
+// uplink"), echoing any CE congestion mark a RED queue stamped on the
+// way. The sender halves its window on a mark and grows it additively
+// on a clean ack, so an ECN-capable flow backs off under congestion
+// instead of bleeding tail-drops.
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+// floodBody returns a packet-generator guest offering `packets`
+// copies of `frame` at a nominal `pps` through the billed tx path.
+// The inter-send interval carries the freq%pps remainder (like the
+// local flood generator), so the sleep schedule itself does not
+// drift; each send's billed kernel time still stretches the
+// effective period, so the offered rate runs somewhat below nominal
+// — the sending link's Sent counter records what actually went out.
+func floodBody(freq sim.Hz, pps, packets uint64, frame guest.Frame) guest.Routine {
+	base := sim.Cycles(uint64(freq) / pps)
+	rem := uint64(freq) % pps
+	return func(ctx guest.Context) {
+		var frac uint64
+		for n := uint64(0); n < packets; n++ {
+			ctx.NetSend(frame)
+			interval := base
+			frac += rem
+			if frac >= pps {
+				frac -= pps
+				interval++
+			}
+			if interval == 0 {
+				interval = 1
+			}
+			ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
+		}
+	}
+}
+
+// AckFlowConfig parameterises one ack-paced transfer.
+type AckFlowConfig struct {
+	// Peer is the data destination's fabric address.
+	Peer cluster.Addr
+	// Flow tags the flow's frames; the echo daemon acks only matching
+	// frames and silently drains everything else.
+	Flow uint32
+	// Frames is the transfer length: the sender runs until this many
+	// acks arrive (or it gives up).
+	Frames uint64
+	// Window is the initial and maximum congestion window in frames;
+	// zero selects 8.
+	Window uint64
+	// PaceCycles is the sender's inter-send pacing and its poll tick
+	// while the window is closed. Required (the guest has no clock
+	// scale of its own).
+	PaceCycles sim.Cycles
+	// Budget caps total data frames sent (retransmission headroom);
+	// zero selects 4x Frames.
+	Budget uint64
+	// IdleTicks is how many silent poll ticks the sender waits before
+	// declaring outstanding frames lost (go-back) — or, with the send
+	// budget exhausted, giving up. Zero selects 128.
+	IdleTicks int
+}
+
+// AckFlowStats is one transfer's harvest, written by the sender
+// routine before it exits.
+type AckFlowStats struct {
+	// Sent counts data frames transmitted, retransmissions included.
+	Sent uint64
+	// Acked counts acks received; the transfer completed when Acked
+	// reached the configured frame count.
+	Acked uint64
+	// Marks counts acks carrying the ECE congestion echo.
+	Marks uint64
+	// Backoffs counts window halvings taken on those echoes.
+	Backoffs uint64
+	// Lost counts frames written off by the go-back timeout.
+	Lost uint64
+	// GaveUp reports the sender abandoning the transfer with its send
+	// budget exhausted and no acks arriving.
+	GaveUp bool
+}
+
+// AckPacedSender returns the flow's sending guest. stats must outlive
+// the run; the routine fills it as its last action.
+func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
+	maxW := cfg.Window
+	if maxW == 0 {
+		maxW = 8
+	}
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = 4 * cfg.Frames
+	}
+	idleLimit := cfg.IdleTicks
+	if idleLimit == 0 {
+		idleLimit = 128
+	}
+	return func(ctx guest.Context) {
+		window := maxW
+		var sent, acked, lost uint64
+		idle := 0
+		for acked < cfg.Frames {
+			progress := false
+			for {
+				f, ok := ctx.NetRecv()
+				if !ok {
+					break
+				}
+				if f.Flow != cfg.Flow {
+					continue
+				}
+				acked++
+				progress = true
+				// Back off on the data path's congestion echo only; a
+				// CE stamped on the ack itself by the return path is
+				// not this flow's signal.
+				if f.ECE {
+					stats.Marks++
+					if window > 1 {
+						window /= 2
+						stats.Backoffs++
+					}
+				} else if window < maxW {
+					window++
+				}
+			}
+			if progress {
+				idle = 0
+				continue
+			}
+			// Signed: an ack for a frame already written off as lost
+			// would otherwise underflow the outstanding count.
+			outstanding := int64(sent) - int64(acked) - int64(lost)
+			if outstanding < 0 {
+				outstanding = 0
+			}
+			if sent < budget && uint64(outstanding) < window {
+				ctx.NetSend(guest.Frame{Dst: cfg.Peer, Flow: cfg.Flow, ECN: true})
+				sent++
+				ctx.Sleep(cfg.PaceCycles)
+				continue
+			}
+			// Window closed or budget spent: poll for acks.
+			ctx.Sleep(cfg.PaceCycles)
+			idle++
+			if idle >= idleLimit {
+				if sent >= budget {
+					stats.GaveUp = true
+					break
+				}
+				if fresh := int64(sent) - int64(acked) - int64(lost); fresh > 0 {
+					stats.Lost += uint64(fresh)
+				}
+				lost = sent - acked
+				idle = 0
+			}
+		}
+		stats.Sent, stats.Acked = sent, acked
+	}
+}
+
+// AckEcho returns the receive-side echo daemon: for every data frame
+// of the given flow it sends one ack to the frame's own Src, raising
+// the ack's ECE bit when the data frame arrived CE-marked; frames of
+// other flows (an attacker's junk) are drained and ignored. The
+// daemon never exits — run it on a cluster machine marked Service.
+func AckEcho(flow uint32) guest.Routine {
+	return func(ctx guest.Context) {
+		seen := uint64(0)
+		for {
+			seen = ctx.NetRxWait(seen)
+			for {
+				f, ok := ctx.NetRecv()
+				if !ok {
+					break
+				}
+				if f.Flow != flow {
+					continue
+				}
+				ctx.NetSend(guest.Frame{Dst: f.Src, Flow: f.Flow, ECN: true, ECE: f.CE})
+			}
+		}
+	}
+}

@@ -61,6 +61,10 @@ type ClusterRunSpec struct {
 	// LinkQueueDepth bounds each wire's tail-drop queue in packets;
 	// zero selects cluster.DefaultQueueDepth.
 	LinkQueueDepth uint64
+	// LinkRED, when non-nil, arms RED/ECN queue feedback on every
+	// attacker→victim wire (both directions); nil keeps pure
+	// tail-drop, which replays pre-RED histories bit-for-bit.
+	LinkRED *cluster.REDSpec
 }
 
 // ClusterVictimOut is one victim machine's harvest.
@@ -179,9 +183,16 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 			if spec.FloodPPS == 0 {
 				return nil // silent attacker: machine finishes at boot
 			}
-			links := make([]*cluster.Link, len(spec.Victims))
+			type target struct {
+				link  *cluster.Link
+				frame cluster.Frame
+			}
+			targets := make([]target, len(spec.Victims))
 			for i := range spec.Victims {
-				links[i] = c.Link(i)
+				targets[i] = target{
+					link:  c.Link(i),
+					frame: cluster.Frame{Src: c.AddrOf(0), Dst: c.AddrOf(i + 1)},
+				}
 			}
 			interval := sim.Cycles(uint64(o.Freq) / spec.FloodPPS)
 			if interval == 0 {
@@ -193,8 +204,8 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 				Content: "junk-ip packet generator v1",
 				Body: func(ctx guest.Context) {
 					for n := uint64(0); n < packets; n++ {
-						for _, l := range links {
-							l.Send()
+						for _, tg := range targets {
+							tg.link.Send(tg.frame)
 						}
 						ctx.Syscall("sendto")
 						ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
@@ -238,6 +249,7 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 			LatencyUs:        spec.LinkLatencyUs,
 			PacketsPerSecond: spec.LinkPPS,
 			QueueDepth:       spec.LinkQueueDepth,
+			RED:              spec.LinkRED,
 		}
 	}
 

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGeneratePR3Goldens regenerates the PR 3 cluster-family golden
+// renders. The goldens pin pre-refactor behaviour, so regenerate them
+// only when the byte-compat bar itself is intentionally moved:
+//
+//	GOLDEN_GEN=1 go test ./internal/experiments -run TestGeneratePR3Goldens
+func TestGeneratePR3Goldens(t *testing.T) {
+	if os.Getenv("GOLDEN_GEN") == "" {
+		t.Skip("set GOLDEN_GEN=1 to regenerate")
+	}
+	o := quick()
+	for id, run := range map[string]func(Options) (*Figure, error){
+		"cluster":    ClusterFlood,
+		"multiflood": MultiAttackerFlood,
+		"swapflood":  CrossMachineExceptionFlood,
+	} {
+		fig, err := run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := os.WriteFile("testdata/pr3_"+id+".golden", []byte(fig.Render()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -80,43 +80,23 @@ func RunMultiFlood(spec MultiFloodSpec) (*MultiFloodOut, error) {
 
 	machines := make([]cluster.MachineSpec, 0, spec.Attackers+1)
 	pps := spec.PerAttackerPPS
-	base := sim.Cycles(uint64(o.Freq) / pps)
-	rem := uint64(o.Freq) % pps
 	packets := uint64(floodSec * float64(pps))
 	for a := 0; a < spec.Attackers; a++ {
 		cfg := o.machineConfig()
 		cfg.Seed = clusterSeed(o.Seed, a)
 		machines = append(machines, cluster.MachineSpec{
 			Config: cfg,
-			Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
-				// Route 0 on every attacker is its forward link into
-				// the bottleneck; transmitting through NetSend bills
-				// the tx path and observes the wire's drop feedback.
-				// The inter-send interval carries the Freq%rate
-				// remainder (like the local flood generator), so the
-				// sleep schedule itself does not drift; each send's
-				// billed kernel time still stretches the effective
-				// period, so the offered rate runs somewhat below
-				// nominal — Offered counts what was actually sent.
+			Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
+				// Every attacker addresses the victim machine directly;
+				// the NIC's routing table resolves the frame onto the
+				// attacker's link into the bottleneck. Transmitting
+				// through NetSend (floodBody) bills the tx path and
+				// observes the wire's drop feedback; Offered counts
+				// what was actually sent.
 				_, err := m.Spawn(kernel.SpawnConfig{
 					Name:    "pktgen",
 					Content: "junk-ip packet generator v2 (tx-path)",
-					Body: func(ctx guest.Context) {
-						var frac uint64
-						for n := uint64(0); n < packets; n++ {
-							ctx.NetSend(0)
-							interval := base
-							frac += rem
-							if frac >= pps {
-								frac -= pps
-								interval++
-							}
-							if interval == 0 {
-								interval = 1
-							}
-							ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
-						}
-					},
+					Body:    floodBody(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(spec.Attackers)}),
 				})
 				return err
 			},

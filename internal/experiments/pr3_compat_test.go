@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPR3ArtifactsReplayBitForBit pins the addressed-fabric refactor's
+// compatibility bar: a router-free, tail-drop-only topology (every
+// cluster-family artifact of PR 3) renders byte-for-byte what the
+// pre-refactor tree rendered. The goldens under testdata/ were
+// generated on the PR 3 tree at quick-test options before the frame/
+// routing/RED plumbing landed.
+func TestPR3ArtifactsReplayBitForBit(t *testing.T) {
+	o := quick()
+	for id, run := range map[string]func(Options) (*Figure, error){
+		"cluster":    ClusterFlood,
+		"multiflood": MultiAttackerFlood,
+		"swapflood":  CrossMachineExceptionFlood,
+	} {
+		want, err := os.ReadFile("testdata/pr3_" + id + ".golden")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if got := fig.Render(); got != string(want) {
+			t.Errorf("%s diverged from the PR 3 golden\n--- got ---\n%s--- want ---\n%s", id, got, want)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Router flood: attackers inflate a *third party's* bill. N attacker
+// machines flood a victim host through a shared router machine — a
+// real kernel.Machine running a forwarding guest whose per-frame
+// receive interrupts, lookup work, and retransmit syscalls are billed
+// through the router's own metering accountant. The attackers never
+// run an instruction on the router, yet the router's metered CPU time
+// grows with their offered packet rate: the paper's billing
+// distortion crossing a machine boundary twice. The router's
+// congested egress wire runs RED/ECN queue feedback, so a
+// well-behaved ack-paced ECN flow sharing the path backs off under
+// marks while the attackers' junk takes the early drops.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+)
+
+// RouterFloodSpec describes one attackers → router → victim scenario
+// executed in deterministic lockstep.
+type RouterFloodSpec struct {
+	Opts Options
+	// Attackers is the number of attacker machines (≥ 1; they may all
+	// stay silent at PerAttackerPPS 0 for a baseline).
+	Attackers int
+	// PerAttackerPPS is each attacker's offered rate; zero keeps the
+	// attackers silent.
+	PerAttackerPPS uint64
+	// FloodSeconds is each attacker's transmit duration; zero derives
+	// 1.5x the victim's baseline.
+	FloodSeconds float64
+	// Victim is the billed job on the machine behind the router.
+	Victim ClusterVictim
+	// RouterLookupUs is the router's per-frame user-mode lookup work;
+	// zero selects cluster.DefaultForwardUs.
+	RouterLookupUs uint64
+	// EgressPPS is the router→victim wire's capacity — the congested
+	// hop; zero selects cluster.DefaultLinkPPS.
+	EgressPPS uint64
+	// EgressQueueDepth bounds the egress queue; zero selects
+	// cluster.DefaultQueueDepth.
+	EgressQueueDepth uint64
+	// RED, when non-nil, arms RED/ECN on the egress wire.
+	RED *cluster.REDSpec
+	// FlowFrames sizes the well-behaved ack-paced ECN transfer
+	// sharing the egress; zero runs no flow.
+	FlowFrames uint64
+	// FlowWindow is the flow's initial/max congestion window; zero
+	// selects 8.
+	FlowWindow uint64
+	// LinkLatencyUs is every link's one-way latency; zero selects
+	// cluster.DefaultLatencyUs.
+	LinkLatencyUs uint64
+}
+
+// RouterFloodOut is one routed-flood scenario's harvest.
+type RouterFloodOut struct {
+	Spec   RouterFloodSpec
+	Victim ClusterVictimOut
+	// Router is the forwarding daemon's accounted time across schemes
+	// — the router machine's bill for work the attackers caused.
+	Router PartyUsage
+	// RouterForwarded counts frames the router retransmitted;
+	// RouterRxDropped counts frames lost to the router's own
+	// input-queue overflow when forwarding cannot keep up.
+	RouterForwarded, RouterRxDropped uint64
+	// Offered/Carried/DroppedIngress sum the attacker→router links.
+	Offered, Carried, DroppedIngress uint64
+	// EgressMarked/EgressEarlyDropped/EgressDropped are the congested
+	// router→victim wire's RED marks, RED early drops, and total
+	// drops.
+	EgressMarked, EgressEarlyDropped, EgressDropped uint64
+	// Flow is the ack-paced ECN transfer's harvest.
+	Flow AckFlowStats
+	// ElapsedSec is the slowest machine's virtual wall time.
+	ElapsedSec float64
+}
+
+// flowID tags the well-behaved transfer's frames; attacker junk rides
+// flow 0 and is drained unacked.
+const routerFloodFlowID = 7
+
+// RunRouterFlood executes one scenario: machines 0..A-1 are the
+// attackers, A the flow sender, A+1 the router (a Service machine
+// running cluster.Forwarder), A+2 the victim host (billed workload
+// plus the flow's echo daemon).
+func RunRouterFlood(spec RouterFloodSpec) (*RouterFloodOut, error) {
+	o := spec.Opts.norm()
+	if spec.Attackers < 1 {
+		return nil, fmt.Errorf("routerflood: need at least one attacker machine, have %d", spec.Attackers)
+	}
+	floodSec := spec.FloodSeconds
+	if floodSec == 0 {
+		s, err := (ClusterRunSpec{Victims: []ClusterVictim{spec.Victim}}).floodSeconds(o)
+		if err != nil {
+			return nil, err
+		}
+		floodSec = s
+	}
+	tick := sim.Cycles(uint64(o.Freq) / o.HZ)
+	accts, err := victimAccountants(spec.Victim.Billing, tick)
+	if err != nil {
+		return nil, err
+	}
+	lookupUs := spec.RouterLookupUs
+	if lookupUs == 0 {
+		lookupUs = cluster.DefaultForwardUs
+	}
+	perUs := sim.Cycles(uint64(o.Freq) / 1_000_000)
+
+	senderIdx := spec.Attackers
+	routerIdx := spec.Attackers + 1
+	victimIdx := spec.Attackers + 2
+
+	machines := make([]cluster.MachineSpec, 0, victimIdx+1)
+
+	// Attackers: non-ECN junk addressed to the victim, resolved onto
+	// each attacker's uplink into the router by the routing table.
+	pps := spec.PerAttackerPPS
+	for a := 0; a < spec.Attackers; a++ {
+		cfg := o.machineConfig()
+		cfg.Seed = clusterSeed(o.Seed, a)
+		machines = append(machines, cluster.MachineSpec{
+			Name:   fmt.Sprintf("attacker-%d", a),
+			Config: cfg,
+			Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
+				if pps == 0 {
+					return nil // silent baseline
+				}
+				packets := uint64(floodSec * float64(pps))
+				_, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "pktgen",
+					Content: "junk-ip packet generator v3 (routed)",
+					Body:    floodBody(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(victimIdx)}),
+				})
+				return err
+			},
+		})
+	}
+
+	// Sender: the well-behaved ECN flow.
+	flowStats := &AckFlowStats{}
+	senderCfg := o.machineConfig()
+	senderCfg.Seed = clusterSeed(o.Seed, senderIdx)
+	machines = append(machines, cluster.MachineSpec{
+		Name:   "sender",
+		Config: senderCfg,
+		Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
+			if spec.FlowFrames == 0 {
+				return nil
+			}
+			_, err := m.Spawn(kernel.SpawnConfig{
+				Name:    "flowsend",
+				Content: "ack-paced ecn sender v1",
+				Body: AckPacedSender(AckFlowConfig{
+					Peer:       c.AddrOf(victimIdx),
+					Flow:       routerFloodFlowID,
+					Frames:     spec.FlowFrames,
+					Window:     spec.FlowWindow,
+					PaceCycles: 500 * perUs, // ≤2k pps offered
+				}, flowStats),
+			})
+			return err
+		},
+	})
+
+	// Router: a real billed machine running the forwarding daemon.
+	var routerPID proc.PID
+	routerCfg := o.machineConfig()
+	routerCfg.Seed = clusterSeed(o.Seed, routerIdx)
+	machines = append(machines, cluster.MachineSpec{
+		Name:    "router",
+		Config:  routerCfg,
+		Service: true,
+		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
+			p, err := m.Spawn(kernel.SpawnConfig{
+				Name:    "fwd",
+				Content: "store-and-forward router daemon v1",
+				Body:    cluster.Forwarder(sim.Cycles(lookupUs) * perUs),
+			})
+			if p != nil {
+				routerPID = p.PID
+			}
+			return err
+		},
+	})
+
+	// Victim host: the billed workload plus the flow's echo daemon.
+	var launch *launched
+	victimCfg := o.machineConfig()
+	victimCfg.Seed = clusterSeed(o.Seed, victimIdx)
+	victimCfg.Accountants = accts
+	machines = append(machines, cluster.MachineSpec{
+		Name:   "victim",
+		Config: victimCfg,
+		// Only the echo daemon makes this a service machine; with no
+		// flow the workload keeps exact stall detection.
+		Service: spec.FlowFrames > 0,
+		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
+			if spec.FlowFrames > 0 {
+				if _, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "echod",
+					Content: "per-flow ack echo daemon v1",
+					Body:    AckEcho(routerFloodFlowID),
+				}); err != nil {
+					return err
+				}
+			}
+			l, err := launchSpec(m, RunSpec{
+				Opts:       o,
+				Workload:   spec.Victim.Workload,
+				VictimNice: spec.Victim.Nice,
+			})
+			if err != nil {
+				return err
+			}
+			launch = l
+			return nil
+		},
+	})
+
+	// Star topology around the router; the egress hop carries the
+	// congestion policy. Static routes send victim-bound traffic
+	// through the router and the victim's acks back the same way.
+	links := make([]cluster.LinkSpec, 0, victimIdx)
+	for a := 0; a < spec.Attackers; a++ {
+		links = append(links, cluster.LinkSpec{From: a, To: routerIdx, LatencyUs: spec.LinkLatencyUs})
+	}
+	links = append(links, cluster.LinkSpec{From: senderIdx, To: routerIdx, LatencyUs: spec.LinkLatencyUs})
+	egress := len(links)
+	links = append(links, cluster.LinkSpec{
+		From: routerIdx, To: victimIdx,
+		LatencyUs:        spec.LinkLatencyUs,
+		PacketsPerSecond: spec.EgressPPS,
+		QueueDepth:       spec.EgressQueueDepth,
+		RED:              spec.RED,
+	})
+	routes := make([]cluster.RouteSpec, 0, spec.Attackers+2)
+	for a := 0; a < spec.Attackers; a++ {
+		routes = append(routes, cluster.RouteSpec{On: a, Dst: victimIdx, Via: routerIdx})
+	}
+	routes = append(routes,
+		cluster.RouteSpec{On: senderIdx, Dst: victimIdx, Via: routerIdx},
+		cluster.RouteSpec{On: victimIdx, Dst: senderIdx, Via: routerIdx},
+	)
+
+	cl, err := cluster.New(cluster.Config{Machines: machines, Links: links, Routes: routes})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Run(); err != nil {
+		return nil, fmt.Errorf("routerflood %s: %w", routerFloodKey(spec), err)
+	}
+	// The victim machine is marked Service for its echo daemon, so
+	// quiesce would also retire a stalled workload silently; make
+	// that case an error instead of a half-run harvest.
+	if launch.prog != nil && !launch.prog.Done {
+		return nil, fmt.Errorf("routerflood %s: victim workload retired before completion (stalled behind the service daemon?)", routerFloodKey(spec))
+	}
+
+	vm := cl.Machine(victimIdx)
+	rm := cl.Machine(routerIdx)
+	billing := spec.Victim.Billing
+	if billing == "" {
+		billing = "jiffy"
+	}
+	out := &RouterFloodOut{
+		Spec: spec,
+		Victim: ClusterVictimOut{
+			Billing:         billing,
+			Run:             launch.harvest(vm),
+			PacketsReceived: vm.NIC().Received(),
+		},
+		Router:          usageOf(rm, "fwd", routerPID),
+		RouterForwarded: rm.NIC().Transmitted(),
+		RouterRxDropped: rm.RxBufDropped(),
+		Flow:            *flowStats,
+		ElapsedSec:      clusterElapsedSec(cl),
+	}
+	for a := 0; a < spec.Attackers; a++ {
+		l := cl.Link(a)
+		out.Offered += l.Sent()
+		out.Carried += l.Delivered()
+		out.DroppedIngress += l.Dropped()
+	}
+	el := cl.Link(egress)
+	out.EgressMarked = el.Marked()
+	out.EgressEarlyDropped = el.EarlyDropped()
+	out.EgressDropped = el.Dropped()
+	return out, nil
+}
+
+func routerFloodKey(spec RouterFloodSpec) string {
+	return fmt.Sprintf("%d-attackers/%dpps/%s", spec.Attackers, spec.PerAttackerPPS, spec.Victim.Billing)
+}
+
+// RunAllRouterFloods executes every scenario on its own lockstep
+// machine set across the campaign worker pool — the RunAll contract.
+func RunAllRouterFloods(specs []RouterFloodSpec, parallelism int) ([]*RouterFloodOut, error) {
+	outs := make([]*RouterFloodOut, len(specs))
+	errs := make([]error, len(specs))
+	RunIndexed(len(specs), parallelism, func(i int) {
+		outs[i], errs[i] = RunRouterFlood(specs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("routerflood run %d (%s): %w", i, routerFloodKey(specs[i]), err)
+		}
+	}
+	return outs, nil
+}
+
+// Artifact parameters: two attackers share a router whose 30k-pps
+// egress wire runs RED between depths 8 and 24 at up to 50% feedback,
+// alongside a 300-frame ack-paced ECN transfer.
+const (
+	routerFloodAttackers  = 2
+	routerFloodEgressPPS  = 30_000
+	routerFloodFlowFrames = 300
+)
+
+func routerFloodRED() *cluster.REDSpec {
+	return &cluster.REDSpec{MinDepth: 8, MaxDepth: 24, MaxPct: 50}
+}
+
+// RouterFlood regenerates the routed-fabric scenario: two attacker
+// machines flood a victim host through a shared router machine at
+// increasing rates while an ack-paced ECN flow shares the router's
+// RED-managed egress. The router's own jiffy bill — a machine the
+// attackers never touch — grows with the offered rate; the ECN flow
+// completes by backing off under marks while the junk absorbs the
+// early drops.
+func RouterFlood(o Options) (*Figure, error) {
+	o = o.norm()
+	rates := []uint64{0, 10_000, 20_000}
+	specs := make([]RouterFloodSpec, len(rates))
+	for i, pps := range rates {
+		specs[i] = RouterFloodSpec{
+			Opts:           o,
+			Attackers:      routerFloodAttackers,
+			PerAttackerPPS: pps,
+			Victim:         ClusterVictim{Workload: "O", Billing: "jiffy"},
+			EgressPPS:      routerFloodEgressPPS,
+			RED:            routerFloodRED(),
+			FlowFrames:     routerFloodFlowFrames,
+		}
+	}
+	outs, err := RunAllRouterFloods(specs, o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("router flood: %w", err)
+	}
+
+	fig := &Figure{
+		ID:    "Router Flood",
+		Title: "Routed Interrupt Flood (2 attacker PCs through a shared billed router, RED/ECN egress)",
+		Unit:  "CPU seconds (jiffy-billed on each owning machine)",
+	}
+	for ri, pps := range rates {
+		out := outs[ri]
+		label := "no flood"
+		if pps > 0 {
+			label = fmt.Sprintf("%dk pps x2", pps/1000)
+		}
+		fig.Bars = append(fig.Bars,
+			textplot.Bar{Group: "router-fwd", Label: label, Segments: []textplot.Segment{
+				{Name: "user", Value: out.Router.User["jiffy"]},
+				{Name: "system", Value: out.Router.Sys["jiffy"]},
+			}},
+			textplot.Bar{Group: "victim-host", Label: label, Segments: []textplot.Segment{
+				{Name: "user", Value: out.Victim.Run.Victim.User["jiffy"]},
+				{Name: "system", Value: out.Victim.Run.Victim.Sys["jiffy"]},
+			}},
+		)
+	}
+	quiet, worst := outs[0], outs[len(outs)-1]
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("attackers offered %d frames; router forwarded %d and overflowed %d at its input queue; egress RED marked %d ECN frames and early-dropped %d junk frames (total egress drops %d)",
+			worst.Offered, worst.RouterForwarded, worst.RouterRxDropped, worst.EgressMarked, worst.EgressEarlyDropped, worst.EgressDropped),
+		fmt.Sprintf("ECN flow (%d frames): completed with %d acks, %d ECE backoffs, %d write-offs under flood; %d acks and %d backoffs with no flood (acks past the frame count are retransmission duplicates)",
+			routerFloodFlowFrames, worst.Flow.Acked, worst.Flow.Backoffs, worst.Flow.Lost, quiet.Flow.Acked, quiet.Flow.Backoffs),
+		"expectation: the router's bill — a machine the attackers never run on — grows with offered rate; the ECN flow backs off under marks instead of tail-dropping",
+	)
+	return fig, nil
+}

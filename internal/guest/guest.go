@@ -10,9 +10,18 @@
 package guest
 
 import (
+	"repro/internal/device"
 	"repro/internal/proc"
 	"repro/internal/sim"
 )
+
+// Frame is one addressed network frame (see device.Frame): Src/Dst
+// fabric addresses, a flow id, a payload size, and the ECN capability
+// and congestion-experienced bits.
+type Frame = device.Frame
+
+// Addr is a fabric address (see device.Addr).
+type Addr = device.Addr
 
 // Routine is guest code: a program main, a thread body, a library
 // constructor, or injected attack instructions.
@@ -124,14 +133,32 @@ type Context interface {
 	// the billing accountant, like getrusage(RUSAGE_SELF).
 	Usage() (user, system sim.Cycles)
 
-	// NetSend transmits one frame on the machine's NIC out the given
-	// route (a cluster registers one route per outgoing link
-	// direction; route 0 is the machine's first uplink). The kernel
-	// charges the sendto syscall plus the driver tx path as system
-	// time. It reports whether the frame was carried: false models
-	// ENOBUFS-style local drop feedback — no route, a full queue on
-	// the wire, or a dead destination.
-	NetSend(route int) bool
+	// NetSend transmits one addressed frame on the machine's NIC: the
+	// kernel stamps f.Src with the machine's own fabric address and
+	// resolves f.Dst through the NIC's routing table (a cluster
+	// installs one entry per reachable machine). The kernel charges
+	// the sendto syscall plus the driver tx path as system time. It
+	// reports whether the frame was carried: false models
+	// ENOBUFS/EHOSTUNREACH-style local drop feedback — no route, a
+	// full queue on the wire, or a dead destination.
+	NetSend(f Frame) bool
+
+	// NetForward retransmits a frame as-is — Src preserved — toward
+	// f.Dst, the data plane of a forwarding router: the receiver of a
+	// forwarded frame still sees the original sender and can ack it
+	// across the hop. Charged like NetSend (sendto plus driver tx).
+	NetForward(f Frame) bool
+
+	// NetRecv pops the next received frame from the kernel's
+	// bounded receive buffer (charged as a read syscall). ok is
+	// false when the buffer is empty. Local flood packets and
+	// payload-less injections deliver interrupts but queue no frame.
+	NetRecv() (f Frame, ok bool)
+
+	// NetAddr reads the machine's own fabric address (zero outside
+	// any fabric). A forwarding daemon uses it to consume frames
+	// addressed to itself instead of re-routing them.
+	NetAddr() Addr
 
 	// NetRx reads the total frames the machine's NIC has delivered
 	// (a packet-socket statistics read, charged as a syscall).

@@ -70,6 +70,11 @@ type Config struct {
 	// whose footprint dominates RAM is OOM-killed; zero selects 20000
 	// (~100 s of sustained swap storming at 2007-era disk speed).
 	OOMMajorFaultLimit uint64
+	// RxBufFrames bounds the kernel's receive buffer (the frames
+	// guests read via NetRecv), in frames; zero selects 1024. Frames
+	// arriving with the buffer full are dropped there — input-queue
+	// overflow on a host that cannot keep up.
+	RxBufFrames uint64
 }
 
 // Machine is one simulated host.
@@ -98,6 +103,16 @@ type Machine struct {
 	// netWaiters are tasks blocked in NetRxWait, in block order; the
 	// NIC rx path completes their requests as frames arrive.
 	netWaiters []*task
+
+	// rxBuf is the kernel's bounded receive ring: addressed frames the
+	// NIC delivered, awaiting a guest's NetRecv. Allocated lazily on
+	// the first frame so solo machines (local floods, payload-less
+	// injections) carry none. rxDropped counts frames that arrived
+	// with the ring full.
+	rxBuf     []device.Frame
+	rxHead    int
+	rxLen     int
+	rxDropped uint64
 
 	needResched bool
 	closed      bool
@@ -870,11 +885,56 @@ func (m *Machine) timerTick() {
 	m.queue.Schedule(m.nextTickAt, sim.KindTimer, m.timerFire)
 }
 
-// nicRx services one received packet, then completes any NetRxWait
-// whose threshold the delivery crossed (softirq hands the frame to
-// the socket and the scheduler wakes the reader after the usual
-// wakeup latency).
+// rxBufCap resolves the configured receive-ring bound.
+func (m *Machine) rxBufCap() int {
+	if m.cfg.RxBufFrames > 0 {
+		return int(m.cfg.RxBufFrames)
+	}
+	return 1024
+}
+
+// pushRxFrame appends a delivered frame to the receive ring, dropping
+// it (counted) when the ring is full.
+func (m *Machine) pushRxFrame(f device.Frame) {
+	if m.rxBuf == nil {
+		m.rxBuf = make([]device.Frame, m.rxBufCap())
+	}
+	if m.rxLen == len(m.rxBuf) {
+		m.rxDropped++
+		return
+	}
+	m.rxBuf[(m.rxHead+m.rxLen)%len(m.rxBuf)] = f
+	m.rxLen++
+}
+
+// popRxFrame removes the oldest buffered frame.
+func (m *Machine) popRxFrame() (device.Frame, bool) {
+	if m.rxLen == 0 {
+		return device.Frame{}, false
+	}
+	f := m.rxBuf[m.rxHead]
+	m.rxBuf[m.rxHead] = device.Frame{}
+	m.rxHead = (m.rxHead + 1) % len(m.rxBuf)
+	m.rxLen--
+	return f, true
+}
+
+// RxBufDropped reports frames dropped at the full receive ring — the
+// overload signal of a host (or router) that cannot drain its input
+// queue as fast as the fabric fills it.
+func (m *Machine) RxBufDropped() uint64 { return m.rxDropped }
+
+// nicRx services one received packet — parking any addressed frame in
+// the receive ring for NetRecv — then completes any NetRxWait whose
+// threshold the delivery crossed (softirq hands the frame to the
+// socket and the scheduler wakes the reader after the usual wakeup
+// latency).
 func (m *Machine) nicRx() {
+	// Park the frame before advancing time: irqWork can fire nested
+	// deliveries whose frames must land in the ring after this one.
+	if f, ok := m.nic.TakeRxFrame(); ok {
+		m.pushRxFrame(f)
+	}
 	c := m.cpu.Costs()
 	m.irqWork(device.IRQNIC, c.IRQEntry+c.IRQHandlerNIC+c.IRQExit)
 	if len(m.netWaiters) == 0 {

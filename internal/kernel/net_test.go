@@ -4,32 +4,40 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/device"
 	"repro/internal/guest"
 	"repro/internal/sim"
 )
 
-// TestNetSendRoutesAndCounters pins the guest tx entry point: frames
-// go out the registered route, carry/drop feedback reaches the guest,
-// and a machine with no uplink counts transmit drops.
+// TestNetSendRoutesAndCounters pins the addressed guest tx entry
+// point: frames are resolved through the NIC's routing table, stamped
+// with the machine's own source address, carry/drop feedback reaches
+// the guest, and frames to an unrouted destination count as transmit
+// drops.
 func TestNetSendRoutesAndCounters(t *testing.T) {
 	m := testMachine(t)
 	defer m.Shutdown()
+	const self, peer = device.Addr(1), device.Addr(2)
+	m.NIC().SetAddr(self)
 	var carried int
-	m.NIC().AddTxRoute(func() bool {
+	var lastSrc device.Addr
+	route := m.NIC().AddTxRoute(func(f device.Frame) bool {
 		carried++
+		lastSrc = f.Src
 		return carried%2 == 1 // wire drops every second frame
 	})
+	m.NIC().SetRoute(peer, route)
 	var acks, nacks int
 	if _, err := m.Spawn(SpawnConfig{Name: "sender", Body: func(ctx guest.Context) {
 		for i := 0; i < 4; i++ {
-			if ctx.NetSend(0) {
+			if ctx.NetSend(guest.Frame{Dst: peer}) {
 				acks++
 			} else {
 				nacks++
 			}
 		}
-		if ctx.NetSend(7) { // no such route
-			t.Error("NetSend to unknown route reported carried")
+		if ctx.NetSend(guest.Frame{Dst: 9}) { // no route to this address
+			t.Error("NetSend to unrouted destination reported carried")
 		}
 	}}); err != nil {
 		t.Fatal(err)
@@ -38,6 +46,9 @@ func TestNetSendRoutesAndCounters(t *testing.T) {
 	if carried != 4 {
 		t.Fatalf("route invoked %d times, want 4", carried)
 	}
+	if lastSrc != self {
+		t.Fatalf("frame Src = %d, want %d (kernel must stamp the sender's address)", lastSrc, self)
+	}
 	if acks != 2 || nacks != 2 {
 		t.Fatalf("acks=%d nacks=%d, want 2/2 (wire feedback must reach the guest)", acks, nacks)
 	}
@@ -45,7 +56,7 @@ func TestNetSendRoutesAndCounters(t *testing.T) {
 		t.Fatalf("Transmitted = %d, want 2", got)
 	}
 	if got := m.NIC().TxDropped(); got != 3 {
-		t.Fatalf("TxDropped = %d, want 3 (2 wire drops + 1 unknown route)", got)
+		t.Fatalf("TxDropped = %d, want 3 (2 wire drops + 1 unrouted destination)", got)
 	}
 }
 
@@ -53,10 +64,11 @@ func TestNetSendRoutesAndCounters(t *testing.T) {
 // work of the sender, not free.
 func TestNetSendBillsSystemTime(t *testing.T) {
 	m := testMachine(t)
-	m.NIC().AddTxRoute(func() bool { return true })
+	const peer = device.Addr(2)
+	m.NIC().SetRoute(peer, m.NIC().AddTxRoute(func(device.Frame) bool { return true }))
 	p, _ := m.Spawn(SpawnConfig{Name: "sender", Body: func(ctx guest.Context) {
 		for i := 0; i < 1000; i++ {
-			ctx.NetSend(0)
+			ctx.NetSend(guest.Frame{Dst: peer})
 		}
 	}})
 	run(t, m)
@@ -64,6 +76,116 @@ func TestNetSendBillsSystemTime(t *testing.T) {
 	perFrame := m.CPU().Costs().NICTx
 	if u.System < 1000*perFrame {
 		t.Fatalf("tsc system = %d, want at least %d (1000 frames of tx-path work)", u.System, 1000*perFrame)
+	}
+}
+
+// TestNetRecvDrainsFramesInArrivalOrder pins the frame receive
+// buffer: injected frames surface through NetRecv in arrival order
+// with headers intact, and an empty buffer reports ok=false.
+func TestNetRecvDrainsFramesInArrivalOrder(t *testing.T) {
+	m := testMachine(t)
+	tick := m.TickCycles()
+	// Inject out of schedule order; arrival order must win.
+	m.NIC().InjectRxFrame(3*tick, device.Frame{Src: 7, Flow: 30, CE: true})
+	m.NIC().InjectRxFrame(2*tick, device.Frame{Src: 5, Flow: 20})
+	m.NIC().InjectRx(tick) // payload-less: counts, queues no frame
+	var got []device.Frame
+	var emptyOK bool
+	if _, err := m.Spawn(SpawnConfig{Name: "reader", Body: func(ctx guest.Context) {
+		seen := uint64(0)
+		for seen < 3 {
+			seen = ctx.NetRxWait(seen)
+		}
+		for {
+			f, ok := ctx.NetRecv()
+			if !ok {
+				break
+			}
+			got = append(got, f)
+		}
+		_, emptyOK = ctx.NetRecv()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	if len(got) != 2 {
+		t.Fatalf("NetRecv drained %d frames, want 2 (payload-less injection queues none)", len(got))
+	}
+	if got[0].Src != 5 || got[0].Flow != 20 || got[0].CE {
+		t.Fatalf("first frame = %+v, want Src 5 / Flow 20 / no CE (arrival order)", got[0])
+	}
+	if got[1].Src != 7 || got[1].Flow != 30 || !got[1].CE {
+		t.Fatalf("second frame = %+v, want Src 7 / Flow 30 / CE", got[1])
+	}
+	if emptyOK {
+		t.Fatal("NetRecv on a drained buffer reported ok")
+	}
+}
+
+// TestNetForwardPreservesSource pins the router data plane: a
+// forwarded frame leaves with its original Src, while a plain send is
+// stamped with the forwarder's own address.
+func TestNetForwardPreservesSource(t *testing.T) {
+	m := testMachine(t)
+	defer m.Shutdown()
+	const self, origin, dst = device.Addr(3), device.Addr(1), device.Addr(2)
+	m.NIC().SetAddr(self)
+	var out []device.Frame
+	m.NIC().SetRoute(dst, m.NIC().AddTxRoute(func(f device.Frame) bool {
+		out = append(out, f)
+		return true
+	}))
+	if _, err := m.Spawn(SpawnConfig{Name: "fwd", Body: func(ctx guest.Context) {
+		if !ctx.NetForward(guest.Frame{Src: origin, Dst: dst, Flow: 9}) {
+			t.Error("NetForward dropped on an open route")
+		}
+		ctx.NetSend(guest.Frame{Src: origin, Dst: dst}) // Src must be overwritten
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	if len(out) != 2 {
+		t.Fatalf("transmitted %d frames, want 2", len(out))
+	}
+	if out[0].Src != origin || out[0].Flow != 9 {
+		t.Fatalf("forwarded frame = %+v, want Src %d preserved", out[0], origin)
+	}
+	if out[1].Src != self {
+		t.Fatalf("sent frame Src = %d, want %d (stamped by the kernel)", out[1].Src, self)
+	}
+}
+
+// TestRxBufferOverflowDrops pins the input-queue bound: frames past
+// the configured ring capacity are dropped and counted, and the
+// survivors are the earliest arrivals.
+func TestRxBufferOverflowDrops(t *testing.T) {
+	m := New(Config{Seed: 9, CPUHz: 1_000_000_000, RxBufFrames: 4})
+	tick := m.TickCycles()
+	for i := 0; i < 7; i++ {
+		m.NIC().InjectRxFrame(tick+sim.Cycles(i), device.Frame{Flow: uint32(i)})
+	}
+	var drained []uint32
+	if _, err := m.Spawn(SpawnConfig{Name: "reader", Body: func(ctx guest.Context) {
+		seen := uint64(0)
+		for seen < 7 {
+			seen = ctx.NetRxWait(seen)
+		}
+		for {
+			f, ok := ctx.NetRecv()
+			if !ok {
+				break
+			}
+			drained = append(drained, f.Flow)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	if got := m.RxBufDropped(); got != 3 {
+		t.Fatalf("RxBufDropped = %d, want 3 (7 frames into a 4-deep ring)", got)
+	}
+	if len(drained) != 4 || drained[0] != 0 || drained[3] != 3 {
+		t.Fatalf("drained %v, want the first four arrivals", drained)
 	}
 }
 

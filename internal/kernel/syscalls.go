@@ -161,7 +161,23 @@ func (m *Machine) beginRequest(t *task, r *request) {
 		// sendto entry/service/exit, then the driver's tx path — ring
 		// descriptor fill and doorbell — all system time of the sender.
 		m.chargedAdvance(m.syscallCost("sendto")+c.NICTx, cpu.Kernel, t)
-		r.wok = m.nic.Transmit(int(r.addr))
+		f := r.frame
+		f.Src = m.nic.Addr()
+		r.wok = m.nic.TransmitTo(f)
+		m.grantNow(t)
+
+	case rqNetForward:
+		st.Syscalls++
+		// Same driver path as a send; the frame's Src is preserved so
+		// the next hop still sees the original sender.
+		m.chargedAdvance(m.syscallCost("sendto")+c.NICTx, cpu.Kernel, t)
+		r.wok = m.nic.TransmitTo(r.frame)
+		m.grantNow(t)
+
+	case rqNetRecv:
+		st.Syscalls++
+		m.chargedAdvance(m.syscallCost("read"), cpu.Kernel, t)
+		r.frame, r.wok = m.popRxFrame()
 		m.grantNow(t)
 
 	case rqNetRx:

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/guest"
 	"repro/internal/lib"
 	"repro/internal/proc"
@@ -28,6 +29,8 @@ const (
 	rqExec
 	rqFind
 	rqNetSend
+	rqNetForward
+	rqNetRecv
 	rqNetRx
 	rqNetRxWait
 )
@@ -41,7 +44,8 @@ type request struct {
 
 	// Inputs.
 	cycles sim.Cycles     // rqCompute, rqSleep
-	addr   uint64         // rqAccess; route for rqNetSend; seen for rqNetRxWait
+	addr   uint64         // rqAccess; seen for rqNetRxWait
+	frame  device.Frame   // rqNetSend, rqNetForward input; rqNetRecv reply
 	write  bool           // rqAccess
 	name   string         // rqSyscall, rqFork, rqThread
 	body   guest.Routine  // rqFork, rqThread
@@ -394,9 +398,25 @@ func (c *guestCtx) Usage() (user, system sim.Cycles) {
 	return r.u, r.s
 }
 
-func (c *guestCtx) NetSend(route int) bool {
-	r := c.do(request{kind: rqNetSend, addr: uint64(route)})
+func (c *guestCtx) NetSend(f guest.Frame) bool {
+	r := c.do(request{kind: rqNetSend, frame: f})
 	return r.wok
+}
+
+func (c *guestCtx) NetForward(f guest.Frame) bool {
+	r := c.do(request{kind: rqNetForward, frame: f})
+	return r.wok
+}
+
+func (c *guestCtx) NetRecv() (guest.Frame, bool) {
+	r := c.do(request{kind: rqNetRecv})
+	return r.frame, r.wok
+}
+
+func (c *guestCtx) NetAddr() guest.Addr {
+	// Safe direct read like Nice/Getenv: the engine is paused while
+	// guest code runs, and the address is fixed at cluster wiring.
+	return c.t.m.nic.Addr()
 }
 
 func (c *guestCtx) NetRx() uint64 {
