@@ -276,6 +276,22 @@ func BenchmarkRouterFlood(b *testing.B) {
 	}, "router-bill-sec")
 }
 
+// BenchmarkFairFlood regenerates the qdisc-fairness artifact: three
+// 3-machine clusters (FIFO quiet, FIFO flooded, DRR flooded) sharing
+// one byte-accurate egress pipe. The metric is the ECN flow's
+// completion time under DRR while MTU junk floods the same wire —
+// the bounded latency the fair queue exists to provide.
+func BenchmarkFairFlood(b *testing.B) {
+	benchFigure(b, "fairflood", func(fig *Figure) float64 {
+		// Bars alternate flow-done/victim-bill per config; the last
+		// flow-done bar is the DRR-under-flood completion time.
+		if len(fig.Bars) < 2 {
+			return 0
+		}
+		return fig.Bars[len(fig.Bars)-2].Total()
+	}, "drr-flow-done-sec")
+}
+
 // BenchmarkMeterAllocs pins the allocation footprint of one metered
 // job: machine construction plus the whole steady-state loop. The
 // loop itself (compute slices, ticks, library calls, malloc/free,

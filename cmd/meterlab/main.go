@@ -36,6 +36,10 @@
 //	-red-max n    (cluster only) RED all-feedback threshold (default 3x -red-min,
 //	              capped at the queue depth)
 //	-red-maxp n   (cluster only) RED max mark/drop probability in percent (default 50)
+//	-red-weight n (cluster only) RED EWMA weight exponent: the queue estimate moves
+//	              by (depth-avg)/2^n per offered frame (0 = instantaneous depth)
+//	-qdisc s      (cluster only) per-link queueing discipline: fifo (default) or drr
+//	-quantum-bytes n (cluster only) DRR per-flow byte quantum (0 = 1514; requires -qdisc drr)
 //
 // Output is byte-identical at every -parallel setting; only the host
 // wall-clock changes.
@@ -81,6 +85,9 @@ func run(args []string) error {
 	redMin := fs.Int64("red-min", 0, "RED early-feedback start for 'cluster', queue slots (0 = RED disabled)")
 	redMax := fs.Int64("red-max", 0, "RED all-feedback threshold for 'cluster' (0 = 3x -red-min, capped at queue depth)")
 	redMaxP := fs.Int64("red-maxp", 50, "RED max mark/drop probability for 'cluster', percent")
+	redWeight := fs.Int64("red-weight", 0, "RED EWMA weight exponent for 'cluster' (0 = instantaneous depth)")
+	qdisc := fs.String("qdisc", "", "per-link queueing discipline for 'cluster': fifo (default) or drr")
+	quantumBytes := fs.Int64("quantum-bytes", 0, "DRR per-flow byte quantum for 'cluster' (0 = 1514; requires -qdisc drr)")
 
 	switch cmd {
 	case "list":
@@ -114,15 +121,18 @@ func run(args []string) error {
 			return runAllArtifacts(opts)
 		case "cluster":
 			return runCluster(clusterFlags{
-				victims:    *victims,
-				pps:        *pps,
-				latencyUs:  *latencyUs,
-				linkPPS:    *linkPPS,
-				queueDepth: *queueDepth,
-				lossless:   *lossless,
-				redMin:     *redMin,
-				redMax:     *redMax,
-				redMaxP:    *redMaxP,
+				victims:      *victims,
+				pps:          *pps,
+				latencyUs:    *latencyUs,
+				linkPPS:      *linkPPS,
+				queueDepth:   *queueDepth,
+				lossless:     *lossless,
+				redMin:       *redMin,
+				redMax:       *redMax,
+				redMaxP:      *redMaxP,
+				redWeight:    *redWeight,
+				qdisc:        *qdisc,
+				quantumBytes: *quantumBytes,
 			}, opts)
 		default:
 			return meterJob(target, *attackKey, opts)
@@ -137,15 +147,18 @@ func run(args []string) error {
 // validated before any machine is built so bad input yields a usage
 // error instead of a panic or a silently degenerate run.
 type clusterFlags struct {
-	victims    string
-	pps        int64
-	latencyUs  int64
-	linkPPS    int64
-	queueDepth int64
-	lossless   bool
-	redMin     int64
-	redMax     int64
-	redMaxP    int64
+	victims      string
+	pps          int64
+	latencyUs    int64
+	linkPPS      int64
+	queueDepth   int64
+	lossless     bool
+	redMin       int64
+	redMax       int64
+	redMaxP      int64
+	redWeight    int64
+	qdisc        string
+	quantumBytes int64
 }
 
 // redSpec resolves the RED flags: nil (disabled) when -red-min is 0,
@@ -153,13 +166,16 @@ type clusterFlags struct {
 // -red-min and the resolved queue depth.
 func (f clusterFlags) redSpec() (*cpumeter.REDSpec, error) {
 	if f.redMin == 0 {
-		if f.redMax != 0 || f.redMaxP != 50 {
-			return nil, fmt.Errorf("cluster: -red-max/-red-maxp have no effect without -red-min (RED is disabled at -red-min 0)")
+		if f.redMax != 0 || f.redMaxP != 50 || f.redWeight != 0 {
+			return nil, fmt.Errorf("cluster: -red-max/-red-maxp/-red-weight have no effect without -red-min (RED is disabled at -red-min 0)")
 		}
 		return nil, nil
 	}
 	if f.redMin < 0 || f.redMax < 0 || f.redMaxP < 1 || f.redMaxP > 100 {
 		return nil, fmt.Errorf("cluster: -red-min %d and -red-max %d must be >= 0 and -red-maxp %d in 1..100", f.redMin, f.redMax, f.redMaxP)
+	}
+	if f.redWeight < 0 || f.redWeight > 16 {
+		return nil, fmt.Errorf("cluster: -red-weight %d must be in 0..16 (the EWMA moves by depth/2^weight per frame)", f.redWeight)
 	}
 	if f.lossless {
 		return nil, fmt.Errorf("cluster: -red-min is meaningless with -lossless (an infinite-rate wire has no queue)")
@@ -175,7 +191,27 @@ func (f clusterFlags) redSpec() (*cpumeter.REDSpec, error) {
 			maxDepth = depth
 		}
 	}
-	return &cpumeter.REDSpec{MinDepth: uint64(f.redMin), MaxDepth: maxDepth, MaxPct: uint64(f.redMaxP)}, nil
+	return &cpumeter.REDSpec{MinDepth: uint64(f.redMin), MaxDepth: maxDepth, MaxPct: uint64(f.redMaxP), Weight: uint64(f.redWeight)}, nil
+}
+
+// qdiscSpec validates the queueing-discipline flags.
+func (f clusterFlags) qdiscSpec() (qdisc string, quantum uint64, err error) {
+	switch f.qdisc {
+	case "", cpumeter.QdiscFIFO:
+	case cpumeter.QdiscDRR:
+		if f.lossless {
+			return "", 0, fmt.Errorf("cluster: -qdisc drr is meaningless with -lossless (an infinite-rate wire has no queue to schedule)")
+		}
+	default:
+		return "", 0, fmt.Errorf("cluster: unknown -qdisc %q (have %s, %s)", f.qdisc, cpumeter.QdiscFIFO, cpumeter.QdiscDRR)
+	}
+	if f.quantumBytes < 0 {
+		return "", 0, fmt.Errorf("cluster: -quantum-bytes %d is negative", f.quantumBytes)
+	}
+	if f.quantumBytes > 0 && f.qdisc != cpumeter.QdiscDRR {
+		return "", 0, fmt.Errorf("cluster: -quantum-bytes requires -qdisc drr (FIFO has no per-flow quantum)")
+	}
+	return f.qdisc, uint64(f.quantumBytes), nil
 }
 
 // parseVictims validates and expands the -victims flag: the first
@@ -231,15 +267,21 @@ func runCluster(f clusterFlags, opts cpumeter.Options) error {
 	if err != nil {
 		return err
 	}
+	qdisc, quantum, err := f.qdiscSpec()
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	out, err := cpumeter.MeterCluster(cpumeter.ClusterRunSpec{
-		Opts:           opts,
-		Victims:        vs,
-		FloodPPS:       uint64(f.pps),
-		LinkLatencyUs:  uint64(f.latencyUs),
-		LinkPPS:        linkPPS,
-		LinkQueueDepth: uint64(f.queueDepth),
-		LinkRED:        red,
+		Opts:             opts,
+		Victims:          vs,
+		FloodPPS:         uint64(f.pps),
+		LinkLatencyUs:    uint64(f.latencyUs),
+		LinkPPS:          linkPPS,
+		LinkQueueDepth:   uint64(f.queueDepth),
+		LinkRED:          red,
+		LinkQdisc:        qdisc,
+		LinkQuantumBytes: quantum,
 	})
 	if err != nil {
 		return err

@@ -27,6 +27,12 @@ func TestClusterFlagValidation(t *testing.T) {
 		{"red-maxp out of range", []string{"cluster", "-red-min", "8", "-red-maxp", "200"}, "1..100"},
 		{"red with lossless", []string{"cluster", "-red-min", "8", "-lossless"}, "-lossless"},
 		{"inverted red thresholds", []string{"cluster", "-red-min", "30", "-red-max", "8"}, "MinDepth"},
+		{"red-weight without red-min", []string{"cluster", "-red-weight", "6"}, "without -red-min"},
+		{"red-weight out of range", []string{"cluster", "-red-min", "8", "-red-weight", "20"}, "0..16"},
+		{"unknown qdisc", []string{"cluster", "-qdisc", "wfq"}, "unknown -qdisc"},
+		{"quantum without drr", []string{"cluster", "-quantum-bytes", "512"}, "requires -qdisc drr"},
+		{"negative quantum", []string{"cluster", "-qdisc", "drr", "-quantum-bytes", "-1"}, "negative"},
+		{"drr with lossless", []string{"cluster", "-qdisc", "drr", "-lossless"}, "-lossless"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args)
@@ -75,6 +81,20 @@ func TestClusterModeRunsAtTinyScale(t *testing.T) {
 	}
 	args := []string{"cluster", "-victims", "O", "-pps", "5000", "-scale", "0.005",
 		"-link-pps", "20000", "-queue-depth", "32"}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v) = %v", args, err)
+	}
+}
+
+// TestClusterModeRunsDRRWithEWMARed smokes the qdisc flags end to
+// end: a DRR wire with an EWMA RED policy and an explicit quantum.
+func TestClusterModeRunsDRRWithEWMARed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	args := []string{"cluster", "-victims", "O", "-pps", "5000", "-scale", "0.005",
+		"-link-pps", "20000", "-queue-depth", "32", "-qdisc", "drr", "-quantum-bytes", "3000",
+		"-red-min", "8", "-red-max", "24", "-red-weight", "6"}
 	if err := run(args); err != nil {
 		t.Fatalf("run(%v) = %v", args, err)
 	}

@@ -118,7 +118,25 @@ type (
 	AckFlowConfig = experiments.AckFlowConfig
 	// AckFlowStats is an ack-paced transfer's harvest.
 	AckFlowStats = experiments.AckFlowStats
+	// FairFloodSpec describes an attacker and a well-behaved ECN flow
+	// contending for one shared egress wire under a selectable
+	// queueing discipline (FIFO or DRR).
+	FairFloodSpec = experiments.FairFloodSpec
+	// FairFloodOut is one shared-egress fairness scenario's harvest.
+	FairFloodOut = experiments.FairFloodOut
 )
+
+// Queueing disciplines a link spec may select (LinkSpec.Qdisc and
+// FairFloodSpec.Qdisc): FIFO is the default starvable wire, DRR the
+// deficit-round-robin fair queue with per-flow byte quanta.
+const (
+	QdiscFIFO = cluster.QdiscFIFO
+	QdiscDRR  = cluster.QdiscDRR
+)
+
+// DefaultQuantumBytes is DRR's per-flow byte quantum when a spec
+// leaves it zero (one maximum-size Ethernet frame).
+const DefaultQuantumBytes = cluster.DefaultQuantumBytes
 
 // UnlimitedLinkPPS selects an idealised lossless infinite-rate wire
 // in link and cluster specs (no serialisation gap, no queue, no
@@ -140,6 +158,14 @@ func MeterMultiFlood(spec MultiFloodSpec) (*MultiFloodOut, error) {
 // cross-machine exception flood) in deterministic lockstep.
 func MeterSwapFlood(spec SwapFloodSpec) (*SwapFloodOut, error) {
 	return experiments.RunSwapFlood(spec)
+}
+
+// MeterFairFlood executes one shared-egress fairness scenario in
+// deterministic lockstep: an attacker floods the same congested wire
+// a well-behaved ECN flow needs, under the spec's queueing
+// discipline — FIFO (starvable) or DRR (per-flow fair).
+func MeterFairFlood(spec FairFloodSpec) (*FairFloodOut, error) {
+	return experiments.RunFairFlood(spec)
 }
 
 // MeterRouterFlood executes one attackers → router → victim scenario
@@ -264,6 +290,7 @@ var experimentRunners = map[string]func(Options) (*Figure, error){
 	"multiflood":  experiments.MultiAttackerFlood,
 	"swapflood":   experiments.CrossMachineExceptionFlood,
 	"routerflood": experiments.RouterFlood,
+	"fairflood":   experiments.FairFlood,
 }
 
 // Experiments lists the regenerable artifact ids in a stable order.

@@ -16,6 +16,16 @@
 // (guest.Context.NetSend) and receivers can reply — ack-paced flows
 // whose rate is shaped by the receiver's responsiveness.
 //
+// Serialisation is byte-accurate: a frame occupies the wire for
+// Frame.Bytes at the link's byte rate (PacketsPerSecond minimum-size
+// frames per second), with zero-Bytes frames costing exactly one
+// per-frame slot — the pre-byte model, preserved bit-for-bit. Each
+// link direction runs a queueing discipline (LinkSpec.Qdisc): FIFO by
+// default, or DRR with per-Frame.Flow queues and a byte quantum so a
+// flooding flow cannot starve a sparse one on a congested egress.
+// RED queue feedback can gate on an EWMA depth estimate
+// (REDSpec.Weight) instead of the instantaneous backlog.
+//
 // Machines advance in deterministic lockstep virtual time. Each round
 // the cluster computes the earliest time any machine can make
 // progress (the min-next-event-time barrier), extends it by the
@@ -75,6 +85,27 @@ const DefaultQueueDepth = 64
 // page when a SharedSwapSpec leaves it zero: ~40 µs of block-layer,
 // copy, and reply work, in line with 2008-era NFS/NBD page service.
 const DefaultSwapServiceUs = 40
+
+// Queueing disciplines a LinkSpec.Qdisc may select.
+const (
+	// QdiscFIFO is the default first-come-first-served wire: frames
+	// serialise in offer order through one virtual horizon, and a
+	// flooding flow freely starves everything behind it. An empty
+	// Qdisc resolves to FIFO, which replays pre-qdisc histories
+	// bit-for-bit.
+	QdiscFIFO = "fifo"
+	// QdiscDRR arms deficit-round-robin per-flow fairness: each
+	// Frame.Flow gets its own queue, active flows are served a byte
+	// quantum per round, and under buffer pressure backlog is shed
+	// from the fattest flow — so a flood caps its own share of a
+	// congested egress instead of monopolising it.
+	QdiscDRR = "drr"
+)
+
+// DefaultQuantumBytes is DRR's per-flow byte quantum when a LinkSpec
+// leaves it zero: one maximum-size Ethernet frame, the smallest
+// quantum that keeps packet-at-a-time DRR work-conserving.
+const DefaultQuantumBytes = 1514
 
 // MachineSpec declares one cluster member.
 type MachineSpec struct {
@@ -141,6 +172,15 @@ type LinkSpec struct {
 	// replays pre-RED histories bit-for-bit. Bottleneck-tagged links
 	// must agree on RED parameters like they agree on rate and depth.
 	RED *REDSpec
+	// Qdisc selects both directions' egress queueing discipline:
+	// QdiscFIFO (the default; "" resolves to it) or QdiscDRR.
+	// Bottleneck-tagged links must agree on the discipline and its
+	// quantum. DRR needs a finite-rate wire (an infinite-rate pipe
+	// has no queue to schedule), so it rejects UnlimitedPPS.
+	Qdisc string
+	// QuantumBytes is DRR's per-flow byte quantum; zero selects
+	// DefaultQuantumBytes. Only meaningful with Qdisc QdiscDRR.
+	QuantumBytes uint64
 }
 
 // REDSpec parameterises one pipe's random-early-detection policy.
@@ -166,6 +206,15 @@ type REDSpec struct {
 	// MaxPct is the mark/drop probability (percent, 1..100) reached
 	// as the queue grows to MaxDepth.
 	MaxPct uint64
+	// Weight, when nonzero, replaces the instantaneous queue depth
+	// with an EWMA estimate before the thresholds apply: every
+	// offered frame folds its depth observation in as
+	// avg += (q - avg) / 2^Weight (16.16 fixed point), so transient
+	// bursts no longer trip early feedback while sustained congestion
+	// still does — classic RED averaging. Zero keeps the
+	// instantaneous depth, which replays pre-EWMA histories
+	// bit-for-bit. Weight is capped at 16.
+	Weight uint64
 }
 
 // validate checks a RED spec against its link's resolved queue depth.
@@ -178,6 +227,9 @@ func (r *REDSpec) validate(depth uint64) error {
 	}
 	if r.MaxPct == 0 || r.MaxPct > 100 {
 		return fmt.Errorf("RED MaxPct %d must be in 1..100", r.MaxPct)
+	}
+	if r.Weight > 16 {
+		return fmt.Errorf("RED Weight %d exceeds 16 (the average would adapt too slowly to ever gate)", r.Weight)
 	}
 	return nil
 }
@@ -239,17 +291,79 @@ var ErrStalled = errors.New("cluster: unfinished machines but no machine has pen
 // wire is the binding constraint (variable frame sizes); it is seeded
 // from the cluster seed and the pipe's declaration position, so
 // histories stay a pure function of the Config.
+//
+// A pipe runs one of two engines. FIFO (the default) is the virtual
+// horizon model: lastArrival tracks the wire's committed tail and an
+// offered frame either rides it or tail-drops — no frame is ever
+// held back, so the sender learns carry/drop synchronously and
+// histories replay the pre-qdisc model bit-for-bit. DRR holds a real
+// per-flow backlog (drr non-nil): offered frames park in
+// deficit-round-robin queues and depart as the wire serves them, one
+// service-time event at a time, with the kick timer on the home
+// machine draining whatever the senders' own offers do not.
 type pipe struct {
-	gap         sim.Cycles // serialisation spacing at wire capacity; 0 = infinite rate
-	depth       uint64     // tail-drop bound in packets
+	gap         sim.Cycles // serialisation spacing per minimum-frame slot at wire capacity; 0 = infinite rate
+	depth       uint64     // queue bound in minimum-frame slots
 	red         *REDSpec   // nil: pure tail-drop
 	lastArrival sim.Cycles
 	rng         *sim.Rand
+	avgFP       uint64 // EWMA queue estimate, 16.16 fixed point (RED Weight > 0)
+
+	// DRR engine state (nil drr selects the FIFO horizon above).
+	drr         *device.DRR
+	quantum     uint64
+	home        *device.NIC // machine whose event queue runs the kick timer
+	byTag       []*Link     // queued-entry tag -> owning link
+	busyUntil   sim.Cycles  // wire committed through here
+	commitClock sim.Cycles  // monotone max of observed offer/kick times
+	kickArmed   bool
+	kickFire    func()
 }
 
-// redHit decides whether a frame queuing q slots deep takes early
-// feedback, drawing from the pipe's deterministic stream only when
-// the policy is armed and the queue has reached MinDepth.
+// svcBytes reports the serialisation time of wb wire bytes: the
+// per-slot gap scaled by the frame's occupancy, so a minimum-size (or
+// zero-Bytes) frame costs exactly one gap — the per-frame slot model,
+// preserved bit-for-bit — and an MTU frame costs ~18 of them.
+func (p *pipe) svcBytes(wb uint64) sim.Cycles {
+	if wb == device.MinFrameBytes {
+		return p.gap
+	}
+	return sim.Cycles(uint64(p.gap) * wb / device.MinFrameBytes)
+}
+
+// jitterSvc perturbs one frame's service time deterministically
+// (variable header/framing overhead; also keeps a saturated pipe off
+// an exact modular grid that could phase-lock with the receiver's
+// timer ticks).
+func (p *pipe) jitterSvc(svc sim.Cycles) sim.Cycles {
+	g := p.rng.Jitter(svc, svc/4+1)
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// redSample feeds one queue-depth observation (in slots) to the RED
+// estimator and returns the depth the thresholds gate on: the
+// instantaneous sample itself at Weight zero (bit-compatible with the
+// pre-EWMA policy), otherwise the running EWMA.
+func (p *pipe) redSample(q uint64) uint64 {
+	r := p.red
+	if r == nil || r.Weight == 0 {
+		return q
+	}
+	qFP := q << 16
+	if qFP >= p.avgFP {
+		p.avgFP += (qFP - p.avgFP) >> r.Weight
+	} else {
+		p.avgFP -= (p.avgFP - qFP) >> r.Weight
+	}
+	return p.avgFP >> 16
+}
+
+// redHit decides whether a frame whose queue estimate is q takes
+// early feedback, drawing from the pipe's deterministic stream only
+// when the policy is armed and the estimate has reached MinDepth.
 func (p *pipe) redHit(q uint64) bool {
 	r := p.red
 	if r == nil || q < r.MinDepth {
@@ -264,6 +378,13 @@ func (p *pipe) redHit(q uint64) bool {
 	return uint64(p.rng.Int63n(65536)) < prob
 }
 
+// register adds a link to a DRR pipe's tag table so queued entries
+// can be delivered and accounted on the link they were offered to.
+func (p *pipe) register(l *Link) uint32 {
+	p.byTag = append(p.byTag, l)
+	return uint32(len(p.byTag) - 1)
+}
+
 // Link is one direction of a network path between two machines' NICs.
 // Send is only safe from code that runs while the cluster advances
 // the sending machine (guest routines, event callbacks) or between
@@ -273,10 +394,12 @@ type Link struct {
 	latency  sim.Cycles
 	pipe     *pipe
 	rev      *Link
+	tag      uint32 // this link's entry tag in a DRR pipe's table
 
 	sent      uint64
 	delivered uint64
 	dropped   uint64
+	queued    uint64
 	marked    uint64
 	earlyDrop uint64
 }
@@ -290,9 +413,16 @@ func (l *Link) Sent() uint64 { return l.sent }
 func (l *Link) Delivered() uint64 { return l.delivered }
 
 // Dropped reports frames not delivered: tail-dropped at the wire's
-// queue, RED-early-dropped, or offered after the destination machine
-// had finished.
+// queue, RED-early-dropped, shed by DRR's buffer-steal policy, or
+// offered after the destination machine had finished.
 func (l *Link) Dropped() uint64 { return l.dropped }
+
+// Queued reports frames currently parked in a DRR pipe's backlog,
+// accepted but not yet served by the wire (always zero on a FIFO
+// direction, which commits every carried frame at offer time). At
+// any instant Sent = Delivered + Dropped + Queued; a run that drains
+// its flows ends with Queued zero and the classic two-term identity.
+func (l *Link) Queued() uint64 { return l.queued }
 
 // Marked reports ECN-capable frames this direction carried with a
 // fresh CE congestion mark from its RED policy.
@@ -308,32 +438,46 @@ func (l *Link) Latency() sim.Cycles { return l.latency }
 // Reverse returns the opposite direction of this link.
 func (l *Link) Reverse() *Link { return l.rev }
 
-// Send offers one addressed frame to this direction. A carried frame
-// arrives at the destination NIC one latency after the sender's
-// current virtual time — no earlier than one serialisation gap after
-// the previous frame on the same pipe — and raises one receive
-// interrupt there, parking the frame in the destination kernel's
-// receive buffer. A frame that would queue QueueDepth or more
-// gap-slots deep, or whose destination machine has already finished,
-// is tail-dropped instead; with RED armed, a frame queueing past
-// MinDepth may take early feedback first — a CE mark if it is
-// ECN-capable, an early drop otherwise. Send reports whether the
-// frame was carried. Sent = Delivered + Dropped always holds.
+// Send offers one addressed frame to this direction.
+//
+// On a FIFO pipe a carried frame arrives at the destination NIC one
+// latency after the sender's current virtual time — no earlier than
+// one byte-accurate serialisation time (the frame's wire bytes at
+// the pipe's rate; one gap-slot for zero-Bytes frames) after the
+// previous frame on the same pipe — and raises one receive interrupt
+// there, parking the frame in the destination kernel's receive
+// buffer. A frame that would queue QueueDepth or more gap-slots
+// deep, or whose destination machine has already finished, is
+// tail-dropped instead; with RED armed, a frame whose queue estimate
+// (instantaneous, or EWMA with Weight set) passes MinDepth may take
+// early feedback first — a CE mark if it is ECN-capable, an early
+// drop otherwise. Sent = Delivered + Dropped always holds on FIFO.
+//
+// On a DRR pipe an accepted frame parks in its flow's queue and
+// departs when the round-robin wire serves it, so Send reporting
+// true means admitted, not yet delivered (Sent = Delivered + Dropped
+// + Queued). Under buffer pressure the fattest flow's freshest
+// backlog is shed to admit the newcomer — unless the newcomer's own
+// flow is the hog, in which case it is the drop.
 func (l *Link) Send(f Frame) bool {
 	l.sent++
 	if l.to.Closed() {
 		l.dropped++
 		return false
 	}
+	if l.pipe.drr != nil {
+		return l.pipe.sendDRR(l, f)
+	}
 	arrive := l.from.Clock().Now() + l.latency
 	if p := l.pipe; p.gap > 0 {
-		if floor := p.lastArrival + p.gap; arrive < floor {
+		svc := p.svcBytes(device.WireBytes(f))
+		if floor := p.lastArrival + svc; arrive < floor {
 			queued := uint64((floor - arrive) / p.gap)
 			if queued >= p.depth {
 				l.dropped++
 				return false
 			}
-			if p.redHit(queued) {
+			if p.redHit(p.redSample(queued)) {
 				if !f.ECN {
 					l.dropped++
 					l.earlyDrop++
@@ -345,25 +489,122 @@ func (l *Link) Send(f Frame) bool {
 				f.CE = true
 			}
 			// The wire is the binding constraint: per-frame service
-			// time varies with frame size, so perturb the nominal gap
-			// (deterministically). Without this a saturated pipe
-			// delivers on an exact modular grid that can phase-lock
-			// with the receiver's timer-tick grid and bias what the
-			// tick sampler observes. Frames never arrive before their
-			// own flight time or out of order.
-			g := p.rng.Jitter(p.gap, p.gap/4+1)
-			if g == 0 {
-				g = 1
-			}
-			if jittered := p.lastArrival + g; jittered > arrive {
+			// time varies with frame size, so perturb the nominal
+			// service time (deterministically). Without this a
+			// saturated pipe delivers on an exact modular grid that
+			// can phase-lock with the receiver's timer-tick grid and
+			// bias what the tick sampler observes. Frames never
+			// arrive before their own flight time or out of order.
+			if jittered := p.lastArrival + p.jitterSvc(svc); jittered > arrive {
 				arrive = jittered
 			}
+		} else {
+			// Uncongested offer: the EWMA estimator still observes the
+			// empty queue so the average decays between bursts.
+			p.redSample(0)
 		}
 		p.lastArrival = arrive
 	}
 	l.delivered++
 	l.to.NIC().InjectRxFrame(arrive, f)
 	return true
+}
+
+// deliver hands a wire-committed frame to the destination NIC at its
+// departure time plus this link's propagation delay — or counts a
+// drop when the destination machine has since finished.
+func (l *Link) deliver(depart sim.Cycles, f Frame) {
+	if l.to.Closed() {
+		l.dropped++
+		return
+	}
+	l.delivered++
+	l.to.NIC().InjectRxFrame(depart+l.latency, f)
+}
+
+// sendDRR offers one frame to a DRR pipe at the sending machine's
+// current virtual time. Like the Bottleneck sharing model, offers
+// reach the pipe in lockstep machine order rather than strict
+// virtual-time order, so the commit clock is the monotone maximum of
+// observed offer times and a frame offered "in the past" (bounded by
+// one lookahead window) queues as if it arrived at the frontier.
+func (p *pipe) sendDRR(l *Link, f Frame) bool {
+	if now := l.from.Clock().Now(); now > p.commitClock {
+		p.commitClock = now
+	}
+	p.drain()
+	wb := device.WireBytes(f)
+	if p.drr.Len() == 0 && p.busyUntil <= p.commitClock {
+		// Wire idle: store-and-forward the frame immediately. The EWMA
+		// estimator still observes the empty queue (as the FIFO path
+		// does) so the average decays between bursts.
+		p.redSample(0)
+		start := p.busyUntil
+		if now := l.from.Clock().Now(); now > start {
+			start = now
+		}
+		p.busyUntil = start + p.jitterSvc(p.svcBytes(wb))
+		l.deliver(p.busyUntil, f)
+		return true
+	}
+	// Wire busy: admit under the buffer policy. Capacity is QueueDepth
+	// minimum-frame slots' worth of bytes; under pressure the fattest
+	// flow sheds its freshest backlog until the newcomer fits.
+	capBytes := p.depth * device.MinFrameBytes
+	for p.drr.Bytes()+wb > capBytes {
+		hog, ok := p.drr.LongestFlow()
+		if !ok || hog == f.Flow {
+			l.dropped++
+			return false
+		}
+		e, _ := p.drr.StealFrom(hog)
+		el := p.byTag[e.Tag]
+		el.queued--
+		el.dropped++
+	}
+	// RED gates on the backlog ahead of the newcomer, in slots.
+	if p.redHit(p.redSample(p.drr.Bytes() / device.MinFrameBytes)) {
+		if !f.ECN {
+			l.dropped++
+			l.earlyDrop++
+			return false
+		}
+		if !f.CE {
+			l.marked++
+		}
+		f.CE = true
+	}
+	p.drr.Enqueue(device.QdiscEntry{F: f, Cost: wb, Tag: l.tag})
+	l.queued++
+	p.armKick()
+	return true
+}
+
+// drain commits backlogged frames onto the wire in DRR order for as
+// long as the committed horizon trails the commit clock: each
+// committed frame occupies the wire for its jittered byte-accurate
+// service time and is delivered on its own link at departure.
+func (p *pipe) drain() {
+	for p.drr.Len() > 0 && p.busyUntil <= p.commitClock {
+		e, _ := p.drr.Dequeue()
+		el := p.byTag[e.Tag]
+		el.queued--
+		p.busyUntil += p.jitterSvc(p.svcBytes(e.Cost))
+		el.deliver(p.busyUntil, e.F)
+	}
+}
+
+// armKick schedules the pipe's service timer at the wire's committed
+// horizon on the home machine (the first declared link's receiver),
+// so backlog keeps draining — one frame per firing — after the
+// senders go quiet. Without it, queued frames would wait for the
+// next offer that may never come.
+func (p *pipe) armKick() {
+	if p.kickArmed || p.drr.Len() == 0 {
+		return
+	}
+	p.kickArmed = true
+	p.home.ScheduleEgress(p.busyUntil, p.kickFire)
 }
 
 // Cluster is a set of machines advancing in lockstep plus the links
@@ -380,8 +621,9 @@ type Cluster struct {
 
 // newPipe builds one direction's serialisation state from a spec.
 // seed drives the pipe's service-time perturbation and RED coin
-// flips.
-func newPipe(freq sim.Hz, pps, depth uint64, red *REDSpec, seed int64) *pipe {
+// flips; qdisc/quantum select the queue engine, and home is the
+// machine whose event queue runs a DRR pipe's service timer.
+func newPipe(freq sim.Hz, pps, depth uint64, red *REDSpec, seed int64, qdisc string, quantum uint64, home *device.NIC) *pipe {
 	if pps == 0 {
 		pps = DefaultLinkPPS
 	}
@@ -395,7 +637,24 @@ func newPipe(freq sim.Hz, pps, depth uint64, red *REDSpec, seed int64) *pipe {
 			gap = 1
 		}
 	}
-	return &pipe{gap: gap, depth: depth, red: red, rng: sim.NewRand(seed)}
+	p := &pipe{gap: gap, depth: depth, red: red, rng: sim.NewRand(seed)}
+	if qdisc == QdiscDRR {
+		if quantum == 0 {
+			quantum = DefaultQuantumBytes
+		}
+		p.drr = device.NewDRR(quantum)
+		p.quantum = quantum
+		p.home = home
+		p.kickFire = func() {
+			p.kickArmed = false
+			if now := p.home.Now(); now > p.commitClock {
+				p.commitClock = now
+			}
+			p.drain()
+			p.armKick()
+		}
+	}
+	return p
 }
 
 // AddrOf reports machine i's fabric address (machine i is addressed
@@ -491,12 +750,29 @@ func New(cfg Config) (*Cluster, error) {
 			c.Shutdown()
 			return nil, fmt.Errorf("cluster: link %d is a self-link on %s (loopback is not a wire)", li, c.machineDesc(ls.From))
 		}
+		qdisc := ls.Qdisc
+		switch qdisc {
+		case "":
+			qdisc = QdiscFIFO
+		case QdiscFIFO, QdiscDRR:
+		default:
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: link %d selects unknown qdisc %q (have %q, %q)", li, ls.Qdisc, QdiscFIFO, QdiscDRR)
+		}
+		if qdisc != QdiscDRR && ls.QuantumBytes != 0 {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: link %d sets QuantumBytes %d without Qdisc %q (FIFO has no per-flow quantum)", li, ls.QuantumBytes, QdiscDRR)
+		}
+		if qdisc == QdiscDRR && ls.PacketsPerSecond == UnlimitedPPS {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: link %d arms qdisc %q on an infinite-rate wire (no queue to schedule)", li, QdiscDRR)
+		}
 		latUs := ls.LatencyUs
 		if latUs == 0 {
 			latUs = DefaultLatencyUs
 		}
 		pipeSeed := cfg.Machines[0].Config.Seed*1_000_003 + int64(li)*2
-		fwdPipe := newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, ls.RED, pipeSeed)
+		fwdPipe := newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, ls.RED, pipeSeed, qdisc, ls.QuantumBytes, c.machines[ls.To].NIC())
 		if ls.RED != nil {
 			if err := ls.RED.validate(fwdPipe.depth); err != nil {
 				c.Shutdown()
@@ -507,10 +783,12 @@ func New(cfg Config) (*Cluster, error) {
 			if b, ok := shared[ls.Bottleneck]; ok {
 				// Compare resolved parameters, so an explicit value and
 				// the default it resolves to are not a false mismatch.
-				if b.gap != fwdPipe.gap || b.depth != fwdPipe.depth || !redEqual(b.red, fwdPipe.red) {
+				if b.gap != fwdPipe.gap || b.depth != fwdPipe.depth || !redEqual(b.red, fwdPipe.red) ||
+					(b.drr != nil) != (fwdPipe.drr != nil) || b.quantum != fwdPipe.quantum {
 					c.Shutdown()
-					return nil, fmt.Errorf("cluster: link %d bottleneck %q resolves to gap=%d depth=%d red=%v, earlier link resolved gap=%d depth=%d red=%v",
-						li, ls.Bottleneck, fwdPipe.gap, fwdPipe.depth, fwdPipe.red, b.gap, b.depth, b.red)
+					return nil, fmt.Errorf("cluster: link %d bottleneck %q resolves to gap=%d depth=%d red=%v drr=%v quantum=%d, earlier link resolved gap=%d depth=%d red=%v drr=%v quantum=%d",
+						li, ls.Bottleneck, fwdPipe.gap, fwdPipe.depth, fwdPipe.red, fwdPipe.drr != nil, fwdPipe.quantum,
+						b.gap, b.depth, b.red, b.drr != nil, b.quantum)
 				}
 				fwdPipe = b
 			} else {
@@ -527,9 +805,15 @@ func New(cfg Config) (*Cluster, error) {
 			from:    c.machines[ls.To],
 			to:      c.machines[ls.From],
 			latency: fwd.latency,
-			pipe:    newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, ls.RED, pipeSeed+1),
+			pipe:    newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, ls.RED, pipeSeed+1, qdisc, ls.QuantumBytes, c.machines[ls.From].NIC()),
 		}
 		fwd.rev, rev.rev = rev, fwd
+		if fwdPipe.drr != nil {
+			fwd.tag = fwdPipe.register(fwd)
+		}
+		if rev.pipe.drr != nil {
+			rev.tag = rev.pipe.register(rev)
+		}
 		addRoute(ls.From, ls.To, c.machines[ls.From].NIC().AddTxRoute(fwd.Send))
 		addRoute(ls.To, ls.From, c.machines[ls.To].NIC().AddTxRoute(rev.Send))
 		c.links = append(c.links, fwd)

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// pktgenSpec spawns a raw link.Send generator offering `count` copies
+// of frame at fixed spacing.
+func pktgenSpec(seed int64, link int, frame Frame, count int, interval sim.Cycles) MachineSpec {
+	return MachineSpec{
+		Config: kernel.Config{Seed: seed, CPUHz: testHz},
+		Boot: func(c *Cluster, m *kernel.Machine) error {
+			l := c.Link(link)
+			_, err := m.Spawn(kernel.SpawnConfig{
+				Name:    "pktgen",
+				Content: "pktgen v1",
+				Body: func(ctx guest.Context) {
+					for i := 0; i < count; i++ {
+						l.Send(frame)
+						ctx.Sleep(interval)
+					}
+				},
+			})
+			return err
+		},
+	}
+}
+
+func sinkSpec(seed int64, seconds float64) MachineSpec {
+	return MachineSpec{
+		Config: kernel.Config{Seed: seed, CPUHz: testHz},
+		Boot: func(_ *Cluster, m *kernel.Machine) error {
+			return spawnBusy(m, "sink", seconds)
+		},
+	}
+}
+
+// TestByteAccurateZeroBytesFallback pins the Frame.Bytes==0 fallback:
+// a zero-Bytes frame and an explicitly minimum-size frame produce
+// bit-identical wire histories, because both occupy exactly one
+// serialisation slot.
+func TestByteAccurateZeroBytesFallback(t *testing.T) {
+	run := func(bytes uint32) (uint64, uint64, sim.Cycles) {
+		cl, err := New(Config{
+			Machines: []MachineSpec{
+				pktgenSpec(101, 0, Frame{Src: 1, Dst: 2, Bytes: bytes}, 3000, sim.Cycles(testHz/40_000)),
+				sinkSpec(102, 0.3),
+			},
+			Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 200, PacketsPerSecond: 10_000, QueueDepth: 16}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Link(0).Delivered(), cl.Link(0).Dropped(), cl.Machine(1).Clock().Now()
+	}
+	d0, x0, c0 := run(0)
+	d1, x1, c1 := run(84)
+	if d0 != d1 || x0 != x1 || c0 != c1 {
+		t.Errorf("Bytes==0 (%d/%d/%d) and Bytes==84 (%d/%d/%d) histories diverged", d0, x0, c0, d1, x1, c1)
+	}
+	if x0 == 0 {
+		t.Error("saturated wire produced no drops (scenario too weak to pin anything)")
+	}
+}
+
+// TestByteAccurateMixedFrameSizes pins byte-accurate serialisation on
+// one pipe: the same offered schedule with MTU frames instead of
+// minimum frames occupies ~18x the wire, so the same queue bound
+// sheds far more of them.
+func TestByteAccurateMixedFrameSizes(t *testing.T) {
+	run := func(bytes uint32) (uint64, uint64) {
+		cl, err := New(Config{
+			Machines: []MachineSpec{
+				pktgenSpec(111, 0, Frame{Src: 1, Dst: 2, Bytes: bytes}, 2000, sim.Cycles(testHz/8_000)),
+				sinkSpec(112, 0.3),
+			},
+			Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 200, PacketsPerSecond: 10_000, QueueDepth: 32}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Link(0).Delivered(), cl.Link(0).Dropped()
+	}
+	smallDel, smallDrop := run(0)
+	bigDel, bigDrop := run(1500)
+	// 8k minimum frames/s fit a 10k-slot wire: no congestion at all.
+	if smallDrop != 0 {
+		t.Errorf("minimum frames at 0.8x capacity dropped %d (delivered %d), want 0", smallDrop, smallDel)
+	}
+	// The same schedule in MTU frames offers ~14x the wire's bytes.
+	if bigDrop <= smallDrop || bigDel >= smallDel/2 {
+		t.Errorf("MTU frames: delivered %d dropped %d vs minimum frames %d/%d — byte size invisible to the wire",
+			bigDel, bigDrop, smallDel, smallDrop)
+	}
+}
+
+// drrContention builds the shared-egress contention topology: a hog
+// blasting MTU frames and a sparse minimum-frame flow through one
+// bottleneck pipe into a sink, under the given discipline.
+func drrContention(t *testing.T, qdisc string, red *REDSpec) *Cluster {
+	t.Helper()
+	mk := func(from int) LinkSpec {
+		return LinkSpec{
+			From: from, To: 2, LatencyUs: 200,
+			PacketsPerSecond: 10_000, QueueDepth: 64,
+			Bottleneck: "egress", Qdisc: qdisc, RED: red,
+		}
+	}
+	cl, err := New(Config{
+		Machines: []MachineSpec{
+			// Hog: MTU frames at 2000/s = ~36k slots/s on a 10k wire.
+			pktgenSpec(121, 0, Frame{Src: 1, Dst: 3, Flow: 1, Bytes: 1500}, 600, sim.Cycles(testHz/2_000)),
+			// Sparse flow: 100 minimum frames at 500/s = 5% of the wire.
+			pktgenSpec(122, 1, Frame{Src: 2, Dst: 3, Flow: 2}, 100, sim.Cycles(testHz/500)),
+			sinkSpec(123, 0.4),
+		},
+		Links: []LinkSpec{mk(0), mk(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestDRRProtectsSparseFlow pins per-flow fairness: a sparse flow
+// needing 5% of a wire that an MTU hog oversubscribes 3.6x loses
+// frames under FIFO but sails through untouched under DRR, where the
+// hog's own backlog absorbs every drop. Both runs end with the
+// backlog drained (Queued 0) and the three-term identity collapsed
+// back to Sent = Delivered + Dropped.
+func TestDRRProtectsSparseFlow(t *testing.T) {
+	fifo := drrContention(t, QdiscFIFO, nil)
+	if got := fifo.Link(1).Dropped(); got == 0 {
+		t.Errorf("FIFO dropped none of the sparse flow behind a 3.6x hog (delivered %d)", fifo.Link(1).Delivered())
+	}
+	drr := drrContention(t, QdiscDRR, nil)
+	if got := drr.Link(1).Dropped(); got != 0 {
+		t.Errorf("DRR dropped %d sparse-flow frames, want 0 (fairness must protect the 5%% flow)", got)
+	}
+	if got := drr.Link(1).Delivered(); got != 100 {
+		t.Errorf("DRR delivered %d of 100 sparse-flow frames", got)
+	}
+	if drr.Link(0).Dropped() == 0 {
+		t.Error("DRR shed none of the hog's backlog at 3.6x oversubscription")
+	}
+	for i := 0; i < 2; i++ {
+		l := drr.Link(i)
+		if l.Queued() != 0 {
+			t.Errorf("link %d ended with %d frames still queued", i, l.Queued())
+		}
+		if l.Sent() != l.Delivered()+l.Dropped() {
+			t.Errorf("link %d: Sent %d != Delivered %d + Dropped %d after drain", i, l.Sent(), l.Delivered(), l.Dropped())
+		}
+	}
+}
+
+// TestEWMARedDeterminismAndSmoothing pins the EWMA estimator: same
+// seed, same counters, twice over (parallel campaigns rely on this);
+// and a heavy weight visibly lags the instantaneous depth — the
+// estimator tolerates what instantaneous RED would already punish.
+func TestEWMARedDeterminismAndSmoothing(t *testing.T) {
+	run := func(weight uint64) (uint64, uint64, uint64) {
+		red := &REDSpec{MinDepth: 4, MaxDepth: 32, MaxPct: 50, Weight: weight}
+		cl, err := New(Config{
+			Machines: []MachineSpec{
+				pktgenSpec(131, 0, Frame{Src: 1, Dst: 2, ECN: true}, 2000, sim.Cycles(testHz/40_000)),
+				sinkSpec(132, 0.2),
+			},
+			Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 200, PacketsPerSecond: 10_000, QueueDepth: 64, RED: red}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		l := cl.Link(0)
+		return l.Marked(), l.EarlyDropped(), l.Delivered()
+	}
+	m1, e1, d1 := run(8)
+	m2, e2, d2 := run(8)
+	if m1 != m2 || e1 != e2 || d1 != d2 {
+		t.Errorf("same-seed EWMA RED histories diverged: (%d,%d,%d) vs (%d,%d,%d)", m1, e1, d1, m2, e2, d2)
+	}
+	inst, _, _ := run(0)
+	if inst == 0 {
+		t.Fatal("instantaneous RED marked nothing on a 4x-oversubscribed wire")
+	}
+	if m1 >= inst {
+		t.Errorf("EWMA(8) marked %d ≥ instantaneous %d: the average should lag the ramp-up", m1, inst)
+	}
+}
+
+// TestQdiscValidation covers the qdisc spec checks.
+func TestQdiscValidation(t *testing.T) {
+	mk := func(ls LinkSpec) error {
+		_, err := New(Config{
+			Machines: []MachineSpec{
+				{Config: kernel.Config{Seed: 1, CPUHz: testHz}},
+				{Config: kernel.Config{Seed: 2, CPUHz: testHz}},
+				{Config: kernel.Config{Seed: 3, CPUHz: testHz}},
+			},
+			Links: []LinkSpec{ls},
+		})
+		return err
+	}
+	for name, ls := range map[string]LinkSpec{
+		"unknown qdisc":        {From: 0, To: 1, Qdisc: "wfq"},
+		"quantum without drr":  {From: 0, To: 1, QuantumBytes: 512},
+		"drr on infinite wire": {From: 0, To: 1, Qdisc: QdiscDRR, PacketsPerSecond: UnlimitedPPS},
+		"red weight over 16":   {From: 0, To: 1, RED: &REDSpec{MinDepth: 4, MaxDepth: 16, MaxPct: 50, Weight: 17}},
+	} {
+		if err := mk(ls); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Bottleneck pipes must agree on discipline and quantum.
+	_, err := New(Config{
+		Machines: []MachineSpec{
+			{Config: kernel.Config{Seed: 1, CPUHz: testHz}},
+			{Config: kernel.Config{Seed: 2, CPUHz: testHz}},
+			{Config: kernel.Config{Seed: 3, CPUHz: testHz}},
+		},
+		Links: []LinkSpec{
+			{From: 0, To: 2, Qdisc: QdiscDRR, Bottleneck: "up"},
+			{From: 1, To: 2, Bottleneck: "up"},
+		},
+	})
+	if err == nil {
+		t.Error("bottleneck qdisc mismatch accepted")
+	}
+}

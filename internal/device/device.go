@@ -52,8 +52,10 @@ type Frame struct {
 	// acks its flow's data frames and drains everything else).
 	Flow uint32
 	// Bytes is the frame's payload size; zero means a minimum-size
-	// frame. It is carried for observability; wire serialisation
-	// models per-frame service time via deterministic jitter.
+	// frame (WireBytes clamps it to MinFrameBytes). Wires serialise
+	// byte-accurately: a frame's service time scales with its wire
+	// occupancy, so zero-Bytes frames replay the per-frame slot model
+	// bit-for-bit.
 	Bytes uint32
 	// ECN marks the frame ECN-capable: a RED queue under congestion
 	// marks it (sets CE) instead of early-dropping it.
@@ -228,6 +230,19 @@ func frameLess(a, b pendingFrame) bool {
 
 // Received reports total packets delivered since construction.
 func (n *NIC) Received() uint64 { return n.received }
+
+// Now reads this NIC's machine clock. An egress pipe whose service
+// timer lives on this machine samples it when the timer fires.
+func (n *NIC) Now() sim.Cycles { return n.clock.Now() }
+
+// ScheduleEgress schedules fn at virtual time at on this NIC's
+// machine event queue: the service timer a queueing-discipline pipe
+// arms so backlogged frames still drain after the last sender goes
+// quiet. The event counts as pending non-timer work, so a cluster
+// does not mistake a machine waiting on queued frames for a stall.
+func (n *NIC) ScheduleEgress(at sim.Cycles, fn func()) {
+	n.queue.Schedule(at, "pipe-service", fn)
+}
 
 // SetAddr assigns this NIC its fabric address (a cluster does this at
 // wiring time). The kernel's send path stamps outgoing frames' Src

@@ -1,0 +1,209 @@
+// Deficit-round-robin queueing: the per-flow fair scheduler a
+// congested egress pipe can run instead of FIFO. The structure here is
+// pure frame bookkeeping — deterministic, allocation-light, and
+// ignorant of time; the cluster's pipe engine owns the wire clock and
+// decides *when* to dequeue, this type decides *what* departs next and
+// which flow loses buffer space under pressure.
+package device
+
+// MinFrameBytes is the wire occupancy of a minimum-size frame
+// (64-byte Ethernet frame plus preamble and inter-frame gap): the
+// unit one serialisation slot of a packets-per-second wire carries,
+// and the fallback size of a Frame with Bytes zero. 100 Mb/s divided
+// by 84 bytes is ~148.8k minimum frames per second — the classic
+// saturated-fast-Ethernet packet rate the default link speed models.
+const MinFrameBytes = 84
+
+// WireBytes reports a frame's wire occupancy: its payload size
+// clamped up to the minimum frame, so Bytes zero (the pre-byte-model
+// frames and control traffic) costs exactly one serialisation slot.
+func WireBytes(f Frame) uint64 {
+	if uint64(f.Bytes) < MinFrameBytes {
+		return MinFrameBytes
+	}
+	return uint64(f.Bytes)
+}
+
+// QdiscEntry is one frame parked at an egress discipline, with its
+// wire cost and the owner's routing tag (a cluster stores the sending
+// link's index there so a shared bottleneck pipe can deliver and
+// account each frame on the link it was offered to).
+type QdiscEntry struct {
+	F    Frame
+	Cost uint64 // wire occupancy in bytes (WireBytes at enqueue)
+	Tag  uint32
+}
+
+// DRR is a deficit-round-robin scheduler over per-Frame.Flow queues:
+// active flows are served in a fixed round-robin ring, each flow
+// accumulating a byte quantum per round and sending head-of-line
+// frames while its deficit covers them. A flooding flow therefore
+// cannot starve a sparse one — every active flow drains at least one
+// quantum's worth of bytes per ring rotation regardless of how deep
+// the flood's own queue grows. All state transitions are pure
+// functions of the enqueue/dequeue sequence, so lockstep histories
+// through a DRR pipe replay bit-for-bit.
+type DRR struct {
+	quantum uint64
+	flows   map[uint32]*drrFlow
+	ring    []*drrFlow // active (non-empty) flows in activation order
+	count   int
+	bytes   uint64
+}
+
+// drrFlow is one flow's FIFO backlog plus its deficit counter and a
+// running byte total (kept incrementally so the buffer-steal victim
+// scan is O(flows), not O(queued frames)).
+type drrFlow struct {
+	id      uint32
+	q       []QdiscEntry
+	head    int
+	deficit uint64
+	bytes   uint64
+}
+
+func (fl *drrFlow) len() int { return len(fl.q) - fl.head }
+
+func (fl *drrFlow) push(e QdiscEntry) {
+	fl.q = append(fl.q, e)
+	fl.bytes += e.Cost
+}
+
+func (fl *drrFlow) pop() QdiscEntry {
+	e := fl.q[fl.head]
+	fl.q[fl.head] = QdiscEntry{}
+	fl.head++
+	if fl.head == len(fl.q) {
+		fl.q = fl.q[:0]
+		fl.head = 0
+	}
+	fl.bytes -= e.Cost
+	return e
+}
+
+// popTail removes the most recently queued entry (the drop-from-
+// longest buffer-steal discards fresh backlog, not the frame about to
+// be served).
+func (fl *drrFlow) popTail() QdiscEntry {
+	last := len(fl.q) - 1
+	e := fl.q[last]
+	fl.q[last] = QdiscEntry{}
+	fl.q = fl.q[:last]
+	if fl.head == len(fl.q) {
+		fl.q = fl.q[:0]
+		fl.head = 0
+	}
+	fl.bytes -= e.Cost
+	return e
+}
+
+// NewDRR returns a scheduler granting each active flow quantumBytes
+// of wire per round. A quantum of at least one maximum frame keeps
+// per-round service work-conserving; the constructor clamps zero to
+// one byte so a malformed quantum cannot loop the dequeue.
+func NewDRR(quantumBytes uint64) *DRR {
+	if quantumBytes == 0 {
+		quantumBytes = 1
+	}
+	return &DRR{quantum: quantumBytes, flows: make(map[uint32]*drrFlow)}
+}
+
+// Len reports queued frames across all flows.
+func (d *DRR) Len() int { return d.count }
+
+// Bytes reports queued wire bytes across all flows.
+func (d *DRR) Bytes() uint64 { return d.bytes }
+
+// Enqueue parks one entry on its flow's queue, activating the flow
+// (ring tail, zero deficit) if it was idle. Capacity enforcement is
+// the caller's: decide with LongestFlow/StealFrom before enqueueing.
+func (d *DRR) Enqueue(e QdiscEntry) {
+	fl := d.flows[e.F.Flow]
+	if fl == nil {
+		fl = &drrFlow{id: e.F.Flow}
+		d.flows[e.F.Flow] = fl
+	}
+	if fl.len() == 0 {
+		fl.deficit = 0
+		d.ring = append(d.ring, fl)
+	}
+	fl.push(e)
+	d.count++
+	d.bytes += e.Cost
+}
+
+// Dequeue removes and returns the next departing entry per the DRR
+// round: the head-of-ring flow earns a quantum whenever its deficit
+// cannot cover its head frame and rotates to the tail; the first flow
+// whose deficit covers its head frame sends it. A flow emptied by its
+// send leaves the ring and forfeits its remaining deficit.
+func (d *DRR) Dequeue() (QdiscEntry, bool) {
+	if d.count == 0 {
+		return QdiscEntry{}, false
+	}
+	for {
+		fl := d.ring[0]
+		cost := fl.q[fl.head].Cost
+		if fl.deficit < cost {
+			fl.deficit += d.quantum
+			copy(d.ring, d.ring[1:])
+			d.ring[len(d.ring)-1] = fl
+			continue
+		}
+		e := fl.pop()
+		fl.deficit -= cost
+		d.count--
+		d.bytes -= e.Cost
+		if fl.len() == 0 {
+			fl.deficit = 0
+			copy(d.ring, d.ring[1:])
+			d.ring = d.ring[:len(d.ring)-1]
+		}
+		return e, true
+	}
+}
+
+// LongestFlow reports the flow with the most queued wire bytes (ring
+// order breaks ties, so the choice is deterministic), and false when
+// nothing is queued. This is the buffer-steal victim: under pressure
+// the discipline sheds backlog from whoever hogs the buffer, which is
+// what keeps a sparse flow admissible while a flood fills the queue.
+func (d *DRR) LongestFlow() (uint32, bool) {
+	if d.count == 0 {
+		return 0, false
+	}
+	var (
+		best      *drrFlow
+		bestBytes uint64
+	)
+	for _, fl := range d.ring {
+		if best == nil || fl.bytes > bestBytes {
+			best, bestBytes = fl, fl.bytes
+		}
+	}
+	return best.id, true
+}
+
+// StealFrom drops the newest queued entry of the given flow,
+// returning it for the caller's drop accounting. ok is false when the
+// flow has no backlog.
+func (d *DRR) StealFrom(flow uint32) (QdiscEntry, bool) {
+	fl := d.flows[flow]
+	if fl == nil || fl.len() == 0 {
+		return QdiscEntry{}, false
+	}
+	e := fl.popTail()
+	d.count--
+	d.bytes -= e.Cost
+	if fl.len() == 0 {
+		fl.deficit = 0
+		for i, rfl := range d.ring {
+			if rfl == fl {
+				copy(d.ring[i:], d.ring[i+1:])
+				d.ring = d.ring[:len(d.ring)-1]
+				break
+			}
+		}
+	}
+	return e, true
+}

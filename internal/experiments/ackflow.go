@@ -65,8 +65,20 @@ type AckFlowConfig struct {
 	Budget uint64
 	// IdleTicks is how many silent poll ticks the sender waits before
 	// declaring outstanding frames lost (go-back) — or, with the send
-	// budget exhausted, giving up. Zero selects 128.
+	// budget exhausted, giving up. Zero selects 128. Ignored when
+	// TimeoutCycles arms the clock-driven timeout instead.
 	IdleTicks int
+	// TimeoutCycles, when nonzero, replaces the idle-tick heuristic
+	// with a real retransmission timeout on the guest-visible
+	// monotonic clock (Context.ClockNow): outstanding frames are
+	// written off — or, with the budget spent, the transfer abandoned
+	// — once that long passes with no ack progress, independent of
+	// how often the sender happens to poll. Zero keeps the idle-tick
+	// behaviour bit-for-bit.
+	TimeoutCycles sim.Cycles
+	// FrameBytes sizes the flow's data frames on the wire; zero sends
+	// minimum-size frames (the pre-byte model).
+	FrameBytes uint32
 }
 
 // AckFlowStats is one transfer's harvest, written by the sender
@@ -83,6 +95,13 @@ type AckFlowStats struct {
 	Backoffs uint64
 	// Lost counts frames written off by the go-back timeout.
 	Lost uint64
+	// Timeouts counts retransmission-timeout firings (clock-driven
+	// with TimeoutCycles set, idle-tick expiries otherwise).
+	Timeouts uint64
+	// DoneAt is the guest clock when the transfer finished (zero
+	// unless TimeoutCycles armed the clock) — the flow's completion
+	// instant, comparable across qdisc configurations.
+	DoneAt sim.Cycles
 	// GaveUp reports the sender abandoning the transfer with its send
 	// budget exhausted and no acks arriving.
 	GaveUp bool
@@ -103,10 +122,15 @@ func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
 	if idleLimit == 0 {
 		idleLimit = 128
 	}
+	useClock := cfg.TimeoutCycles > 0
 	return func(ctx guest.Context) {
 		window := maxW
 		var sent, acked, lost uint64
 		idle := 0
+		var lastProgress sim.Cycles
+		if useClock {
+			lastProgress = ctx.ClockNow()
+		}
 		for acked < cfg.Frames {
 			progress := false
 			for {
@@ -134,6 +158,9 @@ func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
 			}
 			if progress {
 				idle = 0
+				if useClock {
+					lastProgress = ctx.ClockNow()
+				}
 				continue
 			}
 			// Signed: an ack for a frame already written off as lost
@@ -143,15 +170,26 @@ func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
 				outstanding = 0
 			}
 			if sent < budget && uint64(outstanding) < window {
-				ctx.NetSend(guest.Frame{Dst: cfg.Peer, Flow: cfg.Flow, ECN: true})
+				ctx.NetSend(guest.Frame{Dst: cfg.Peer, Flow: cfg.Flow, ECN: true, Bytes: cfg.FrameBytes})
 				sent++
 				ctx.Sleep(cfg.PaceCycles)
 				continue
 			}
-			// Window closed or budget spent: poll for acks.
+			// Window closed or budget spent: poll for acks. The
+			// retransmission decision is clock-driven when
+			// TimeoutCycles is armed — real elapsed virtual time since
+			// the last ack, whatever the poll cadence — and the old
+			// idle-tick count otherwise.
 			ctx.Sleep(cfg.PaceCycles)
-			idle++
-			if idle >= idleLimit {
+			timedOut := false
+			if useClock {
+				timedOut = ctx.ClockNow()-lastProgress >= cfg.TimeoutCycles
+			} else {
+				idle++
+				timedOut = idle >= idleLimit
+			}
+			if timedOut {
+				stats.Timeouts++
 				if sent >= budget {
 					stats.GaveUp = true
 					break
@@ -161,9 +199,15 @@ func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
 				}
 				lost = sent - acked
 				idle = 0
+				if useClock {
+					lastProgress = ctx.ClockNow()
+				}
 			}
 		}
 		stats.Sent, stats.Acked = sent, acked
+		if useClock {
+			stats.DoneAt = ctx.ClockNow()
+		}
 	}
 }
 

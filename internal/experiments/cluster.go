@@ -65,6 +65,13 @@ type ClusterRunSpec struct {
 	// attacker→victim wire (both directions); nil keeps pure
 	// tail-drop, which replays pre-RED histories bit-for-bit.
 	LinkRED *cluster.REDSpec
+	// LinkQdisc selects every wire's queueing discipline:
+	// cluster.QdiscFIFO (default, replays pre-qdisc histories
+	// bit-for-bit) or cluster.QdiscDRR.
+	LinkQdisc string
+	// LinkQuantumBytes is DRR's per-flow byte quantum; zero selects
+	// the cluster default. Only meaningful with LinkQdisc DRR.
+	LinkQuantumBytes uint64
 }
 
 // ClusterVictimOut is one victim machine's harvest.
@@ -250,6 +257,8 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 			PacketsPerSecond: spec.LinkPPS,
 			QueueDepth:       spec.LinkQueueDepth,
 			RED:              spec.LinkRED,
+			Qdisc:            spec.LinkQdisc,
+			QuantumBytes:     spec.LinkQuantumBytes,
 		}
 	}
 

@@ -1,0 +1,371 @@
+// Fair-queueing flood: the qdisc layer's headline artifact. One
+// attacker machine floods MTU-size junk through the same congested
+// egress wire a well-behaved 300-frame ECN flow needs, and the only
+// thing that changes between runs is the wire's queueing discipline.
+// Under FIFO the junk owns the queue: the flow's frames tail-drop
+// behind it, the clock-driven retransmission timeout fires over and
+// over, and the transfer's completion time blows up (or the sender
+// abandons it). Under DRR the same wire serves flows round-robin by
+// byte quantum and sheds buffer from the fattest flow, so the flow
+// completes with bounded latency while the junk takes the drops —
+// fair queueing caps the distortion an attacker can impose on traffic
+// it never addressed.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+)
+
+// FairFloodSpec describes one attacker-vs-flow shared-egress scenario
+// executed in deterministic lockstep: machine 0 the attacker, 1 the
+// flow sender, 2 the victim host (billed workload plus the flow's
+// echo daemon), with both uplinks serialising through one Bottleneck
+// egress pipe under the selected discipline.
+type FairFloodSpec struct {
+	Opts Options
+	// Qdisc selects the shared egress discipline: cluster.QdiscFIFO
+	// (default) or cluster.QdiscDRR.
+	Qdisc string
+	// QuantumBytes is DRR's per-flow byte quantum; zero selects
+	// cluster.DefaultQuantumBytes. Only meaningful with QdiscDRR.
+	QuantumBytes uint64
+	// AttackerPPS is the junk rate; zero keeps the attacker silent.
+	AttackerPPS uint64
+	// AttackerBytes sizes the junk frames; zero selects 1500 (MTU
+	// frames, ~18 serialisation slots each).
+	AttackerBytes uint32
+	// FloodSeconds is the attacker's transmit duration; zero derives
+	// 1.5x the victim workload's baseline.
+	FloodSeconds float64
+	// Victim is the billed job on the victim host.
+	Victim ClusterVictim
+	// FlowFrames sizes the well-behaved ack-paced ECN transfer
+	// (required, ≥ 1 — the flow is the scenario's point).
+	FlowFrames uint64
+	// FlowBytes sizes the flow's data frames; zero selects 256.
+	FlowBytes uint32
+	// FlowWindow is the flow's initial/max congestion window; zero
+	// selects 8.
+	FlowWindow uint64
+	// FlowTimeoutUs is the sender's clock-driven retransmission
+	// timeout in virtual microseconds; zero selects 20000 (20 ms).
+	FlowTimeoutUs uint64
+	// EgressPPS is the shared egress wire's capacity in minimum-frame
+	// slots per second; zero selects 30000.
+	EgressPPS uint64
+	// EgressQueueDepth bounds the egress queue in slots; zero selects
+	// cluster.DefaultQueueDepth.
+	EgressQueueDepth uint64
+	// RED, when non-nil, arms RED/ECN on the egress (set Weight for
+	// the EWMA estimate).
+	RED *cluster.REDSpec
+	// LinkLatencyUs is every link's one-way latency; zero selects
+	// cluster.DefaultLatencyUs.
+	LinkLatencyUs uint64
+}
+
+// FairFloodOut is one shared-egress scenario's harvest.
+type FairFloodOut struct {
+	Spec   FairFloodSpec
+	Victim ClusterVictimOut
+	// Flow is the ack-paced transfer's harvest; FlowDoneSec is its
+	// completion instant on the guest clock in virtual seconds.
+	Flow        AckFlowStats
+	FlowDoneSec float64
+	// JunkOffered/JunkDelivered/JunkDropped are the attacker uplink's
+	// counters; FlowOffered/FlowDelivered/FlowDropped the sender
+	// uplink's. Drops on either include backlog shed by DRR's
+	// buffer-steal policy.
+	JunkOffered, JunkDelivered, JunkDropped uint64
+	FlowOffered, FlowDelivered, FlowDropped uint64
+	// EgressMarked/EgressEarlyDropped are the shared pipe's RED marks
+	// (on the flow's ECN frames) and early drops (of non-ECN junk),
+	// summed over both uplinks.
+	EgressMarked, EgressEarlyDropped uint64
+	// ElapsedSec is the slowest machine's virtual wall time.
+	ElapsedSec float64
+}
+
+// fairFloodFlowID tags the well-behaved transfer; junk rides flow 0.
+const fairFloodFlowID = 9
+
+// RunFairFlood executes one scenario.
+func RunFairFlood(spec FairFloodSpec) (*FairFloodOut, error) {
+	o := spec.Opts.norm()
+	if spec.FlowFrames == 0 {
+		return nil, fmt.Errorf("fairflood: FlowFrames must be ≥ 1 (the flow is what fairness is measured on)")
+	}
+	floodSec := spec.FloodSeconds
+	if floodSec == 0 {
+		s, err := (ClusterRunSpec{Victims: []ClusterVictim{spec.Victim}}).floodSeconds(o)
+		if err != nil {
+			return nil, err
+		}
+		floodSec = s
+	}
+	tick := sim.Cycles(uint64(o.Freq) / o.HZ)
+	accts, err := victimAccountants(spec.Victim.Billing, tick)
+	if err != nil {
+		return nil, err
+	}
+	perUs := sim.Cycles(uint64(o.Freq) / 1_000_000)
+	junkBytes := spec.AttackerBytes
+	if junkBytes == 0 {
+		junkBytes = 1500
+	}
+	flowBytes := spec.FlowBytes
+	if flowBytes == 0 {
+		flowBytes = 256
+	}
+	timeoutUs := spec.FlowTimeoutUs
+	if timeoutUs == 0 {
+		timeoutUs = 20_000
+	}
+	egressPPS := spec.EgressPPS
+	if egressPPS == 0 {
+		egressPPS = 30_000
+	}
+
+	const attackerIdx, senderIdx, victimIdx = 0, 1, 2
+
+	attackerCfg := o.machineConfig()
+	attackerCfg.Seed = clusterSeed(o.Seed, attackerIdx)
+	senderCfg := o.machineConfig()
+	senderCfg.Seed = clusterSeed(o.Seed, senderIdx)
+	victimCfg := o.machineConfig()
+	victimCfg.Seed = clusterSeed(o.Seed, victimIdx)
+	victimCfg.Accountants = accts
+
+	flowStats := &AckFlowStats{}
+	var launch *launched
+	machines := []cluster.MachineSpec{
+		{
+			Name:   "attacker",
+			Config: attackerCfg,
+			Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
+				if spec.AttackerPPS == 0 {
+					return nil // silent baseline
+				}
+				packets := uint64(floodSec * float64(spec.AttackerPPS))
+				_, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "pktgen",
+					Content: "junk-ip packet generator v4 (mtu frames)",
+					Body: floodBody(o.Freq, spec.AttackerPPS, packets,
+						guest.Frame{Dst: c.AddrOf(victimIdx), Bytes: junkBytes}),
+				})
+				return err
+			},
+		},
+		{
+			Name:   "sender",
+			Config: senderCfg,
+			Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
+				_, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "flowsend",
+					Content: "ack-paced ecn sender v2 (clock rto)",
+					Body: AckPacedSender(AckFlowConfig{
+						Peer:          c.AddrOf(victimIdx),
+						Flow:          fairFloodFlowID,
+						Frames:        spec.FlowFrames,
+						Window:        spec.FlowWindow,
+						PaceCycles:    500 * perUs, // ≤2k pps offered
+						TimeoutCycles: sim.Cycles(timeoutUs) * perUs,
+						FrameBytes:    flowBytes,
+					}, flowStats),
+				})
+				return err
+			},
+		},
+		{
+			Name:    "victim",
+			Config:  victimCfg,
+			Service: true, // the echo daemon never exits
+			Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
+				// The echo daemon runs at high priority, like the
+				// softirq half of a real network stack: ack latency
+				// then reflects the wire under test, not the victim
+				// workload's timeslice.
+				if _, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "echod",
+					Content: "per-flow ack echo daemon v1",
+					Nice:    -15,
+					Body:    AckEcho(fairFloodFlowID),
+				}); err != nil {
+					return err
+				}
+				l, err := launchSpec(m, RunSpec{
+					Opts:       o,
+					Workload:   spec.Victim.Workload,
+					VictimNice: spec.Victim.Nice,
+				})
+				if err != nil {
+					return err
+				}
+				launch = l
+				return nil
+			},
+		},
+	}
+
+	// Both uplinks serialise through one shared egress pipe — the
+	// discipline under test.
+	egress := cluster.LinkSpec{
+		To:               victimIdx,
+		LatencyUs:        spec.LinkLatencyUs,
+		PacketsPerSecond: egressPPS,
+		QueueDepth:       spec.EgressQueueDepth,
+		RED:              spec.RED,
+		Qdisc:            spec.Qdisc,
+		QuantumBytes:     spec.QuantumBytes,
+		Bottleneck:       "egress",
+	}
+	junkLink := egress
+	junkLink.From = attackerIdx
+	flowLink := egress
+	flowLink.From = senderIdx
+
+	cl, err := cluster.New(cluster.Config{
+		Machines: machines,
+		Links:    []cluster.LinkSpec{junkLink, flowLink},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Run(); err != nil {
+		return nil, fmt.Errorf("fairflood %s: %w", fairFloodKey(spec), err)
+	}
+	if launch.prog != nil && !launch.prog.Done {
+		return nil, fmt.Errorf("fairflood %s: victim workload retired before completion (stalled behind the service daemon?)", fairFloodKey(spec))
+	}
+
+	vm := cl.Machine(victimIdx)
+	billing := spec.Victim.Billing
+	if billing == "" {
+		billing = "jiffy"
+	}
+	junk, flow := cl.Link(0), cl.Link(1)
+	out := &FairFloodOut{
+		Spec: spec,
+		Victim: ClusterVictimOut{
+			Billing:         billing,
+			Run:             launch.harvest(vm),
+			PacketsReceived: vm.NIC().Received(),
+		},
+		Flow:               *flowStats,
+		FlowDoneSec:        cl.Machine(senderIdx).Clock().Seconds(flowStats.DoneAt),
+		JunkOffered:        junk.Sent(),
+		JunkDelivered:      junk.Delivered(),
+		JunkDropped:        junk.Dropped(),
+		FlowOffered:        flow.Sent(),
+		FlowDelivered:      flow.Delivered(),
+		FlowDropped:        flow.Dropped(),
+		EgressMarked:       junk.Marked() + flow.Marked(),
+		EgressEarlyDropped: junk.EarlyDropped() + flow.EarlyDropped(),
+		ElapsedSec:         clusterElapsedSec(cl),
+	}
+	return out, nil
+}
+
+func fairFloodKey(spec FairFloodSpec) string {
+	q := spec.Qdisc
+	if q == "" {
+		q = cluster.QdiscFIFO
+	}
+	return fmt.Sprintf("%s/%dpps", q, spec.AttackerPPS)
+}
+
+// RunAllFairFloods executes every scenario on its own lockstep
+// machine set across the campaign worker pool — the RunAll contract.
+func RunAllFairFloods(specs []FairFloodSpec, parallelism int) ([]*FairFloodOut, error) {
+	outs := make([]*FairFloodOut, len(specs))
+	errs := make([]error, len(specs))
+	RunIndexed(len(specs), parallelism, func(i int) {
+		outs[i], errs[i] = RunFairFlood(specs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fairflood run %d (%s): %w", i, fairFloodKey(specs[i]), err)
+		}
+	}
+	return outs, nil
+}
+
+// Artifact parameters: MTU junk at 4000 pps (~2.4x the 30k-slot
+// egress) against a 300-frame ECN flow, EWMA RED between depths 8
+// and 32 at up to 50% feedback with weight 2^-6.
+const (
+	fairFloodAttackerPPS = 4000
+	fairFloodEgressPPS   = 30_000
+	fairFloodFlowFrames  = 300
+)
+
+func fairFloodRED() *cluster.REDSpec {
+	return &cluster.REDSpec{MinDepth: 8, MaxDepth: 32, MaxPct: 50, Weight: 6}
+}
+
+// FairFlood regenerates the qdisc-fairness artifact: the same
+// attacker-vs-flow shared-egress scenario under FIFO (quiet and
+// flooded) and under DRR (flooded). FIFO lets the flood starve the
+// flow — its completion time explodes against the quiet baseline —
+// while DRR's per-flow round robin bounds the flow's latency on the
+// very same wire, and the victim host's bill for the junk it never
+// asked for shrinks with the junk the fair queue refuses to carry.
+func FairFlood(o Options) (*Figure, error) {
+	o = o.norm()
+	// FIFO runs bare tail-drop (the commodity wire); the DRR run is
+	// the managed configuration — per-flow fairness plus EWMA RED/ECN.
+	specs := []FairFloodSpec{
+		{Qdisc: cluster.QdiscFIFO, AttackerPPS: 0},
+		{Qdisc: cluster.QdiscFIFO, AttackerPPS: fairFloodAttackerPPS},
+		{Qdisc: cluster.QdiscDRR, AttackerPPS: fairFloodAttackerPPS, RED: fairFloodRED()},
+	}
+	labels := []string{"fifo quiet", "fifo flood", "drr flood"}
+	for i := range specs {
+		specs[i].Opts = o
+		specs[i].Victim = ClusterVictim{Workload: "O", Billing: "jiffy"}
+		specs[i].FlowFrames = fairFloodFlowFrames
+		specs[i].EgressPPS = fairFloodEgressPPS
+	}
+	outs, err := RunAllFairFloods(specs, o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("fair flood: %w", err)
+	}
+
+	fig := &Figure{
+		ID:    "Fair Flood",
+		Title: "Per-Flow Fairness on a Congested Egress (FIFO vs DRR, byte-accurate wire, EWMA RED)",
+		Unit:  "virtual seconds (flow completion) / CPU seconds (victim bill)",
+	}
+	for i, out := range outs {
+		status := "done"
+		if out.Flow.GaveUp {
+			status = "gave up"
+		}
+		fig.Bars = append(fig.Bars,
+			textplot.Bar{Group: "flow-done", Label: labels[i], Segments: []textplot.Segment{
+				{Name: status, Value: out.FlowDoneSec},
+			}},
+			textplot.Bar{Group: "victim-bill", Label: labels[i], Segments: []textplot.Segment{
+				{Name: "user", Value: out.Victim.Run.Victim.User["jiffy"]},
+				{Name: "system", Value: out.Victim.Run.Victim.Sys["jiffy"]},
+			}},
+		)
+	}
+	fifo, drr := outs[1], outs[2]
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("fifo flood: flow sent %d for %d acks (%d timeouts, %d written off, gave up: %v); junk %d offered / %d delivered / %d dropped",
+			fifo.Flow.Sent, fifo.Flow.Acked, fifo.Flow.Timeouts, fifo.Flow.Lost, fifo.Flow.GaveUp,
+			fifo.JunkOffered, fifo.JunkDelivered, fifo.JunkDropped),
+		fmt.Sprintf("drr flood: flow sent %d for %d acks (%d timeouts, %d written off); junk %d offered / %d delivered / %d dropped; egress RED marked %d, early-dropped %d",
+			drr.Flow.Sent, drr.Flow.Acked, drr.Flow.Timeouts, drr.Flow.Lost,
+			drr.JunkOffered, drr.JunkDelivered, drr.JunkDropped, drr.EgressMarked, drr.EgressEarlyDropped),
+		"expectation: FIFO lets MTU junk starve the 300-frame ECN flow (completion blows up); DRR bounds the flow's completion on the same wire while the junk absorbs the drops",
+	)
+	return fig, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPR4RouterFloodReplaysBitForBit pins the qdisc layer's
+// compatibility bar one PR further than the PR 3 goldens: the
+// routerflood artifact — FIFO egress, instantaneous RED, idle-tick
+// ack timeouts — renders byte-for-byte what the pre-qdisc tree
+// rendered. The golden under testdata/ was generated on the PR 4
+// tree at quick-test options before DRR, byte-accurate serialisation,
+// EWMA RED, and the guest clock landed.
+func TestPR4RouterFloodReplaysBitForBit(t *testing.T) {
+	want, err := os.ReadFile("testdata/pr4_routerflood.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := RouterFlood(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig.Render(); got != string(want) {
+		t.Errorf("routerflood diverged from the PR 4 golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGeneratePR4Goldens regenerates the PR 4 routerflood golden
+// render. Regenerate only when the byte-compat bar itself is
+// intentionally moved:
+//
+//	GOLDEN_GEN=1 go test ./internal/experiments -run TestGeneratePR4Goldens
+func TestGeneratePR4Goldens(t *testing.T) {
+	if os.Getenv("GOLDEN_GEN") == "" {
+		t.Skip("set GOLDEN_GEN=1 to regenerate")
+	}
+	fig, err := RouterFlood(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/pr4_routerflood.golden", []byte(fig.Render()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

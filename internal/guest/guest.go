@@ -133,6 +133,14 @@ type Context interface {
 	// the billing accountant, like getrusage(RUSAGE_SELF).
 	Usage() (user, system sim.Cycles)
 
+	// ClockNow reads the guest-visible monotonic clock — the
+	// machine's current virtual cycle count, as
+	// clock_gettime(CLOCK_MONOTONIC) would — charged as a gettime
+	// syscall. Unlike Usage it advances while the task is off the
+	// CPU, which is what lets a sender arm a real retransmission
+	// timeout instead of counting its own poll ticks.
+	ClockNow() sim.Cycles
+
 	// NetSend transmits one addressed frame on the machine's NIC: the
 	// kernel stamps f.Src with the machine's own fabric address and
 	// resolves f.Dst through the NIC's routing table (a cluster

@@ -31,13 +31,13 @@ func newIRQRecorder() *irqRecorder {
 	}
 }
 
-func (r *irqRecorder) Name() string                                  { return "irq-recorder" }
-func (r *irqRecorder) OnTick(*proc.Proc, cpu.Mode)                   {}
-func (r *irqRecorder) OnRun(*proc.Proc, cpu.Mode, sim.Cycles)        {}
-func (r *irqRecorder) Usage(proc.PID) metering.Usage                 { return metering.Usage{} }
-func (r *irqRecorder) OnReap(parent, child proc.PID)                 {}
-func (r *irqRecorder) ChildrenUsage(proc.PID) metering.Usage         { return metering.Usage{} }
-func (r *irqRecorder) Snapshot() map[proc.PID]metering.Usage         { return nil }
+func (r *irqRecorder) Name() string                           { return "irq-recorder" }
+func (r *irqRecorder) OnTick(*proc.Proc, cpu.Mode)            {}
+func (r *irqRecorder) OnRun(*proc.Proc, cpu.Mode, sim.Cycles) {}
+func (r *irqRecorder) Usage(proc.PID) metering.Usage          { return metering.Usage{} }
+func (r *irqRecorder) OnReap(parent, child proc.PID)          {}
+func (r *irqRecorder) ChildrenUsage(proc.PID) metering.Usage  { return metering.Usage{} }
+func (r *irqRecorder) Snapshot() map[proc.PID]metering.Usage  { return nil }
 func (r *irqRecorder) OnInterrupt(irq device.IRQ, _ *proc.Proc, d sim.Cycles) {
 	r.sum[irq] += d
 	r.count[irq]++

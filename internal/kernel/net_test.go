@@ -286,3 +286,37 @@ func TestScheduleIRQWorkBillsCurrentTask(t *testing.T) {
 	}
 	_ = u
 }
+
+// TestClockNowMonotoneAndCharged pins the guest-visible monotonic
+// clock: readings advance with the caller's own execution, include
+// time spent off the CPU (sleep), and each read is a billed gettime
+// syscall — the substrate ack senders arm real retransmission
+// timeouts on.
+func TestClockNowMonotoneAndCharged(t *testing.T) {
+	m := testMachine(t)
+	const burn = 1_000_000 // 1 ms at 1 GHz
+	var t0, t1, t2 sim.Cycles
+	p, err := m.Spawn(SpawnConfig{Name: "timer", Body: func(ctx guest.Context) {
+		t0 = ctx.ClockNow()
+		ctx.Compute(burn)
+		t1 = ctx.ClockNow()
+		ctx.Sleep(burn)
+		t2 = ctx.ClockNow()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	if !(t0 < t1 && t1 < t2) {
+		t.Fatalf("clock not monotone: %d / %d / %d", t0, t1, t2)
+	}
+	if t1-t0 < burn {
+		t.Fatalf("clock advanced %d across a %d-cycle compute", t1-t0, burn)
+	}
+	if t2-t1 < burn {
+		t.Fatalf("clock advanced %d across a %d-cycle sleep (must tick while off the CPU)", t2-t1, burn)
+	}
+	if got := m.Stats(p.PID).Syscalls; got < 3 {
+		t.Fatalf("Syscalls = %d, want ≥ 3 (each ClockNow is a billed gettime)", got)
+	}
+}

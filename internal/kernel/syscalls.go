@@ -156,6 +156,15 @@ func (m *Machine) beginRequest(t *task, r *request) {
 		}
 		m.grantNow(t)
 
+	case rqClock:
+		st.Syscalls++
+		// clock_gettime(CLOCK_MONOTONIC): the read itself is the
+		// syscall service; the returned instant is the clock after the
+		// service, the moment control returns to the guest.
+		m.chargedAdvance(m.syscallCost("gettime"), cpu.Kernel, t)
+		r.ret = uint64(m.clock.Now())
+		m.grantNow(t)
+
 	case rqNetSend:
 		st.Syscalls++
 		// sendto entry/service/exit, then the driver's tx path — ring

@@ -28,6 +28,7 @@ const (
 	rqUsage
 	rqExec
 	rqFind
+	rqClock
 	rqNetSend
 	rqNetForward
 	rqNetRecv
@@ -396,6 +397,11 @@ func (c *guestCtx) Ptrace(req guest.PtraceRequest, pid proc.PID, addr, data uint
 func (c *guestCtx) Usage() (user, system sim.Cycles) {
 	r := c.do(request{kind: rqUsage})
 	return r.u, r.s
+}
+
+func (c *guestCtx) ClockNow() sim.Cycles {
+	r := c.do(request{kind: rqClock})
+	return sim.Cycles(r.ret)
 }
 
 func (c *guestCtx) NetSend(f guest.Frame) bool {

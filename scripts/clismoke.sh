@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# clismoke.sh — drive every meterlab command and mode with tiny
+# parameters, so a flag or wiring regression surfaces in CI instead of
+# at release. Output is discarded; what this gates is "every
+# documented invocation still runs to completion".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/meterlab"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+go build -o "$BIN" ./cmd/meterlab
+
+SCALE="${SMOKE_SCALE:-0.01}"
+
+say() { echo "clismoke: $*" >&2; }
+
+say "list"
+"$BIN" list >/dev/null
+
+# Every registered artifact, one by one, through the campaign engine.
+for id in $("$BIN" list); do
+    say "run $id"
+    "$BIN" run "$id" -scale "$SCALE" >/dev/null
+done
+
+# Every workload and every attack through the meter path.
+for w in O P W B; do
+    say "meter $w"
+    "$BIN" meter "$w" -scale "$SCALE" >/dev/null
+done
+for a in shell ctor subst sched thrash irqflood excflood; do
+    say "meter O -attack $a"
+    "$BIN" meter O -attack "$a" -scale "$SCALE" >/dev/null
+done
+
+# Cluster mode across its wire-shaping flag surface: defaults, lossy
+# tuning, lossless replay, RED/ECN, EWMA RED, and both qdiscs.
+say "cluster default"
+"$BIN" cluster -victims O,O -pps 5000 -scale "$SCALE" >/dev/null
+say "cluster lossy tuning"
+"$BIN" cluster -victims O -pps 8000 -link-pps 20000 -queue-depth 32 -scale "$SCALE" >/dev/null
+say "cluster lossless"
+"$BIN" cluster -victims O -pps 5000 -lossless -scale "$SCALE" >/dev/null
+say "cluster red"
+"$BIN" cluster -victims O -pps 8000 -link-pps 20000 -red-min 8 -red-max 24 -scale "$SCALE" >/dev/null
+say "cluster ewma red + drr"
+"$BIN" cluster -victims O -pps 8000 -link-pps 20000 -qdisc drr -quantum-bytes 3000 \
+    -red-min 8 -red-max 24 -red-weight 6 -scale "$SCALE" >/dev/null
+say "cluster fifo explicit"
+"$BIN" cluster -victims O -pps 8000 -link-pps 20000 -qdisc fifo -scale "$SCALE" >/dev/null
+
+# The parallel campaign engine end to end (every artifact, all cores).
+say "all"
+"$BIN" all -scale "$SCALE" >/dev/null
+
+say "ok"
