@@ -292,6 +292,23 @@ func BenchmarkFairFlood(b *testing.B) {
 	}, "drr-flow-done-sec")
 }
 
+// BenchmarkChaosFlood regenerates the billing-integrity artifact:
+// four 5-machine clusters (healthy, 2% syscall faults, router crash,
+// crash+reboot+flap) whose every run must keep each link's
+// conservation ledger balanced. The metric is the router's cumulative
+// jiffy bill in the crash+reboot scenario — the last router-fwd bar —
+// the number the crash machinery must keep monotone.
+func BenchmarkChaosFlood(b *testing.B) {
+	benchFigure(b, "chaosflood", func(fig *Figure) float64 {
+		// Bars alternate router-fwd/victim-host per scenario; the last
+		// router-fwd bar is the crash+reboot+flap cumulative bill.
+		if len(fig.Bars) < 2 {
+			return 0
+		}
+		return fig.Bars[len(fig.Bars)-2].Total()
+	}, "router-bill-sec")
+}
+
 // BenchmarkMeterAllocs pins the allocation footprint of one metered
 // job: machine construction plus the whole steady-state loop. The
 // loop itself (compute slices, ticks, library calls, malloc/free,

@@ -5,12 +5,17 @@
 //
 //	meterlab list
 //	meterlab run <artifact> [flags]     one of figure4..figure11, comparison, mitigation,
-//	                                    cluster, multiflood, swapflood, routerflood
+//	                                    cluster, multiflood, swapflood, routerflood,
+//	                                    fairflood, chaosflood
 //	meterlab all [flags]                every artifact in order
 //	meterlab meter <O|P|W|B> [flags]    meter one job and print all schemes
 //	meterlab cluster [flags]            run one cross-machine flood scenario:
 //	                                    an attacker machine floods victim
 //	                                    machines over modeled links
+//	meterlab chaos [flags]              run one routed flood under a chaos overlay:
+//	                                    seeded syscall faults, a scheduled router
+//	                                    crash/reboot, and egress link flap, with
+//	                                    every link's conservation ledger printed
 //
 // Flags:
 //
@@ -23,8 +28,9 @@
 //	              and across each artifact's machines — so up to n*n machines
 //	              may be live at once
 //	-attack k     (meter only) arm one attack: shell ctor subst sched thrash irqflood excflood
-//	-pps n        (cluster only) flood rate per victim link (default 40000; 0 = silent attacker)
-//	-latency-us n (cluster only) one-way link latency, must be > 0 (default 500)
+//	-pps n        (cluster/chaos) flood rate per victim link — per attacker in
+//	              chaos mode (default 40000; 0 = silent attackers)
+//	-latency-us n (cluster/chaos) one-way link latency, must be > 0 (default 500)
 //	-victims s    (cluster only) victim workloads, e.g. "O,O" (default "O,O";
 //	              the first victim bills jiffy, the second process-aware)
 //	-link-pps n   (cluster only) per-link wire capacity (0 = 148800, a 100 Mb/s wire)
@@ -40,6 +46,18 @@
 //	              by (depth-avg)/2^n per offered frame (0 = instantaneous depth)
 //	-qdisc s      (cluster only) per-link queueing discipline: fifo (default) or drr
 //	-quantum-bytes n (cluster only) DRR per-flow byte quantum (0 = 1514; requires -qdisc drr)
+//	-fault-ppm n  (chaos only) per-syscall fault probability in parts per million
+//	              (0 = no injection, 1000000 = every call fails)
+//	-fault-syscalls s (chaos only) comma-separated syscalls taking injection
+//	              (default "sendto,read"; requires -fault-ppm)
+//	-fault-errno s (chaos only) injected errno: eagain (default, transient),
+//	              enomem, or eio (hard; requires -fault-ppm)
+//	-crash-at f   (chaos only) kill the router this many virtual seconds in
+//	              (0 = never; must land inside the scenario horizon)
+//	-restart-after f (chaos only) reboot the router this many virtual seconds
+//	              after the crash (0 = stays down; requires -crash-at)
+//	-flap s       (chaos only) flap the router→victim egress wire: "first:down:up"
+//	              in virtual seconds (e.g. 0.5:0.1:0.4; up 0 = one outage)
 //
 // Output is byte-identical at every -parallel setting; only the host
 // wall-clock changes.
@@ -49,6 +67,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,7 +84,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: meterlab list | run <artifact> | all | meter <O|P|W|B> | cluster")
+		return fmt.Errorf("usage: meterlab list | run <artifact> | all | meter <O|P|W|B> | cluster | chaos")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -88,6 +107,12 @@ func run(args []string) error {
 	redWeight := fs.Int64("red-weight", 0, "RED EWMA weight exponent for 'cluster' (0 = instantaneous depth)")
 	qdisc := fs.String("qdisc", "", "per-link queueing discipline for 'cluster': fifo (default) or drr")
 	quantumBytes := fs.Int64("quantum-bytes", 0, "DRR per-flow byte quantum for 'cluster' (0 = 1514; requires -qdisc drr)")
+	faultPPM := fs.Int64("fault-ppm", 0, "per-syscall fault probability for 'chaos', parts per million (0 = no injection)")
+	faultSyscalls := fs.String("fault-syscalls", "", "comma-separated syscalls taking injection for 'chaos' (default sendto,read; requires -fault-ppm)")
+	faultErrno := fs.String("fault-errno", "", "injected errno for 'chaos': eagain (default), enomem, eio (requires -fault-ppm)")
+	crashAt := fs.Float64("crash-at", 0, "kill the router this many virtual seconds in for 'chaos' (0 = never)")
+	restartAfter := fs.Float64("restart-after", 0, "reboot the router this many virtual seconds after the crash for 'chaos' (0 = stays down; requires -crash-at)")
+	flapStr := fs.String("flap", "", "egress outage windows for 'chaos': first:down:up in virtual seconds (up 0 = one outage)")
 
 	switch cmd {
 	case "list":
@@ -96,7 +121,7 @@ func run(args []string) error {
 		}
 		return nil
 
-	case "run", "all", "meter", "cluster":
+	case "run", "all", "meter", "cluster", "chaos":
 		target := ""
 		if cmd == "run" || cmd == "meter" {
 			if len(rest) == 0 {
@@ -133,6 +158,17 @@ func run(args []string) error {
 				redWeight:    *redWeight,
 				qdisc:        *qdisc,
 				quantumBytes: *quantumBytes,
+			}, opts)
+		case "chaos":
+			return runChaos(chaosFlags{
+				pps:          *pps,
+				latencyUs:    *latencyUs,
+				faultPPM:     *faultPPM,
+				faultCalls:   *faultSyscalls,
+				faultErrno:   *faultErrno,
+				crashAt:      *crashAt,
+				restartAfter: *restartAfter,
+				flap:         *flapStr,
 			}, opts)
 		default:
 			return meterJob(target, *attackKey, opts)
@@ -212,6 +248,167 @@ func (f clusterFlags) qdiscSpec() (qdisc string, quantum uint64, err error) {
 		return "", 0, fmt.Errorf("cluster: -quantum-bytes requires -qdisc drr (FIFO has no per-flow quantum)")
 	}
 	return f.qdisc, uint64(f.quantumBytes), nil
+}
+
+// chaosFlags carries the chaos mode's raw flag values; like
+// clusterFlags they are validated before any machine is built so bad
+// input yields a usage error, not a panic mid-scenario.
+type chaosFlags struct {
+	pps          int64
+	latencyUs    int64
+	faultPPM     int64
+	faultCalls   string
+	faultErrno   string
+	crashAt      float64
+	restartAfter float64
+	flap         string
+}
+
+// parseFlap resolves the -flap flag: "first:down:up" in virtual
+// seconds, nil when unset. A zero down window is rejected — an outage
+// must have a length — and so is anything non-numeric or negative.
+func parseFlap(s string) (*cpumeter.FlapSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("chaos: -flap %q must be first:down:up in virtual seconds (e.g. 0.5:0.1:0.4)", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("chaos: -flap %q: component %q must be a non-negative number of seconds", s, p)
+		}
+		vals[i] = v
+	}
+	if vals[1] <= 0 {
+		return nil, fmt.Errorf("chaos: -flap %q has a zero down window (an outage must have a length)", s)
+	}
+	return &cpumeter.FlapSpec{
+		FirstDownUs: uint64(vals[0] * 1e6),
+		DownUs:      uint64(vals[1] * 1e6),
+		UpUs:        uint64(vals[2] * 1e6),
+	}, nil
+}
+
+// chaosSpec validates the fault-overlay flags and assembles the
+// ChaosSpec.
+func (f chaosFlags) chaosSpec() (cpumeter.ChaosSpec, error) {
+	var cs cpumeter.ChaosSpec
+	if f.faultPPM < 0 || f.faultPPM > cpumeter.FaultPPMScale {
+		return cs, fmt.Errorf("chaos: -fault-ppm %d must be in 0..%d (parts per million)", f.faultPPM, cpumeter.FaultPPMScale)
+	}
+	if f.faultPPM == 0 && (f.faultCalls != "" || f.faultErrno != "") {
+		return cs, fmt.Errorf("chaos: -fault-syscalls/-fault-errno have no effect without -fault-ppm (injection is disabled at 0)")
+	}
+	switch f.faultErrno {
+	case "", "eio", "eagain", "enomem":
+	default:
+		return cs, fmt.Errorf("chaos: unknown -fault-errno %q (have eio, eagain, enomem)", f.faultErrno)
+	}
+	var calls []string
+	if f.faultCalls != "" {
+		for _, c := range strings.Split(f.faultCalls, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				return cs, fmt.Errorf("chaos: -fault-syscalls %q has an empty entry (want e.g. \"sendto,read\")", f.faultCalls)
+			}
+			calls = append(calls, c)
+		}
+	}
+	if f.crashAt < 0 || f.restartAfter < 0 {
+		return cs, fmt.Errorf("chaos: -crash-at %g and -restart-after %g must be >= 0 virtual seconds", f.crashAt, f.restartAfter)
+	}
+	if f.restartAfter > 0 && f.crashAt == 0 {
+		return cs, fmt.Errorf("chaos: -restart-after requires -crash-at (nothing to reboot without a crash)")
+	}
+	flap, err := parseFlap(f.flap)
+	if err != nil {
+		return cs, err
+	}
+	return cpumeter.ChaosSpec{
+		FaultPPM:         uint32(f.faultPPM),
+		FaultSyscalls:    calls,
+		FaultErrno:       f.faultErrno,
+		RouterCrashSec:   f.crashAt,
+		RouterRestartSec: f.restartAfter,
+		VictimFlap:       flap,
+	}, nil
+}
+
+// runChaos executes the routed flood (two attackers through a
+// RED-managed egress, alongside the well-behaved ECN flow) under the
+// flag-selected chaos overlay and prints the full billing-integrity
+// harvest: cumulative router bill, victim bill, flow outcome, and
+// every link direction's conservation ledger. An unbalanced ledger is
+// an error — the command exits nonzero so smoke runs catch it.
+func runChaos(f chaosFlags, opts cpumeter.Options) error {
+	cs, err := f.chaosSpec()
+	if err != nil {
+		return err
+	}
+	if f.pps < 0 {
+		return fmt.Errorf("chaos: -pps %d is negative (0 means silent attackers)", f.pps)
+	}
+	if f.latencyUs <= 0 {
+		return fmt.Errorf("chaos: -latency-us %d must be > 0 (signals need flight time for deterministic lockstep)", f.latencyUs)
+	}
+	const flowFrames = 300
+	start := time.Now()
+	out, err := cpumeter.MeterChaosFlood(cpumeter.ChaosFloodSpec{
+		Flood: cpumeter.RouterFloodSpec{
+			Opts:           opts,
+			Attackers:      2,
+			PerAttackerPPS: uint64(f.pps),
+			Victim:         cpumeter.ClusterVictim{Workload: "O", Billing: "jiffy"},
+			EgressPPS:      30_000,
+			RED:            &cpumeter.REDSpec{MinDepth: 8, MaxDepth: 24, MaxPct: 50},
+			FlowFrames:     flowFrames,
+			LinkLatencyUs:  uint64(f.latencyUs),
+		},
+		Chaos: cs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos: 2 attackers + sender + router + victim, %d pps per attacker (elapsed %.1f virtual s)\n",
+		f.pps, out.ElapsedSec)
+	fmt.Printf("  faults injected %d; router incarnations %d (crashed %v), forwarded %d frames\n",
+		out.FaultsInjected, out.RouterIncarnations, out.RouterCrashed, out.RouterForwarded)
+	fmt.Printf("  flow: acked %d/%d, gave up %v, send errs %d, recv errs %d\n",
+		out.Flow.Acked, flowFrames, out.Flow.GaveUp, out.Flow.SendErrors, out.Flow.RecvErrors)
+	fmt.Println("  router daemon bill (summed across incarnations):")
+	for _, scheme := range []string{"jiffy", "tsc", "process-aware"} {
+		fmt.Printf("    %-14s user %8.2fs  system %7.2fs  total %8.2fs\n",
+			scheme, out.Router.User[scheme], out.Router.Sys[scheme], out.Router.Total(scheme))
+	}
+	v := out.Victim
+	fmt.Printf("  victim (%s, bills %s): received %d frames\n",
+		v.Run.Spec.Workload, v.Billing, v.PacketsReceived)
+	for _, scheme := range []string{"jiffy", "tsc", "process-aware"} {
+		marker := " "
+		if scheme == v.Billing {
+			marker = "*"
+		}
+		fmt.Printf("   %s%-14s user %8.2fs  system %7.2fs  total %8.2fs\n",
+			marker, scheme, v.Run.Victim.User[scheme], v.Run.Victim.Sys[scheme], v.Run.Victim.Total(scheme))
+	}
+	fmt.Println("  link ledgers (Sent = Delivered + Dropped + Queued):")
+	for _, la := range out.Links {
+		state := "balanced"
+		if !la.Balanced() {
+			state = "VIOLATION"
+		}
+		fmt.Printf("    %-22s sent %7d  delivered %7d  dropped %6d  queued %4d  %s\n",
+			la.Name, la.Sent, la.Delivered, la.Dropped, la.Queued, state)
+	}
+	if bad := out.Unbalanced(); len(bad) > 0 {
+		return fmt.Errorf("chaos: conservation ledger violated on %v", bad)
+	}
+	fmt.Printf("  (regenerated in %.1fs host time)\n", time.Since(start).Seconds())
+	return nil
 }
 
 // parseVictims validates and expands the -victims flag: the first

@@ -46,6 +46,59 @@ func TestClusterFlagValidation(t *testing.T) {
 	}
 }
 
+// TestChaosFlagValidation pins the chaos-mode hardening: malformed
+// fault probabilities, crash schedules, and flap windows all yield
+// usage errors naming the flag before any machine is built.
+func TestChaosFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative fault ppm", []string{"chaos", "-fault-ppm", "-1"}, "0..1000000"},
+		{"fault ppm over scale", []string{"chaos", "-fault-ppm", "2000000"}, "0..1000000"},
+		{"syscalls without ppm", []string{"chaos", "-fault-syscalls", "sendto"}, "without -fault-ppm"},
+		{"errno without ppm", []string{"chaos", "-fault-errno", "eio"}, "without -fault-ppm"},
+		{"unknown errno", []string{"chaos", "-fault-ppm", "100", "-fault-errno", "ebadf"}, "unknown -fault-errno"},
+		{"empty syscall entry", []string{"chaos", "-fault-ppm", "100", "-fault-syscalls", "sendto,,read"}, "empty entry"},
+		{"negative crash time", []string{"chaos", "-crash-at", "-1"}, ">= 0"},
+		{"negative restart time", []string{"chaos", "-crash-at", "1", "-restart-after", "-0.5"}, ">= 0"},
+		{"restart without crash", []string{"chaos", "-restart-after", "0.5"}, "requires -crash-at"},
+		{"crash past horizon", []string{"chaos", "-scale", "0.01", "-crash-at", "1000"}, "past the scenario horizon"},
+		{"flap wrong arity", []string{"chaos", "-flap", "0.5:0.1"}, "first:down:up"},
+		{"flap non-numeric", []string{"chaos", "-flap", "a:b:c"}, "non-negative number"},
+		{"flap negative component", []string{"chaos", "-flap", "0.5:-0.1:0.4"}, "non-negative number"},
+		{"flap zero down window", []string{"chaos", "-flap", "0.5:0:0.4"}, "zero down window"},
+		{"negative pps", []string{"chaos", "-pps", "-5"}, "negative"},
+		{"zero latency", []string{"chaos", "-latency-us", "0"}, "must be > 0"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: run(%v) accepted", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestChaosModeRunsAtTinyScale smokes the whole chaos path — faults,
+// crash+reboot, and a flapping egress at once — and relies on
+// runChaos's own exit-nonzero ledger check for the integrity assert.
+func TestChaosModeRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	args := []string{"chaos", "-scale", "0.01", "-pps", "10000",
+		"-fault-ppm", "20000", "-crash-at", "0.15", "-restart-after", "0.08",
+		"-flap", "0.1:0.03:0.1"}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v) = %v", args, err)
+	}
+}
+
 // TestParseVictimsAlternatesBilling pins the victim expansion rule.
 func TestParseVictimsAlternatesBilling(t *testing.T) {
 	vs, err := parseVictims("O, W ,B")

@@ -124,7 +124,37 @@ type (
 	FairFloodSpec = experiments.FairFloodSpec
 	// FairFloodOut is one shared-egress fairness scenario's harvest.
 	FairFloodOut = experiments.FairFloodOut
+
+	// FaultSpec is a machine's seeded syscall fault-injection table
+	// (kernel.Config.Faults); SyscallFault is one entry.
+	FaultSpec = kernel.FaultSpec
+	// SyscallFault configures one syscall's injected errno and
+	// parts-per-million probability.
+	SyscallFault = kernel.SyscallFault
+	// Errno is a guest-visible injected error number (EIO, EAGAIN,
+	// ENOMEM).
+	Errno = guest.Errno
+	// FlapSpec schedules deterministic outage windows on one
+	// direction of a cluster link.
+	FlapSpec = cluster.FlapSpec
+	// ChaosSpec is the fault overlay on a routed-flood scenario:
+	// syscall fault injection, a scheduled router crash/reboot, and
+	// egress link flap.
+	ChaosSpec = experiments.ChaosSpec
+	// ChaosFloodSpec describes one routed flood under a chaos
+	// overlay.
+	ChaosFloodSpec = experiments.ChaosFloodSpec
+	// ChaosFloodOut is one chaos scenario's harvest, including every
+	// link direction's conservation ledger.
+	ChaosFloodOut = experiments.ChaosFloodOut
+	// LinkAccounting is one link direction's conservation ledger
+	// (Sent = Delivered + Dropped + Queued).
+	LinkAccounting = experiments.LinkAccounting
 )
+
+// FaultPPMScale is the parts-per-million denominator fault
+// probabilities are expressed in (1e6 = certain injection).
+const FaultPPMScale = kernel.PPMScale
 
 // Queueing disciplines a link spec may select (LinkSpec.Qdisc and
 // FairFloodSpec.Qdisc): FIFO is the default starvable wire, DRR the
@@ -174,6 +204,15 @@ func MeterFairFlood(spec FairFloodSpec) (*FairFloodOut, error) {
 // queue feedback.
 func MeterRouterFlood(spec RouterFloodSpec) (*RouterFloodOut, error) {
 	return experiments.RunRouterFlood(spec)
+}
+
+// MeterChaosFlood executes one routed-flood scenario under a chaos
+// overlay — seeded syscall faults on every machine, a scheduled
+// mid-run router crash (and optional reboot), and egress link flap —
+// in deterministic lockstep, harvesting every link's conservation
+// ledger alongside the per-scheme bills.
+func MeterChaosFlood(spec ChaosFloodSpec) (*ChaosFloodOut, error) {
+	return experiments.RunChaosFlood(spec)
 }
 
 // Forwarder returns the store-and-forward router guest: spawn it on
@@ -291,6 +330,7 @@ var experimentRunners = map[string]func(Options) (*Figure, error){
 	"swapflood":   experiments.CrossMachineExceptionFlood,
 	"routerflood": experiments.RouterFlood,
 	"fairflood":   experiments.FairFlood,
+	"chaosflood":  experiments.ChaosFlood,
 }
 
 // Experiments lists the regenerable artifact ids in a stable order.

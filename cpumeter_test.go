@@ -14,10 +14,10 @@ func TestWorkloadKeys(t *testing.T) {
 
 func TestExperimentsListedAndUnknownRejected(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("Experiments() = %d ids: %v", len(ids), ids)
 	}
-	for _, want := range []string{"figure4", "figure11", "comparison", "mitigation", "ablation1", "cluster", "multiflood", "swapflood", "routerflood", "fairflood"} {
+	for _, want := range []string{"figure4", "figure11", "comparison", "mitigation", "ablation1", "cluster", "multiflood", "swapflood", "routerflood", "fairflood", "chaosflood"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// pacedSender spawns a guest offering `frames` frames to the peer at
+// a fixed inter-send gap, ignoring wire verdicts — the link counters
+// are the test's ground truth.
+func pacedSender(peerIdx int, frames int, gap sim.Cycles) func(*Cluster, *kernel.Machine) error {
+	return func(c *Cluster, m *kernel.Machine) error {
+		dst := c.AddrOf(peerIdx)
+		_, err := m.Spawn(kernel.SpawnConfig{
+			Name:    "pacer",
+			Content: "paced sender v1",
+			Body: func(ctx guest.Context) {
+				for i := 0; i < frames; i++ {
+					ctx.NetSend(guest.Frame{Dst: dst, Flow: uint32(i)})
+					ctx.Sleep(gap)
+				}
+			},
+		})
+		return err
+	}
+}
+
+// drainDaemon spawns a never-exiting receive loop — the standard
+// Service-machine peer for crash and flap scenarios.
+func drainDaemon(c *Cluster, m *kernel.Machine) error {
+	_, err := m.Spawn(kernel.SpawnConfig{
+		Name:    "drain",
+		Content: "drain daemon v1",
+		Body: func(ctx guest.Context) {
+			seen := uint64(0)
+			for {
+				seen = ctx.NetRxWait(seen)
+				for {
+					if _, ok, err := ctx.NetRecv(); !ok || err != nil {
+						break
+					}
+				}
+			}
+		},
+	})
+	return err
+}
+
+// checkBalanced asserts every declared link direction's conservation
+// identity: Sent = Delivered + Dropped + Queued.
+func checkBalanced(t *testing.T, cl *Cluster) {
+	t.Helper()
+	for i := 0; i < cl.Links(); i++ {
+		for _, l := range []*Link{cl.Link(i), cl.Link(i).Reverse()} {
+			if l.Sent() != l.Delivered()+l.Dropped()+l.Queued() {
+				t.Errorf("link %d: sent %d != delivered %d + dropped %d + queued %d",
+					i, l.Sent(), l.Delivered(), l.Dropped(), l.Queued())
+			}
+		}
+	}
+}
+
+// TestCrashOfBlockedMachineDoesNotDeadlockBarrier is the regression
+// pin for the lockstep barrier: a machine parked in NetRxWait reports
+// no pending work, so before the fix a CrashAt on it could leave the
+// barrier with tmin = none and Run would spin or stall forever. The
+// pending crash must count as scheduled work and fire even though the
+// machine's own event queue is silent.
+func TestCrashOfBlockedMachineDoesNotDeadlockBarrier(t *testing.T) {
+	crashAt := sim.Cycles(testHz / 100) // 10 ms in, machine 1 still blocked
+	cl, err := New(Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 201, CPUHz: testHz},
+				Boot: func(_ *Cluster, m *kernel.Machine) error {
+					return spawnBusy(m, "job", 0.05)
+				},
+			},
+			{
+				Config:  kernel.Config{Seed: 202, CPUHz: testHz},
+				Service: true,
+				CrashAt: crashAt,
+				Boot:    drainDaemon,
+			},
+		},
+		Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 200}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatalf("Run = %v, want clean completion through the crash", err)
+	}
+	if !cl.Crashed(1) {
+		t.Error("blocked machine's scheduled crash never fired")
+	}
+	if !cl.Done(1) {
+		t.Error("crashed machine not marked done")
+	}
+	checkBalanced(t, cl)
+}
+
+// TestCrashSeversInFlightFrames pins the teardown semantics: frames
+// offered to a crashed destination (including frames already on the
+// wire whose arrival lands past the crash instant) become counted
+// drops, never silent losses, so the per-link conservation identity
+// survives the crash.
+func TestCrashSeversInFlightFrames(t *testing.T) {
+	perUs := sim.Cycles(testHz / 1_000_000)
+	crashAt := sim.Cycles(testHz / 50) // 20 ms
+	const frames = 100
+	cl, err := New(Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 211, CPUHz: testHz},
+				// 100 frames, one every 500 µs: the stream spans 50 ms,
+				// straddling the 20 ms crash.
+				Boot: pacedSender(1, frames, 500*perUs),
+			},
+			{
+				Config:  kernel.Config{Seed: 212, CPUHz: testHz},
+				Service: true,
+				CrashAt: crashAt,
+				Boot:    drainDaemon,
+			},
+		},
+		Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 300}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Crashed(1) {
+		t.Fatal("receiver never crashed")
+	}
+	l := cl.Link(0)
+	if l.Delivered() == 0 {
+		t.Error("nothing delivered before the crash")
+	}
+	if l.Dropped() == 0 {
+		t.Error("no drops after the crash — severed frames went uncounted")
+	}
+	if l.Sent() != frames {
+		t.Errorf("Sent = %d, want %d (the sender machine outlives the crash and keeps offering)", l.Sent(), frames)
+	}
+	checkBalanced(t, cl)
+}
+
+// TestCrashRestartRunsSecondIncarnation pins the reboot path: with
+// RestartAfter armed the machine comes back with fresh task state,
+// the incarnation list grows, frames flow again after the outage, and
+// both incarnations' deliveries plus the outage drops balance the
+// sender's offers.
+func TestCrashRestartRunsSecondIncarnation(t *testing.T) {
+	perUs := sim.Cycles(testHz / 1_000_000)
+	const frames = 100
+	cl, err := New(Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 221, CPUHz: testHz},
+				Boot:   pacedSender(1, frames, 500*perUs),
+			},
+			{
+				Config:       kernel.Config{Seed: 222, CPUHz: testHz},
+				Service:      true,
+				CrashAt:      sim.Cycles(testHz / 50),  // down at 20 ms
+				RestartAfter: sim.Cycles(testHz / 100), // back at 30 ms
+				Boot:         drainDaemon,
+			},
+		},
+		Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 300}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Crashed(1) {
+		t.Fatal("receiver never crashed")
+	}
+	incs := cl.Incarnations(1)
+	if len(incs) != 2 {
+		t.Fatalf("incarnations = %d, want 2 (crashed original + reboot)", len(incs))
+	}
+	first, second := incs[0], incs[1]
+	if first.NIC().Received() == 0 || second.NIC().Received() == 0 {
+		t.Errorf("received %d/%d frames across incarnations, want both nonzero",
+			first.NIC().Received(), second.NIC().Received())
+	}
+	l := cl.Link(0)
+	if l.Dropped() == 0 {
+		t.Error("no drops across a 10 ms outage inside a continuous stream")
+	}
+	if got := first.NIC().Received() + second.NIC().Received(); got != l.Delivered() {
+		t.Errorf("incarnations received %d, link delivered %d — deliveries leaked across the reboot", got, l.Delivered())
+	}
+	checkBalanced(t, cl)
+}
+
+// TestFlapWindowDropsThenResumes pins FIFO flap semantics: offers
+// inside a scheduled outage window are counted drops, offers before
+// and after are carried, and the ledger stays balanced.
+func TestFlapWindowDropsThenResumes(t *testing.T) {
+	perUs := sim.Cycles(testHz / 1_000_000)
+	const frames = 100
+	cl, err := New(Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 231, CPUHz: testHz},
+				// One frame every 500 µs for 50 ms, across a single
+				// 10 ms outage starting at 15 ms.
+				Boot: pacedSender(1, frames, 500*perUs),
+			},
+			{
+				Config:  kernel.Config{Seed: 232, CPUHz: testHz},
+				Service: true,
+				Boot:    drainDaemon,
+			},
+		},
+		Links: []LinkSpec{{
+			From: 0, To: 1, LatencyUs: 300,
+			Flap: &FlapSpec{FirstDownUs: 15_000, DownUs: 10_000},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	l := cl.Link(0)
+	if l.Dropped() == 0 {
+		t.Error("no drops across a 10 ms outage inside a continuous stream")
+	}
+	if l.Delivered() == 0 {
+		t.Error("nothing delivered outside the outage window")
+	}
+	// ~20 of 100 offers land inside the window (10 ms of a 50 ms
+	// stream at 2k pps); everything else must be carried.
+	if l.Dropped() >= l.Delivered() {
+		t.Errorf("dropped %d >= delivered %d for a window covering ~20%% of the stream", l.Dropped(), l.Delivered())
+	}
+	checkBalanced(t, cl)
+}
+
+// TestPeriodicFlapRepeats pins the periodic form: with UpUs set the
+// outage recurs, so a stream long enough to span several periods
+// takes drops from more than one window — strictly more than the same
+// stream loses to a single window of the same length.
+func TestPeriodicFlapRepeats(t *testing.T) {
+	perUs := sim.Cycles(testHz / 1_000_000)
+	const frames = 100
+	build := func(flap *FlapSpec) *Link {
+		cl, err := New(Config{
+			Machines: []MachineSpec{
+				{
+					Config: kernel.Config{Seed: 241, CPUHz: testHz},
+					Boot:   pacedSender(1, frames, 500*perUs),
+				},
+				{
+					Config:  kernel.Config{Seed: 242, CPUHz: testHz},
+					Service: true,
+					Boot:    drainDaemon,
+				},
+			},
+			Links: []LinkSpec{{From: 0, To: 1, LatencyUs: 300, Flap: flap}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		checkBalanced(t, cl)
+		return cl.Link(0)
+	}
+	single := build(&FlapSpec{FirstDownUs: 5_000, DownUs: 5_000})
+	periodic := build(&FlapSpec{FirstDownUs: 5_000, DownUs: 5_000, UpUs: 10_000})
+	if single.Dropped() == 0 || periodic.Dropped() == 0 {
+		t.Fatalf("drops single=%d periodic=%d, want both nonzero", single.Dropped(), periodic.Dropped())
+	}
+	if periodic.Dropped() <= single.Dropped() {
+		t.Errorf("periodic windows dropped %d <= single window's %d, want more (the outage recurs)",
+			periodic.Dropped(), single.Dropped())
+	}
+}
+
+// TestChaosSpecValidation covers the construction-time checks the
+// chaos layer added: restart without a crash, crash under shared
+// swap, flap on a shared bottleneck, and a zero-length outage.
+func TestChaosSpecValidation(t *testing.T) {
+	mspec := func(name string) MachineSpec {
+		return MachineSpec{Name: name, Config: kernel.Config{Seed: 1, CPUHz: testHz}}
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{
+			name: "restart without crash",
+			cfg: Config{Machines: []MachineSpec{
+				{Name: "a", Config: kernel.Config{Seed: 1, CPUHz: testHz}, RestartAfter: 100},
+			}},
+			want: "RestartAfter without CrashAt",
+		},
+		{
+			name: "crash under shared swap",
+			cfg: Config{
+				Machines: []MachineSpec{
+					{Name: "a", Config: kernel.Config{Seed: 1, CPUHz: testHz}, CrashAt: 100},
+					mspec("b"),
+				},
+				SharedSwap: &SharedSwapSpec{Host: 1, Clients: []int{0}},
+			},
+			want: "shared swap",
+		},
+		{
+			name: "flap on a bottleneck",
+			cfg: Config{
+				Machines: []MachineSpec{mspec("a"), mspec("b")},
+				Links: []LinkSpec{{
+					From: 0, To: 1, Bottleneck: "up", PacketsPerSecond: 1000,
+					Flap: &FlapSpec{FirstDownUs: 10, DownUs: 10},
+				}},
+			},
+			want: "bottleneck",
+		},
+		{
+			name: "zero-length outage",
+			cfg: Config{
+				Machines: []MachineSpec{mspec("a"), mspec("b")},
+				Links: []LinkSpec{{
+					From: 0, To: 1,
+					Flap: &FlapSpec{FirstDownUs: 10},
+				}},
+			},
+			want: "DownUs 0",
+		},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -130,6 +130,45 @@ type MachineSpec struct {
 	// from quiescence here, so callers co-hosting jobs with daemons
 	// must verify the job's own completion after Run.
 	Service bool
+	// CrashAt, when nonzero, schedules a hard machine failure at that
+	// virtual cycle: the machine is torn down mid-run exactly like
+	// Shutdown — tasks unwound, pending events dead — and frames
+	// already in flight toward it are counted as link drops, so
+	// Sent = Delivered + Dropped + Queued survives the failure. The
+	// crash is scheduled work for the lockstep barrier: a machine
+	// blocked forever on network input still dies on time. A machine
+	// whose tasks all exit before CrashAt cancels the crash. One-shot:
+	// a restarted incarnation does not crash again.
+	CrashAt sim.Cycles
+	// RestartAfter, when nonzero, reboots the crashed machine that
+	// many cycles after CrashAt: a fresh kernel.Machine built from
+	// this spec (clock fast-forwarded to the reboot instant, first
+	// timer tick one jiffy later), rewired identically — same fabric
+	// address, routes, links — with Boot run again. Task state is
+	// fresh; ledgers are per-incarnation and survive only as the sum
+	// over Cluster.Incarnations. Frames offered while the machine was
+	// down stay dropped. Requires CrashAt.
+	RestartAfter sim.Cycles
+}
+
+// FlapSpec schedules deterministic outage windows on one direction of
+// a link: the wire goes down at FirstDownUs, stays down for DownUs,
+// and — with UpUs nonzero — repeats forever with period DownUs+UpUs
+// (UpUs zero makes it a single outage). A FIFO direction drops every
+// frame offered while down; a DRR direction keeps admitted backlog
+// queued and resumes serving when the window ends. The schedule is
+// pure virtual time, so flapped histories replay bit-for-bit, and a
+// nil spec leaves the wire permanently up (bit-identical to today).
+type FlapSpec struct {
+	// FirstDownUs is when the first outage begins, in microseconds of
+	// virtual time (zero: down from boot).
+	FirstDownUs uint64
+	// DownUs is each outage's length in microseconds; must be nonzero
+	// when the spec is armed.
+	DownUs uint64
+	// UpUs is the gap between outages; zero means the single window
+	// [FirstDownUs, FirstDownUs+DownUs) is the whole schedule.
+	UpUs uint64
 }
 
 // LinkSpec declares one bidirectional link between two machines'
@@ -181,6 +220,11 @@ type LinkSpec struct {
 	// QuantumBytes is DRR's per-flow byte quantum; zero selects
 	// DefaultQuantumBytes. Only meaningful with Qdisc QdiscDRR.
 	QuantumBytes uint64
+	// Flap, when non-nil, arms outage windows on the forward (From→To)
+	// direction; RevFlap on the reverse. Flapped links cannot share a
+	// Bottleneck pipe (a shared wire cannot take per-link outages).
+	Flap    *FlapSpec
+	RevFlap *FlapSpec
 }
 
 // REDSpec parameterises one pipe's random-early-detection policy.
@@ -309,6 +353,12 @@ type pipe struct {
 	rng         *sim.Rand
 	avgFP       uint64 // EWMA queue estimate, 16.16 fixed point (RED Weight > 0)
 
+	// Flap schedule in cycles (flapDown 0: never down). flapPeriod 0
+	// with flapDown armed means one outage window only.
+	flapFirst  sim.Cycles
+	flapDown   sim.Cycles
+	flapPeriod sim.Cycles
+
 	// DRR engine state (nil drr selects the FIFO horizon above).
 	drr         *device.DRR
 	quantum     uint64
@@ -378,6 +428,37 @@ func (p *pipe) redHit(q uint64) bool {
 	return uint64(p.rng.Int63n(65536)) < prob
 }
 
+// applyFlap arms one direction's outage schedule, converting the
+// spec's microsecond windows to cycles.
+func (p *pipe) applyFlap(fs *FlapSpec, perUs sim.Cycles) {
+	if fs == nil {
+		return
+	}
+	p.flapFirst = sim.Cycles(fs.FirstDownUs) * perUs
+	p.flapDown = sim.Cycles(fs.DownUs) * perUs
+	if fs.UpUs > 0 {
+		p.flapPeriod = p.flapDown + sim.Cycles(fs.UpUs)*perUs
+	}
+}
+
+// flapDefer reports the first instant at or after t when the wire is
+// up — t itself when no outage window covers it.
+func (p *pipe) flapDefer(t sim.Cycles) sim.Cycles {
+	if p.flapDown == 0 || t < p.flapFirst {
+		return t
+	}
+	off := t - p.flapFirst
+	if p.flapPeriod > 0 {
+		off %= p.flapPeriod
+	} else if off >= p.flapDown {
+		return t
+	}
+	if off < p.flapDown {
+		return t + (p.flapDown - off)
+	}
+	return t
+}
+
 // register adds a link to a DRR pipe's tag table so queued entries
 // can be delivered and accounted on the link they were offered to.
 func (p *pipe) register(l *Link) uint32 {
@@ -395,6 +476,12 @@ type Link struct {
 	pipe     *pipe
 	rev      *Link
 	tag      uint32 // this link's entry tag in a DRR pipe's table
+	// downAt is the destination's scheduled CrashAt: a frame arriving
+	// at or after it lands on a dead machine and is dropped at the
+	// wire instead (the sender learns synchronously, the accounting
+	// identity holds through the crash). Cleared when the destination
+	// restarts. Zero: no crash scheduled.
+	downAt sim.Cycles
 
 	sent      uint64
 	delivered uint64
@@ -468,7 +555,14 @@ func (l *Link) Send(f Frame) bool {
 	if l.pipe.drr != nil {
 		return l.pipe.sendDRR(l, f)
 	}
-	arrive := l.from.Clock().Now() + l.latency
+	now := l.from.Clock().Now()
+	if l.pipe.flapDefer(now) > now {
+		// The wire is in a flap-down window: a FIFO direction has no
+		// backlog to hold the frame in, so the offer is a loss.
+		l.dropped++
+		return false
+	}
+	arrive := now + l.latency
 	if p := l.pipe; p.gap > 0 {
 		svc := p.svcBytes(device.WireBytes(f))
 		if floor := p.lastArrival + svc; arrive < floor {
@@ -505,6 +599,12 @@ func (l *Link) Send(f Frame) bool {
 		}
 		p.lastArrival = arrive
 	}
+	if l.downAt > 0 && arrive >= l.downAt {
+		// The frame would land after the destination's scheduled
+		// crash: it occupied the wire but arrives at a dead machine.
+		l.dropped++
+		return false
+	}
 	l.delivered++
 	l.to.NIC().InjectRxFrame(arrive, f)
 	return true
@@ -514,12 +614,13 @@ func (l *Link) Send(f Frame) bool {
 // departure time plus this link's propagation delay — or counts a
 // drop when the destination machine has since finished.
 func (l *Link) deliver(depart sim.Cycles, f Frame) {
-	if l.to.Closed() {
+	arrive := depart + l.latency
+	if l.to.Closed() || (l.downAt > 0 && arrive >= l.downAt) {
 		l.dropped++
 		return
 	}
 	l.delivered++
-	l.to.NIC().InjectRxFrame(depart+l.latency, f)
+	l.to.NIC().InjectRxFrame(arrive, f)
 }
 
 // sendDRR offers one frame to a DRR pipe at the sending machine's
@@ -535,17 +636,22 @@ func (p *pipe) sendDRR(l *Link, f Frame) bool {
 	p.drain()
 	wb := device.WireBytes(f)
 	if p.drr.Len() == 0 && p.busyUntil <= p.commitClock {
-		// Wire idle: store-and-forward the frame immediately. The EWMA
-		// estimator still observes the empty queue (as the FIFO path
-		// does) so the average decays between bursts.
-		p.redSample(0)
 		start := p.busyUntil
 		if now := l.from.Clock().Now(); now > start {
 			start = now
 		}
-		p.busyUntil = start + p.jitterSvc(p.svcBytes(wb))
-		l.deliver(p.busyUntil, f)
-		return true
+		if p.flapDefer(start) == start {
+			// Wire idle and up: store-and-forward the frame
+			// immediately. The EWMA estimator still observes the empty
+			// queue (as the FIFO path does) so the average decays
+			// between bursts.
+			p.redSample(0)
+			p.busyUntil = start + p.jitterSvc(p.svcBytes(wb))
+			l.deliver(p.busyUntil, f)
+			return true
+		}
+		// Flap-down window: fall through and park the frame in the
+		// backlog; drain resumes service when the window ends.
 	}
 	// Wire busy: admit under the buffer policy. Capacity is QueueDepth
 	// minimum-frame slots' worth of bytes; under pressure the fattest
@@ -585,7 +691,15 @@ func (p *pipe) sendDRR(l *Link, f Frame) bool {
 // committed frame occupies the wire for its jittered byte-accurate
 // service time and is delivered on its own link at departure.
 func (p *pipe) drain() {
-	for p.drr.Len() > 0 && p.busyUntil <= p.commitClock {
+	for p.drr.Len() > 0 {
+		// A flap-down window suspends service: the committed horizon
+		// jumps to the window's end and the backlog waits there.
+		if up := p.flapDefer(p.busyUntil); up > p.busyUntil {
+			p.busyUntil = up
+		}
+		if p.busyUntil > p.commitClock {
+			return
+		}
 		e, _ := p.drr.Dequeue()
 		el := p.byTag[e.Tag]
 		el.queued--
@@ -604,7 +718,9 @@ func (p *pipe) armKick() {
 		return
 	}
 	p.kickArmed = true
-	p.home.ScheduleEgress(p.busyUntil, p.kickFire)
+	// A flap-down window pushes the kick to the window's end: the
+	// timer is what revives a parked backlog once senders go quiet.
+	p.home.ScheduleEgress(p.flapDefer(p.busyUntil), p.kickFire)
 }
 
 // Cluster is a set of machines advancing in lockstep plus the links
@@ -617,6 +733,20 @@ type Cluster struct {
 	done      []bool
 	lookahead sim.Cycles
 	maxCycles sim.Cycles
+
+	// Crash/restart state. specs keeps the original declarations so a
+	// restart can rebuild its machine; txRoutes and routeTab record
+	// the wiring (transmit routes in registration order, the
+	// post-wiring routing table) so a fresh incarnation is rewired
+	// identically. crashAt/restartAt are the pending schedule (zero:
+	// none); prior holds retired incarnations, oldest first.
+	specs     []MachineSpec
+	txRoutes  [][]func(Frame) bool
+	routeTab  []map[Addr]int
+	crashAt   []sim.Cycles
+	restartAt []sim.Cycles
+	crashed   []bool
+	prior     [][]*kernel.Machine
 }
 
 // newPipe builds one direction's serialisation state from a spec.
@@ -692,6 +822,13 @@ func New(cfg Config) (*Cluster, error) {
 		service:   make([]bool, len(cfg.Machines)),
 		done:      make([]bool, len(cfg.Machines)),
 		maxCycles: cfg.MaxCycles,
+		specs:     append([]MachineSpec(nil), cfg.Machines...),
+		txRoutes:  make([][]func(Frame) bool, len(cfg.Machines)),
+		routeTab:  make([]map[Addr]int, len(cfg.Machines)),
+		crashAt:   make([]sim.Cycles, len(cfg.Machines)),
+		restartAt: make([]sim.Cycles, len(cfg.Machines)),
+		crashed:   make([]bool, len(cfg.Machines)),
+		prior:     make([][]*kernel.Machine, len(cfg.Machines)),
 	}
 	freq := cfg.Machines[0].Config.CPUHz
 	if freq == 0 {
@@ -715,6 +852,13 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			seenNames[ms.Name] = i
 		}
+		if ms.RestartAfter > 0 && ms.CrashAt == 0 {
+			return nil, fmt.Errorf("cluster: machine %d sets RestartAfter without CrashAt (nothing to restart)", i)
+		}
+		if ms.CrashAt > 0 && cfg.SharedSwap != nil {
+			return nil, fmt.Errorf("cluster: machine %d arms CrashAt under a shared swap device (crash/restart does not compose with cross-machine swap billing)", i)
+		}
+		c.crashAt[i] = ms.CrashAt
 		c.names[i] = ms.Name
 		c.service[i] = ms.Service
 		c.machines[i] = kernel.New(ms.Config)
@@ -767,6 +911,16 @@ func New(cfg Config) (*Cluster, error) {
 			c.Shutdown()
 			return nil, fmt.Errorf("cluster: link %d arms qdisc %q on an infinite-rate wire (no queue to schedule)", li, QdiscDRR)
 		}
+		if (ls.Flap != nil || ls.RevFlap != nil) && ls.Bottleneck != "" {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: link %d arms flap windows on bottleneck %q (a shared pipe cannot take per-link outages)", li, ls.Bottleneck)
+		}
+		for _, fs := range []*FlapSpec{ls.Flap, ls.RevFlap} {
+			if fs != nil && fs.DownUs == 0 {
+				c.Shutdown()
+				return nil, fmt.Errorf("cluster: link %d flap window has DownUs 0 (an outage must have a length)", li)
+			}
+		}
 		latUs := ls.LatencyUs
 		if latUs == 0 {
 			latUs = DefaultLatencyUs
@@ -808,14 +962,18 @@ func New(cfg Config) (*Cluster, error) {
 			pipe:    newPipe(freq, ls.PacketsPerSecond, ls.QueueDepth, ls.RED, pipeSeed+1, qdisc, ls.QuantumBytes, c.machines[ls.From].NIC()),
 		}
 		fwd.rev, rev.rev = rev, fwd
+		fwd.pipe.applyFlap(ls.Flap, perUs)
+		rev.pipe.applyFlap(ls.RevFlap, perUs)
+		fwd.downAt = cfg.Machines[ls.To].CrashAt
+		rev.downAt = cfg.Machines[ls.From].CrashAt
 		if fwdPipe.drr != nil {
 			fwd.tag = fwdPipe.register(fwd)
 		}
 		if rev.pipe.drr != nil {
 			rev.tag = rev.pipe.register(rev)
 		}
-		addRoute(ls.From, ls.To, c.machines[ls.From].NIC().AddTxRoute(fwd.Send))
-		addRoute(ls.To, ls.From, c.machines[ls.To].NIC().AddTxRoute(rev.Send))
+		addRoute(ls.From, ls.To, c.addTxRoute(ls.From, fwd.Send))
+		addRoute(ls.To, ls.From, c.addTxRoute(ls.To, rev.Send))
 		c.links = append(c.links, fwd)
 	}
 	for ri, rs := range cfg.Routes {
@@ -823,6 +981,17 @@ func New(cfg Config) (*Cluster, error) {
 			c.Shutdown()
 			return nil, fmt.Errorf("cluster: route %d: %w", ri, err)
 		}
+	}
+	// Snapshot every machine's post-wiring routing table so a
+	// restarted incarnation can be rewired identically.
+	for i, m := range c.machines {
+		tab := make(map[Addr]int)
+		for j := range c.machines {
+			if r, ok := m.NIC().RouteTo(Addr(j + 1)); ok {
+				tab[Addr(j+1)] = r
+			}
+		}
+		c.routeTab[i] = tab
 	}
 	// The lookahead is the shortest cross-machine signal flight time:
 	// one round may only span a window narrower than it. With no
@@ -853,6 +1022,15 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// addTxRoute registers a link direction's Send as a transmit route on
+// machine on's NIC, recording it so a restarted incarnation can replay
+// the registrations in the same order (route indices must survive a
+// reboot: the routing-table snapshot refers to them).
+func (c *Cluster) addTxRoute(on int, send func(Frame) bool) int {
+	c.txRoutes[on] = append(c.txRoutes[on], send)
+	return c.machines[on].NIC().AddTxRoute(send)
 }
 
 // redEqual compares two RED resolutions for bottleneck agreement.
@@ -1007,15 +1185,30 @@ func (c *Cluster) Now() sim.Cycles {
 func (c *Cluster) Run() error {
 	for {
 		// The barrier base: the earliest time any unfinished machine
-		// can make progress on its own.
+		// can make progress on its own. A pending crash is scheduled
+		// work even when the machine is blocked on network input — it
+		// must die on time whether or not it would ever have run again
+		// — and a crashed machine with a reboot pending has that
+		// reboot as its next work. Without either clause a scheduled
+		// failure on the barrier's min machine would wedge Run.
 		var tmin sim.Cycles
 		haveWork, allDone := false, true
 		for i, m := range c.machines {
 			if c.done[i] {
+				if at := c.restartAt[i]; at > 0 {
+					allDone = false
+					if !haveWork || at < tmin {
+						tmin = at
+					}
+					haveWork = true
+				}
 				continue
 			}
 			allDone = false
 			at, ok := m.NextWorkAt()
+			if ca := c.crashAt[i]; ca > 0 && (!ok || ca < at) {
+				at, ok = ca, true
+			}
 			if !ok {
 				continue // waiting for network input
 			}
@@ -1057,20 +1250,147 @@ func (c *Cluster) Run() error {
 			c.Shutdown()
 			return fmt.Errorf("cluster: exceeded %d virtual cycles (runaway scenario?)", c.maxCycles)
 		}
+		// Reboot any crashed machine whose restart instant this round
+		// reaches, before the round runs: the fresh incarnation then
+		// advances with everyone else.
+		for i := range c.machines {
+			if at := c.restartAt[i]; at > 0 && at <= target {
+				if err := c.restart(i, at); err != nil {
+					c.Shutdown()
+					return err
+				}
+			}
+		}
 		// Fixed machine order per round keeps cross-machine event
 		// insertion — and therefore the whole history — deterministic.
 		for i, m := range c.machines {
 			if c.done[i] {
 				continue
 			}
-			done, err := m.RunUntil(target)
+			limit := target
+			if ca := c.crashAt[i]; ca > 0 && ca < limit {
+				limit = ca
+			}
+			done, err := m.RunUntil(limit)
 			if err != nil {
 				c.Shutdown()
 				return fmt.Errorf("cluster: machine %d: %w", i, err)
 			}
 			c.done[i] = done
+			if done {
+				// Finished naturally ahead of any scheduled crash:
+				// nothing left to kill.
+				c.crashAt[i] = 0
+				continue
+			}
+			if ca := c.crashAt[i]; ca > 0 && ca <= limit {
+				c.crash(i)
+			}
 		}
 	}
+}
+
+// crash takes machine i's scheduled failure: the machine is torn down
+// mid-run — in-flight guests unwound, pending events (kick timers
+// included) dead — and any configured reboot is armed. Frames heading
+// toward it were already written off at the wire by the link's downAt
+// horizon, so Sent = Delivered + Dropped + Queued holds through the
+// failure.
+func (c *Cluster) crash(i int) {
+	c.machines[i].Shutdown()
+	c.done[i] = true
+	c.crashed[i] = true
+	if ra := c.specs[i].RestartAfter; ra > 0 {
+		c.restartAt[i] = c.crashAt[i] + ra
+	}
+	c.crashAt[i] = 0
+}
+
+// restart boots a fresh incarnation of crashed machine i at virtual
+// time at: a new kernel.Machine from the original spec, its clock
+// fast-forwarded to the reboot instant via Config.BootAt (first timer
+// tick one jiffy later), rewired exactly like the original — same
+// fabric address, transmit routes replayed in registration order,
+// routing table restored from the post-wiring snapshot — with every
+// link re-pointed at it and any DRR pipe whose service timer lived on
+// the dead incarnation re-homed. Task state is fresh (the spec's Boot
+// runs again); ledgers are per-incarnation, so cumulative accounting
+// sums over Incarnations.
+func (c *Cluster) restart(i int, at sim.Cycles) error {
+	old := c.machines[i]
+	c.prior[i] = append(c.prior[i], old)
+	mcfg := c.specs[i].Config
+	mcfg.BootAt = at
+	m := kernel.New(mcfg)
+	m.NIC().SetAddr(Addr(i + 1))
+	for _, send := range c.txRoutes[i] {
+		m.NIC().AddTxRoute(send)
+	}
+	for j := range c.machines {
+		if r, ok := c.routeTab[i][Addr(j+1)]; ok {
+			m.NIC().SetRoute(Addr(j+1), r)
+		}
+	}
+	oldNIC := old.NIC()
+	for _, l := range c.links {
+		for _, d := range [2]*Link{l, l.rev} {
+			if d.from == old {
+				d.from = m
+			}
+			if d.to == old {
+				d.to = m
+				// Frames written off while the machine was down stay
+				// dropped; the revived machine takes new traffic.
+				d.downAt = 0
+			}
+			if p := d.pipe; p.drr != nil && p.home == oldNIC {
+				// The pipe's kick timer died with the old incarnation:
+				// re-home it and pick the backlog back up. Nobody
+				// served the wire while the home was dead, so the
+				// committed horizon resumes no earlier than the reboot
+				// instant (also keeping the fresh event queue free of
+				// past-time events).
+				p.home = m.NIC()
+				p.kickArmed = false
+				if p.busyUntil < at {
+					p.busyUntil = at
+				}
+				p.armKick()
+			}
+		}
+	}
+	c.machines[i] = m
+	c.done[i] = false
+	c.restartAt[i] = 0
+	if boot := c.specs[i].Boot; boot != nil {
+		if err := boot(c, m); err != nil {
+			return fmt.Errorf("cluster: reboot machine %d at cycle %d: %w", i, at, err)
+		}
+	}
+	return nil
+}
+
+// Crashed reports whether machine i took its scheduled crash. It
+// stays true across a restart — the current incarnation is a reboot.
+func (c *Cluster) Crashed(i int) bool {
+	if i < 0 || i >= len(c.crashed) {
+		panic(fmt.Sprintf("cluster: Crashed(%d) out of range: cluster has %d machines (0..%d)", i, len(c.crashed), len(c.crashed)-1))
+	}
+	return c.crashed[i]
+}
+
+// Incarnations returns every kernel machine that has served as member
+// i: retired incarnations oldest-first, the current one last (a
+// machine that never crashed has exactly one). A ledger that must
+// survive a crash — a billing scheme's cumulative charge, an
+// interrupt count — is the sum over incarnations.
+func (c *Cluster) Incarnations(i int) []*kernel.Machine {
+	if i < 0 || i >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: Incarnations(%d) out of range: cluster has %d machines (0..%d)", i, len(c.machines), len(c.machines)-1))
+	}
+	out := make([]*kernel.Machine, 0, len(c.prior[i])+1)
+	out = append(out, c.prior[i]...)
+	return append(out, c.machines[i])
 }
 
 // Shutdown tears down every machine's guest goroutines. Run calls it
@@ -1105,11 +1425,24 @@ func Forwarder(lookup sim.Cycles) guest.Routine {
 	return func(ctx guest.Context) {
 		self := ctx.NetAddr()
 		seen := uint64(0)
+		// Retry budget against injected read/sendto faults: generous
+		// enough to outlast a transient, bounded so a hard-faulted
+		// router drops the frame and moves on instead of wedging the
+		// fabric. With no faults configured the retry wrappers never
+		// touch the clock, so healthy histories replay bit-for-bit.
+		budget := 64 * lookup
+		if budget < 1<<16 {
+			budget = 1 << 16
+		}
 		for {
 			seen = ctx.NetRxWait(seen)
 			for {
-				f, ok := ctx.NetRecv()
-				if !ok {
+				f, ok, err := guest.RecvRetry(ctx, budget)
+				if err != nil || !ok {
+					// A persistent read fault leaves the frame buffered
+					// (err, not ok, distinguishes it from a drained
+					// queue); the next delivery wakes the daemon to
+					// try again.
 					break
 				}
 				if lookup > 0 {
@@ -1118,7 +1451,9 @@ func Forwarder(lookup sim.Cycles) guest.Routine {
 				if f.Dst == self {
 					continue // addressed to the router itself: consumed
 				}
-				ctx.NetForward(f)
+				// A forward still failing after the budget is this
+				// router's drop; recovery belongs to the end hosts.
+				guest.ForwardRetry(ctx, f, budget)
 			}
 		}
 	}

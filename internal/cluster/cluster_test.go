@@ -318,11 +318,11 @@ func TestBidirectionalReplyDelivers(t *testing.T) {
 						Name:    "sender",
 						Content: "sender v1",
 						Body: func(ctx guest.Context) {
-							if !ctx.NetSend(guest.Frame{Dst: peer, Flow: 42}) {
+							if ok, _ := ctx.NetSend(guest.Frame{Dst: peer, Flow: 42}); !ok {
 								t.Error("forward send dropped on an idle wire")
 							}
 							gotAck = ctx.NetRxWait(0)
-							ackFrame, _ = ctx.NetRecv()
+							ackFrame, _, _ = ctx.NetRecv()
 						},
 					})
 					return err
@@ -336,11 +336,11 @@ func TestBidirectionalReplyDelivers(t *testing.T) {
 						Content: "echod v1",
 						Body: func(ctx guest.Context) {
 							ctx.NetRxWait(0)
-							f, ok := ctx.NetRecv()
+							f, ok, _ := ctx.NetRecv()
 							if !ok {
 								t.Error("no frame behind the rx interrupt")
 							}
-							if !ctx.NetSend(guest.Frame{Dst: f.Src, Flow: f.Flow}) {
+							if ok, _ := ctx.NetSend(guest.Frame{Dst: f.Src, Flow: f.Flow}); !ok {
 								t.Error("reverse send dropped on an idle wire")
 							}
 						},

@@ -31,7 +31,7 @@ func TestForwarderRoutesAcrossHops(t *testing.T) {
 						Content: "sender v1",
 						Body: func(ctx guest.Context) {
 							for i := 0; i < frames; i++ {
-								if !ctx.NetSend(guest.Frame{Dst: dst, Flow: 9}) {
+								if ok, _ := ctx.NetSend(guest.Frame{Dst: dst, Flow: 9}); !ok {
 									t.Error("send refused on an open routed path")
 								}
 							}
@@ -72,7 +72,7 @@ func TestForwarderRoutesAcrossHops(t *testing.T) {
 							for len(got) < frames {
 								seen = ctx.NetRxWait(seen)
 								for {
-									f, ok := ctx.NetRecv()
+									f, ok, _ := ctx.NetRecv()
 									if !ok {
 										break
 									}

@@ -28,7 +28,10 @@ func floodBody(freq sim.Hz, pps, packets uint64, frame guest.Frame) guest.Routin
 	return func(ctx guest.Context) {
 		var frac uint64
 		for n := uint64(0); n < packets; n++ {
-			ctx.NetSend(frame)
+			// A transient injected fault retries within half a period;
+			// a hard fault (or exhausted budget) forfeits this slot —
+			// an attacker's lost packet is nobody's problem.
+			guest.SendRetry(ctx, frame, base/2)
 			interval := base
 			frac += rem
 			if frac >= pps {
@@ -103,8 +106,15 @@ type AckFlowStats struct {
 	// instant, comparable across qdisc configurations.
 	DoneAt sim.Cycles
 	// GaveUp reports the sender abandoning the transfer with its send
-	// budget exhausted and no acks arriving.
+	// budget exhausted and no acks arriving — or its sends failing
+	// persistently under injected faults.
 	GaveUp bool
+	// SendErrors counts sends that failed with an injected syscall
+	// fault even after the retry budget (zero on healthy machines).
+	SendErrors uint64
+	// RecvErrors counts polls that died on an injected read fault;
+	// the acks stay buffered and a later poll drains them.
+	RecvErrors uint64
 }
 
 // AckPacedSender returns the flow's sending guest. stats must outlive
@@ -127,6 +137,7 @@ func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
 		window := maxW
 		var sent, acked, lost uint64
 		idle := 0
+		sendFails := 0
 		var lastProgress sim.Cycles
 		if useClock {
 			lastProgress = ctx.ClockNow()
@@ -134,7 +145,14 @@ func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
 		for acked < cfg.Frames {
 			progress := false
 			for {
-				f, ok := ctx.NetRecv()
+				f, ok, err := ctx.NetRecv()
+				if err != nil {
+					// Injected read fault: the acks stay buffered, so
+					// surface the error and re-poll after a pace tick
+					// instead of mistaking the fault for a drained queue.
+					stats.RecvErrors++
+					break
+				}
 				if !ok {
 					break
 				}
@@ -170,7 +188,24 @@ func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
 				outstanding = 0
 			}
 			if sent < budget && uint64(outstanding) < window {
-				ctx.NetSend(guest.Frame{Dst: cfg.Peer, Flow: cfg.Flow, ECN: true, Bytes: cfg.FrameBytes})
+				_, err := guest.SendRetry(ctx,
+					guest.Frame{Dst: cfg.Peer, Flow: cfg.Flow, ECN: true, Bytes: cfg.FrameBytes},
+					4*cfg.PaceCycles)
+				if err != nil {
+					// The frame never left: it is not outstanding, so do
+					// not count it sent. Persistent failure (a hard EIO
+					// device, or 100% injection) abandons the transfer
+					// instead of spinning forever.
+					stats.SendErrors++
+					sendFails++
+					if sendFails >= idleLimit {
+						stats.GaveUp = true
+						break
+					}
+					ctx.Sleep(cfg.PaceCycles)
+					continue
+				}
+				sendFails = 0
 				sent++
 				ctx.Sleep(cfg.PaceCycles)
 				continue
@@ -222,15 +257,27 @@ func AckEcho(flow uint32) guest.Routine {
 		for {
 			seen = ctx.NetRxWait(seen)
 			for {
-				f, ok := ctx.NetRecv()
-				if !ok {
+				// Retry transient injected faults briefly so a buffered
+				// data frame is not stranded behind a fault until the
+				// next delivery wakes the daemon.
+				f, ok, err := guest.RecvRetry(ctx, ackEchoRetryCycles)
+				if err != nil || !ok {
 					break
 				}
 				if f.Flow != flow {
 					continue
 				}
-				ctx.NetSend(guest.Frame{Dst: f.Src, Flow: f.Flow, ECN: true, ECE: f.CE})
+				// A persistently failing ack send is dropped: the
+				// sender's retransmission timeout owns recovery.
+				guest.SendRetry(ctx,
+					guest.Frame{Dst: f.Src, Flow: f.Flow, ECN: true, ECE: f.CE},
+					ackEchoRetryCycles)
 			}
 		}
 	}
 }
+
+// ackEchoRetryCycles bounds the echo daemon's backoff on an injected
+// fault: long enough to outlast a transient, far shorter than any
+// sender's retransmission timeout.
+const ackEchoRetryCycles sim.Cycles = 1 << 16

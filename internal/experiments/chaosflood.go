@@ -1,0 +1,517 @@
+// Chaos flood: the routed-flood scenario of routerflood.go run under
+// injected infrastructure faults — seeded syscall error injection on
+// every machine, a scheduled mid-flood crash (and optional reboot) of
+// the router, and outage windows flapping the victim's egress wire.
+// The artifact's question is billing *integrity*: when the fabric
+// itself misbehaves, does every accounting scheme's ledger still
+// balance? Per-link conservation (Sent = Delivered + Dropped +
+// Queued) must hold through the crash, per-machine bills must stay
+// monotone across incarnations, and with every fault probability
+// zero the scenario must replay the healthy history bit-for-bit.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+)
+
+// ChaosSpec is the fault-injection overlay on a routed-flood
+// scenario. The zero value injects nothing and schedules nothing.
+type ChaosSpec struct {
+	// FaultPPM is each configured syscall's injection probability in
+	// parts per million (0..kernel.PPMScale), applied on every
+	// machine from its own seeded stream; zero injects nothing.
+	FaultPPM uint32
+	// FaultSyscalls lists the syscalls that take injection; empty
+	// selects ["sendto", "read"] — the fabric-facing pair.
+	FaultSyscalls []string
+	// FaultErrno names the injected errno: "eagain" (default,
+	// transient — guests retry), "enomem" (transient), or "eio"
+	// (hard — guests give up at once).
+	FaultErrno string
+	// RouterCrashSec, when nonzero, kills the router machine that
+	// many virtual seconds into the run.
+	RouterCrashSec float64
+	// RouterRestartSec, when nonzero, reboots the router that many
+	// virtual seconds after the crash with fresh task state (the
+	// forwarding daemon is respawned; its pre-crash bill survives
+	// only in the retired incarnation's ledger). Requires
+	// RouterCrashSec.
+	RouterRestartSec float64
+	// VictimFlap, when non-nil, arms outage windows on the
+	// router→victim egress wire's forward direction.
+	VictimFlap *cluster.FlapSpec
+}
+
+// chaosErrno resolves a ChaosSpec errno name.
+func chaosErrno(name string) (guest.Errno, error) {
+	switch name {
+	case "", "eagain":
+		return guest.EAGAIN, nil
+	case "enomem":
+		return guest.ENOMEM, nil
+	case "eio":
+		return guest.EIO, nil
+	}
+	return 0, fmt.Errorf("chaosflood: unknown fault errno %q (have eio, eagain, enomem)", name)
+}
+
+// faultSpec builds one machine's kernel fault table from the overlay
+// (nil when no injection is configured, which keeps the kernel's
+// zero-fault fast path and its bit-for-bit guarantee).
+func (cs ChaosSpec) faultSpec() (*kernel.FaultSpec, error) {
+	if cs.FaultPPM == 0 {
+		return nil, nil
+	}
+	errno, err := chaosErrno(cs.FaultErrno)
+	if err != nil {
+		return nil, err
+	}
+	names := cs.FaultSyscalls
+	if len(names) == 0 {
+		names = []string{"sendto", "read"}
+	}
+	fs := &kernel.FaultSpec{}
+	for _, name := range names {
+		fs.Syscalls = append(fs.Syscalls, kernel.SyscallFault{
+			Name: name, Errno: errno, ProbPPM: cs.FaultPPM,
+		})
+	}
+	if err := fs.Validate(); err != nil {
+		return nil, fmt.Errorf("chaosflood: %w", err)
+	}
+	return fs, nil
+}
+
+// ChaosFloodSpec is one chaos scenario: a routed flood plus the
+// fault overlay.
+type ChaosFloodSpec struct {
+	Flood RouterFloodSpec
+	Chaos ChaosSpec
+}
+
+// LinkAccounting is one link direction's conservation ledger.
+type LinkAccounting struct {
+	Name                             string
+	Sent, Delivered, Dropped, Queued uint64
+}
+
+// Balanced reports the per-link conservation identity — every frame
+// offered is delivered, dropped, or still queued, crashes and
+// outages included.
+func (la LinkAccounting) Balanced() bool {
+	return la.Sent == la.Delivered+la.Dropped+la.Queued
+}
+
+// ChaosFloodOut is one chaos scenario's harvest.
+type ChaosFloodOut struct {
+	Spec   ChaosFloodSpec
+	Victim ClusterVictimOut
+	// Router is the forwarding daemon's accounted time across
+	// schemes, summed over every router incarnation — the cumulative
+	// bill that must stay monotone through crash and reboot.
+	Router PartyUsage
+	// RouterIncarnations counts router machines that served (1 on a
+	// healthy run, 2 after a crash+restart); RouterCrashed reports
+	// the scheduled crash actually fired.
+	RouterIncarnations int
+	RouterCrashed      bool
+	// RouterForwarded counts frames retransmitted across all router
+	// incarnations.
+	RouterForwarded uint64
+	// FaultsInjected sums injected syscall errors over every machine
+	// (incarnations included); zero on a zero-PPM run by
+	// construction.
+	FaultsInjected uint64
+	// Flow is the well-behaved transfer's harvest.
+	Flow AckFlowStats
+	// Links holds both directions of every declared link, in
+	// declaration order (forward then reverse).
+	Links []LinkAccounting
+	// ElapsedSec is the slowest machine's virtual wall time.
+	ElapsedSec float64
+}
+
+// Unbalanced returns the names of link directions whose conservation
+// identity fails (empty on every honest run).
+func (out *ChaosFloodOut) Unbalanced() []string {
+	var bad []string
+	for _, la := range out.Links {
+		if !la.Balanced() {
+			bad = append(bad, la.Name)
+		}
+	}
+	return bad
+}
+
+// RunChaosFlood executes one chaos scenario. The topology is the
+// routed flood's: machines 0..A-1 attackers, A the flow sender, A+1
+// the router (crash/restart target), A+2 the victim host.
+func RunChaosFlood(spec ChaosFloodSpec) (*ChaosFloodOut, error) {
+	fl := spec.Flood
+	cs := spec.Chaos
+	o := fl.Opts.norm()
+	if fl.Attackers < 1 {
+		return nil, fmt.Errorf("chaosflood: need at least one attacker machine, have %d", fl.Attackers)
+	}
+	if cs.RouterCrashSec < 0 || cs.RouterRestartSec < 0 {
+		return nil, fmt.Errorf("chaosflood: crash/restart times must be non-negative (crash %gs, restart %gs)", cs.RouterCrashSec, cs.RouterRestartSec)
+	}
+	if cs.RouterRestartSec > 0 && cs.RouterCrashSec == 0 {
+		return nil, fmt.Errorf("chaosflood: RouterRestartSec %gs without RouterCrashSec (nothing to restart)", cs.RouterRestartSec)
+	}
+	faults, err := cs.faultSpec()
+	if err != nil {
+		return nil, err
+	}
+	floodSec := fl.FloodSeconds
+	if floodSec == 0 {
+		s, err := (ClusterRunSpec{Victims: []ClusterVictim{fl.Victim}}).floodSeconds(o)
+		if err != nil {
+			return nil, err
+		}
+		floodSec = s
+	}
+	if cs.RouterCrashSec > 0 && cs.RouterCrashSec >= 4*floodSec {
+		return nil, fmt.Errorf("chaosflood: RouterCrashSec %gs is past the scenario horizon (~%gs flood): the crash would never land", cs.RouterCrashSec, floodSec)
+	}
+	tick := sim.Cycles(uint64(o.Freq) / o.HZ)
+	accts, err := victimAccountants(fl.Victim.Billing, tick)
+	if err != nil {
+		return nil, err
+	}
+	lookupUs := fl.RouterLookupUs
+	if lookupUs == 0 {
+		lookupUs = cluster.DefaultForwardUs
+	}
+	perUs := sim.Cycles(uint64(o.Freq) / 1_000_000)
+	crashAt := sim.Cycles(cs.RouterCrashSec * float64(o.Freq))
+	restartAfter := sim.Cycles(cs.RouterRestartSec * float64(o.Freq))
+
+	senderIdx := fl.Attackers
+	routerIdx := fl.Attackers + 1
+	victimIdx := fl.Attackers + 2
+
+	machines := make([]cluster.MachineSpec, 0, victimIdx+1)
+
+	// Attackers: non-ECN junk toward the victim, under injection like
+	// everyone else (their pktgen forfeits faulted slots).
+	pps := fl.PerAttackerPPS
+	for a := 0; a < fl.Attackers; a++ {
+		cfg := o.machineConfig()
+		cfg.Seed = clusterSeed(o.Seed, a)
+		cfg.Faults = faults
+		machines = append(machines, cluster.MachineSpec{
+			Name:   fmt.Sprintf("attacker-%d", a),
+			Config: cfg,
+			Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
+				if pps == 0 {
+					return nil // silent baseline
+				}
+				packets := uint64(floodSec * float64(pps))
+				_, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "pktgen",
+					Content: "junk-ip packet generator v3 (routed)",
+					Body:    floodBody(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(victimIdx)}),
+				})
+				return err
+			},
+		})
+	}
+
+	// Sender: the well-behaved flow, on the clock-driven timeout so a
+	// dead router makes it give up instead of polling forever.
+	flowStats := &AckFlowStats{}
+	senderCfg := o.machineConfig()
+	senderCfg.Seed = clusterSeed(o.Seed, senderIdx)
+	senderCfg.Faults = faults
+	machines = append(machines, cluster.MachineSpec{
+		Name:   "sender",
+		Config: senderCfg,
+		Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
+			if fl.FlowFrames == 0 {
+				return nil
+			}
+			_, err := m.Spawn(kernel.SpawnConfig{
+				Name:    "flowsend",
+				Content: "ack-paced ecn sender v1 (chaos-hardened)",
+				Body: AckPacedSender(AckFlowConfig{
+					Peer:          c.AddrOf(victimIdx),
+					Flow:          routerFloodFlowID,
+					Frames:        fl.FlowFrames,
+					Window:        fl.FlowWindow,
+					PaceCycles:    500 * perUs, // ≤2k pps offered
+					TimeoutCycles: 50_000 * perUs,
+				}, flowStats),
+			})
+			return err
+		},
+	})
+
+	// Router: the crash/restart target. Boot runs once per
+	// incarnation, so the daemon's PID is recorded per incarnation
+	// for the cumulative harvest.
+	var routerPIDs []proc.PID
+	routerCfg := o.machineConfig()
+	routerCfg.Seed = clusterSeed(o.Seed, routerIdx)
+	routerCfg.Faults = faults
+	machines = append(machines, cluster.MachineSpec{
+		Name:         "router",
+		Config:       routerCfg,
+		Service:      true,
+		CrashAt:      crashAt,
+		RestartAfter: restartAfter,
+		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
+			p, err := m.Spawn(kernel.SpawnConfig{
+				Name:    "fwd",
+				Content: "store-and-forward router daemon v1",
+				Body:    cluster.Forwarder(sim.Cycles(lookupUs) * perUs),
+			})
+			if p != nil {
+				routerPIDs = append(routerPIDs, p.PID)
+			}
+			return err
+		},
+	})
+
+	// Victim host: billed workload plus the flow's echo daemon.
+	var launch *launched
+	victimCfg := o.machineConfig()
+	victimCfg.Seed = clusterSeed(o.Seed, victimIdx)
+	victimCfg.Accountants = accts
+	victimCfg.Faults = faults
+	machines = append(machines, cluster.MachineSpec{
+		Name:    "victim",
+		Config:  victimCfg,
+		Service: fl.FlowFrames > 0,
+		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
+			if fl.FlowFrames > 0 {
+				if _, err := m.Spawn(kernel.SpawnConfig{
+					Name:    "echod",
+					Content: "per-flow ack echo daemon v1",
+					Body:    AckEcho(routerFloodFlowID),
+				}); err != nil {
+					return err
+				}
+			}
+			l, err := launchSpec(m, RunSpec{
+				Opts:       o,
+				Workload:   fl.Victim.Workload,
+				VictimNice: fl.Victim.Nice,
+			})
+			if err != nil {
+				return err
+			}
+			launch = l
+			return nil
+		},
+	})
+
+	// Routed star topology, flap armed on the congested egress hop.
+	links := make([]cluster.LinkSpec, 0, victimIdx)
+	linkNames := make([]string, 0, victimIdx)
+	for a := 0; a < fl.Attackers; a++ {
+		links = append(links, cluster.LinkSpec{From: a, To: routerIdx, LatencyUs: fl.LinkLatencyUs})
+		linkNames = append(linkNames, fmt.Sprintf("attacker-%d/router", a))
+	}
+	links = append(links, cluster.LinkSpec{From: senderIdx, To: routerIdx, LatencyUs: fl.LinkLatencyUs})
+	linkNames = append(linkNames, "sender/router")
+	links = append(links, cluster.LinkSpec{
+		From: routerIdx, To: victimIdx,
+		LatencyUs:        fl.LinkLatencyUs,
+		PacketsPerSecond: fl.EgressPPS,
+		QueueDepth:       fl.EgressQueueDepth,
+		RED:              fl.RED,
+		Flap:             cs.VictimFlap,
+	})
+	linkNames = append(linkNames, "router/victim")
+	routes := make([]cluster.RouteSpec, 0, fl.Attackers+2)
+	for a := 0; a < fl.Attackers; a++ {
+		routes = append(routes, cluster.RouteSpec{On: a, Dst: victimIdx, Via: routerIdx})
+	}
+	routes = append(routes,
+		cluster.RouteSpec{On: senderIdx, Dst: victimIdx, Via: routerIdx},
+		cluster.RouteSpec{On: victimIdx, Dst: senderIdx, Via: routerIdx},
+	)
+
+	cl, err := cluster.New(cluster.Config{Machines: machines, Links: links, Routes: routes})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Run(); err != nil {
+		return nil, fmt.Errorf("chaosflood %s: %w", chaosFloodKey(spec), err)
+	}
+	if launch.prog != nil && !launch.prog.Done {
+		return nil, fmt.Errorf("chaosflood %s: victim workload retired before completion (stalled behind the service daemon?)", chaosFloodKey(spec))
+	}
+
+	vm := cl.Machine(victimIdx)
+	billing := fl.Victim.Billing
+	if billing == "" {
+		billing = "jiffy"
+	}
+	out := &ChaosFloodOut{
+		Spec: spec,
+		Victim: ClusterVictimOut{
+			Billing:         billing,
+			Run:             launch.harvest(vm),
+			PacketsReceived: vm.NIC().Received(),
+		},
+		Router: PartyUsage{
+			Name: "fwd",
+			User: make(map[string]float64, len(Schemes)),
+			Sys:  make(map[string]float64, len(Schemes)),
+		},
+		RouterCrashed: cl.Crashed(routerIdx),
+		Flow:          *flowStats,
+		ElapsedSec:    clusterElapsedSec(cl),
+	}
+	incs := cl.Incarnations(routerIdx)
+	out.RouterIncarnations = len(incs)
+	for k, inc := range incs {
+		var pid proc.PID
+		if k < len(routerPIDs) {
+			pid = routerPIDs[k]
+		}
+		u := usageOf(inc, "fwd", pid)
+		for _, s := range Schemes {
+			out.Router.User[s] += u.User[s]
+			out.Router.Sys[s] += u.Sys[s]
+		}
+		out.RouterForwarded += inc.NIC().Transmitted()
+	}
+	if len(routerPIDs) > 0 {
+		out.Router.PID = routerPIDs[0]
+	}
+	for i := 0; i < cl.Size(); i++ {
+		for _, inc := range cl.Incarnations(i) {
+			out.FaultsInjected += inc.FaultsInjected()
+		}
+	}
+	for i := 0; i < cl.Links(); i++ {
+		fwd := cl.Link(i)
+		rev := fwd.Reverse()
+		out.Links = append(out.Links,
+			LinkAccounting{Name: linkNames[i] + "/fwd", Sent: fwd.Sent(), Delivered: fwd.Delivered(), Dropped: fwd.Dropped(), Queued: fwd.Queued()},
+			LinkAccounting{Name: linkNames[i] + "/rev", Sent: rev.Sent(), Delivered: rev.Delivered(), Dropped: rev.Dropped(), Queued: rev.Queued()},
+		)
+	}
+	return out, nil
+}
+
+func chaosFloodKey(spec ChaosFloodSpec) string {
+	return fmt.Sprintf("%d-attackers/%dpps/%dppm/crash@%gs",
+		spec.Flood.Attackers, spec.Flood.PerAttackerPPS, spec.Chaos.FaultPPM, spec.Chaos.RouterCrashSec)
+}
+
+// RunAllChaosFloods executes every scenario on its own lockstep
+// machine set across the campaign worker pool — the RunAll contract.
+func RunAllChaosFloods(specs []ChaosFloodSpec, parallelism int) ([]*ChaosFloodOut, error) {
+	outs := make([]*ChaosFloodOut, len(specs))
+	errs := make([]error, len(specs))
+	RunIndexed(len(specs), parallelism, func(i int) {
+		outs[i], errs[i] = RunChaosFlood(specs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chaosflood run %d (%s): %w", i, chaosFloodKey(specs[i]), err)
+		}
+	}
+	return outs, nil
+}
+
+// chaosFloodBase is the shared flood under every chaos scenario: the
+// routerflood artifact's worst case (two attackers at 20k pps each
+// through the RED-managed 30k-pps egress, alongside the ECN flow).
+func chaosFloodBase(o Options) RouterFloodSpec {
+	return RouterFloodSpec{
+		Opts:           o,
+		Attackers:      routerFloodAttackers,
+		PerAttackerPPS: 20_000,
+		Victim:         ClusterVictim{Workload: "O", Billing: "jiffy"},
+		EgressPPS:      routerFloodEgressPPS,
+		RED:            routerFloodRED(),
+		FlowFrames:     routerFloodFlowFrames,
+	}
+}
+
+// ChaosFlood regenerates the billing-integrity-under-faults artifact:
+// the routed flood run healthy, under 2% transient syscall faults,
+// with the router killed mid-flood, and with crash+reboot plus a
+// flapping victim egress. Every scenario's per-link conservation
+// identity and the router's cumulative per-scheme bill are rendered;
+// an unbalanced ledger anywhere is an error in the fabric, not a
+// rendering choice.
+func ChaosFlood(o Options) (*Figure, error) {
+	o = o.norm()
+	base := chaosFloodBase(o)
+	floodSec, err := (ClusterRunSpec{Victims: []ClusterVictim{base.Victim}}).floodSeconds(o)
+	if err != nil {
+		return nil, err
+	}
+	flap := &cluster.FlapSpec{
+		FirstDownUs: uint64(floodSec * 0.2 * 1e6),
+		DownUs:      uint64(floodSec * 0.05 * 1e6),
+		UpUs:        uint64(floodSec * 0.2 * 1e6),
+	}
+	scenarios := []struct {
+		label string
+		chaos ChaosSpec
+	}{
+		{"healthy", ChaosSpec{}},
+		{"2% faults", ChaosSpec{FaultPPM: 20_000}},
+		{"router crash", ChaosSpec{RouterCrashSec: floodSec * 0.45}},
+		{"crash+reboot+flap", ChaosSpec{
+			FaultPPM:         20_000,
+			RouterCrashSec:   floodSec * 0.3,
+			RouterRestartSec: floodSec * 0.15,
+			VictimFlap:       flap,
+		}},
+	}
+	specs := make([]ChaosFloodSpec, len(scenarios))
+	for i, sc := range scenarios {
+		specs[i] = ChaosFloodSpec{Flood: base, Chaos: sc.chaos}
+	}
+	outs, err := RunAllChaosFloods(specs, o.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("chaos flood: %w", err)
+	}
+
+	fig := &Figure{
+		ID:    "Chaos Flood",
+		Title: "Billing Integrity Under Faults (routed flood with syscall faults, router crash/reboot, link flap)",
+		Unit:  "CPU seconds (jiffy-billed on each owning machine, summed across incarnations)",
+	}
+	for i, sc := range scenarios {
+		out := outs[i]
+		fig.Bars = append(fig.Bars,
+			textplot.Bar{Group: "router-fwd", Label: sc.label, Segments: []textplot.Segment{
+				{Name: "user", Value: out.Router.User["jiffy"]},
+				{Name: "system", Value: out.Router.Sys["jiffy"]},
+			}},
+			textplot.Bar{Group: "victim-host", Label: sc.label, Segments: []textplot.Segment{
+				{Name: "user", Value: out.Victim.Run.Victim.User["jiffy"]},
+				{Name: "system", Value: out.Victim.Run.Victim.Sys["jiffy"]},
+			}},
+		)
+		ledger := "every link ledger balanced (Sent = Delivered + Dropped + Queued)"
+		if bad := out.Unbalanced(); len(bad) > 0 {
+			ledger = fmt.Sprintf("LEDGER VIOLATION on %v", bad)
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s: %d faults injected, router incarnations %d (crashed %v), forwarded %d; flow acked %d/%d (gave up %v, send errs %d); %s",
+			sc.label, out.FaultsInjected, out.RouterIncarnations, out.RouterCrashed,
+			out.RouterForwarded, out.Flow.Acked, routerFloodFlowFrames, out.Flow.GaveUp,
+			out.Flow.SendErrors, ledger))
+	}
+	fig.Notes = append(fig.Notes,
+		"expectation: killing the router mid-flood truncates its bill (the crashed incarnation's ledger survives) without breaking any link's conservation identity; injected faults shift work between retries and drops but never un-account a frame",
+	)
+	return fig, nil
+}

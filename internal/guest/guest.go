@@ -78,8 +78,11 @@ type Context interface {
 
 	// Syscall performs a generic kernel service of the named class
 	// ("read", "write", "stat", ...), charging syscall entry/exit
-	// plus the class's service time as system time.
-	Syscall(name string)
+	// plus the class's service time as system time. A non-nil error
+	// is an injected Errno from the machine's FaultSpec: the kernel
+	// performed (and billed) the full entry/service/exit path and
+	// then failed the request, exactly like a driver-level EIO.
+	Syscall(name string) error
 
 	// Fork creates a child process that runs body and then exits.
 	// Returns the child pid. The child inherits nice and env.
@@ -148,20 +151,28 @@ type Context interface {
 	// the sendto syscall plus the driver tx path as system time. It
 	// reports whether the frame was carried: false models
 	// ENOBUFS/EHOSTUNREACH-style local drop feedback — no route, a
-	// full queue on the wire, or a dead destination.
-	NetSend(f Frame) bool
+	// full queue on the wire, or a dead destination. A non-nil error
+	// is an injected sendto fault (FaultSpec): the syscall was billed
+	// but failed before reaching the driver, so the frame was never
+	// offered to the wire and carried is false.
+	NetSend(f Frame) (carried bool, err error)
 
 	// NetForward retransmits a frame as-is — Src preserved — toward
 	// f.Dst, the data plane of a forwarding router: the receiver of a
 	// forwarded frame still sees the original sender and can ack it
-	// across the hop. Charged like NetSend (sendto plus driver tx).
-	NetForward(f Frame) bool
+	// across the hop. Charged like NetSend (sendto plus driver tx),
+	// with the same injected-fault semantics.
+	NetForward(f Frame) (carried bool, err error)
 
 	// NetRecv pops the next received frame from the kernel's
 	// bounded receive buffer (charged as a read syscall). ok is
 	// false when the buffer is empty. Local flood packets and
 	// payload-less injections deliver interrupts but queue no frame.
-	NetRecv() (f Frame, ok bool)
+	// A non-nil error is an injected read fault: the syscall was
+	// billed, ok is false, and any buffered frame stays queued for
+	// the next attempt — err, not ok, distinguishes "fault" from
+	// "drained", so pollers must not treat a faulted read as empty.
+	NetRecv() (f Frame, ok bool, err error)
 
 	// NetAddr reads the machine's own fabric address (zero outside
 	// any fabric). A forwarding daemon uses it to consume frames

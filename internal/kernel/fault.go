@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+// PPMScale is the denominator of SyscallFault probabilities: one
+// million, so ProbPPM is parts-per-million.
+const PPMScale = 1_000_000
+
+// SyscallFault arms error injection for one syscall class: each
+// request of that class independently fails with the given errno at
+// ProbPPM parts-per-million probability. A zero ProbPPM entry is
+// inert — it is never installed, draws nothing from the fault stream,
+// and leaves the machine byte-identical to an unfaulted one.
+type SyscallFault struct {
+	Name    string
+	Errno   guest.Errno
+	ProbPPM uint32
+}
+
+// FaultSpec is the machine's chaos configuration: which syscalls can
+// fail and how often. Draws come from a dedicated splitmix64 stream
+// (never the machine's main rng), so arming faults perturbs only the
+// faulted requests and runs replay bit-for-bit for a given Seed.
+type FaultSpec struct {
+	// Seed seeds the fault stream; zero derives one from the machine
+	// seed so distinct machines draw distinct fault histories.
+	Seed int64
+	// Syscalls lists the armed fault points.
+	Syscalls []SyscallFault
+}
+
+// Validate reports the first malformed entry: an unknown errno or a
+// probability past PPMScale. Upper layers (cluster specs, CLI flags)
+// call it to turn bad configs into usage errors before New panics.
+func (s *FaultSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, sf := range s.Syscalls {
+		if sf.ProbPPM > PPMScale {
+			return fmt.Errorf("fault %q: probability %d ppm exceeds %d", sf.Name, sf.ProbPPM, PPMScale)
+		}
+		switch sf.Errno {
+		case guest.EIO, guest.EAGAIN, guest.ENOMEM:
+		default:
+			return fmt.Errorf("fault %q: unknown errno %d (want EIO/EAGAIN/ENOMEM)", sf.Name, sf.Errno)
+		}
+	}
+	return nil
+}
+
+// initFaults installs the spec's live entries. Like an unknown
+// scheduler policy, a malformed spec is a construction bug and
+// panics; validate ahead of New to get an error instead.
+func (m *Machine) initFaults(spec *FaultSpec) {
+	if spec == nil {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("kernel: %v", err))
+	}
+	for _, sf := range spec.Syscalls {
+		if sf.ProbPPM == 0 {
+			continue
+		}
+		if m.faults == nil {
+			m.faults = make(map[string]SyscallFault, len(spec.Syscalls))
+		}
+		m.faults[sf.Name] = sf
+	}
+	if m.faults == nil {
+		return
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		// Derive from the machine seed with an offset so the fault
+		// stream never aliases the machine's own rng stream.
+		seed = m.cfg.Seed*0x9e3779b9 + 0x7f4a7c15
+	}
+	m.faultRNG = sim.NewRand(seed)
+}
+
+// injectFault rolls the fault die for one request of the named
+// syscall class. Classes with no armed entry draw nothing, so an
+// unfaulted machine's histories are untouched.
+func (m *Machine) injectFault(name string) (guest.Errno, bool) {
+	if m.faults == nil {
+		return 0, false
+	}
+	sf, ok := m.faults[name]
+	if !ok {
+		return 0, false
+	}
+	if uint32(m.faultRNG.Int63n(PPMScale)) >= sf.ProbPPM {
+		return 0, false
+	}
+	m.faultsInjected++
+	return sf.Errno, true
+}
+
+// FaultsInjected reports how many syscalls this machine has failed
+// through its FaultSpec.
+func (m *Machine) FaultsInjected() uint64 { return m.faultsInjected }

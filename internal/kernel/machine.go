@@ -75,6 +75,15 @@ type Config struct {
 	// arriving with the buffer full are dropped there — input-queue
 	// overflow on a host that cannot keep up.
 	RxBufFrames uint64
+	// Faults arms seeded syscall error injection (see FaultSpec). Nil
+	// — or a spec whose probabilities are all zero — leaves every
+	// history byte-identical to an unfaulted machine.
+	Faults *FaultSpec
+	// BootAt starts the machine's clock at a later virtual time — the
+	// restart path of a crashed cluster machine, whose replacement
+	// must join the fabric at the instant it rebooted rather than at
+	// cycle zero. The first timer tick fires at BootAt + one jiffy.
+	BootAt sim.Cycles
 }
 
 // Machine is one simulated host.
@@ -113,6 +122,12 @@ type Machine struct {
 	rxHead    int
 	rxLen     int
 	rxDropped uint64
+
+	// Fault injection (Config.Faults): armed entries by syscall class,
+	// the dedicated draw stream, and the injected-failure count.
+	faults         map[string]SyscallFault
+	faultRNG       *sim.Rand
+	faultsInjected uint64
 
 	needResched bool
 	closed      bool
@@ -229,9 +244,16 @@ func New(cfg Config) *Machine {
 
 	m.nic = device.NewNIC(m.queue, m.clock, m.rng, m.nicRx)
 	m.disk = device.NewDisk(m.queue, m.clock, mem.DiskLatency(cfg.CPUHz))
+	m.initFaults(cfg.Faults)
+
+	// A restarted machine boots mid-history: fast-forward the clock to
+	// the boot instant before arming anything.
+	if cfg.BootAt > 0 {
+		m.cpu.Idle(cfg.BootAt)
+	}
 
 	// Arm the periodic timer.
-	m.nextTickAt = m.tickCycles
+	m.nextTickAt = m.clock.Now() + m.tickCycles
 	m.queue.Schedule(m.nextTickAt, sim.KindTimer, m.timerFire)
 	return m
 }

@@ -30,13 +30,13 @@ func TestNetSendRoutesAndCounters(t *testing.T) {
 	var acks, nacks int
 	if _, err := m.Spawn(SpawnConfig{Name: "sender", Body: func(ctx guest.Context) {
 		for i := 0; i < 4; i++ {
-			if ctx.NetSend(guest.Frame{Dst: peer}) {
+			if ok, _ := ctx.NetSend(guest.Frame{Dst: peer}); ok {
 				acks++
 			} else {
 				nacks++
 			}
 		}
-		if ctx.NetSend(guest.Frame{Dst: 9}) { // no route to this address
+		if ok, _ := ctx.NetSend(guest.Frame{Dst: 9}); ok { // no route to this address
 			t.Error("NetSend to unrouted destination reported carried")
 		}
 	}}); err != nil {
@@ -97,13 +97,13 @@ func TestNetRecvDrainsFramesInArrivalOrder(t *testing.T) {
 			seen = ctx.NetRxWait(seen)
 		}
 		for {
-			f, ok := ctx.NetRecv()
+			f, ok, _ := ctx.NetRecv()
 			if !ok {
 				break
 			}
 			got = append(got, f)
 		}
-		_, emptyOK = ctx.NetRecv()
+		_, emptyOK, _ = ctx.NetRecv()
 	}}); err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestNetForwardPreservesSource(t *testing.T) {
 		return true
 	}))
 	if _, err := m.Spawn(SpawnConfig{Name: "fwd", Body: func(ctx guest.Context) {
-		if !ctx.NetForward(guest.Frame{Src: origin, Dst: dst, Flow: 9}) {
+		if ok, _ := ctx.NetForward(guest.Frame{Src: origin, Dst: dst, Flow: 9}); !ok {
 			t.Error("NetForward dropped on an open route")
 		}
 		ctx.NetSend(guest.Frame{Src: origin, Dst: dst}) // Src must be overwritten
@@ -171,7 +171,7 @@ func TestRxBufferOverflowDrops(t *testing.T) {
 			seen = ctx.NetRxWait(seen)
 		}
 		for {
-			f, ok := ctx.NetRecv()
+			f, ok, _ := ctx.NetRecv()
 			if !ok {
 				break
 			}

@@ -64,6 +64,12 @@ func (m *Machine) beginRequest(t *task, r *request) {
 	case rqSyscall:
 		st.Syscalls++
 		m.chargedAdvance(m.syscallCost(r.name), cpu.Kernel, t)
+		// An injected fault fails the request after the full
+		// entry/service/exit path — the kernel did the work and then
+		// the device said no, so the billing is identical either way.
+		if e, hit := m.injectFault(r.name); hit {
+			r.err = e
+		}
 		m.grantNow(t)
 
 	case rqFork:
@@ -167,6 +173,15 @@ func (m *Machine) beginRequest(t *task, r *request) {
 
 	case rqNetSend:
 		st.Syscalls++
+		if e, hit := m.injectFault("sendto"); hit {
+			// The syscall fails before reaching the driver: entry/
+			// service/exit are billed but not the tx path, and the NIC
+			// never sees the frame.
+			m.chargedAdvance(m.syscallCost("sendto"), cpu.Kernel, t)
+			r.err = e
+			m.grantNow(t)
+			break
+		}
 		// sendto entry/service/exit, then the driver's tx path — ring
 		// descriptor fill and doorbell — all system time of the sender.
 		m.chargedAdvance(m.syscallCost("sendto")+c.NICTx, cpu.Kernel, t)
@@ -177,6 +192,12 @@ func (m *Machine) beginRequest(t *task, r *request) {
 
 	case rqNetForward:
 		st.Syscalls++
+		if e, hit := m.injectFault("sendto"); hit {
+			m.chargedAdvance(m.syscallCost("sendto"), cpu.Kernel, t)
+			r.err = e
+			m.grantNow(t)
+			break
+		}
 		// Same driver path as a send; the frame's Src is preserved so
 		// the next hop still sees the original sender.
 		m.chargedAdvance(m.syscallCost("sendto")+c.NICTx, cpu.Kernel, t)
@@ -186,6 +207,13 @@ func (m *Machine) beginRequest(t *task, r *request) {
 	case rqNetRecv:
 		st.Syscalls++
 		m.chargedAdvance(m.syscallCost("read"), cpu.Kernel, t)
+		if e, hit := m.injectFault("read"); hit {
+			// The read fails after the billed service; any buffered
+			// frame stays queued for the retry.
+			r.err = e
+			m.grantNow(t)
+			break
+		}
 		r.frame, r.wok = m.popRxFrame()
 		m.grantNow(t)
 

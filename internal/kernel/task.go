@@ -326,8 +326,9 @@ func (c *guestCtx) callSym(fn string, args []uint64) uint64 {
 	return f(c, args)
 }
 
-func (c *guestCtx) Syscall(name string) {
-	c.do(request{kind: rqSyscall, name: name})
+func (c *guestCtx) Syscall(name string) error {
+	r := c.do(request{kind: rqSyscall, name: name})
+	return r.err
 }
 
 func (c *guestCtx) Fork(name string, body guest.Routine) proc.PID {
@@ -404,19 +405,19 @@ func (c *guestCtx) ClockNow() sim.Cycles {
 	return sim.Cycles(r.ret)
 }
 
-func (c *guestCtx) NetSend(f guest.Frame) bool {
+func (c *guestCtx) NetSend(f guest.Frame) (bool, error) {
 	r := c.do(request{kind: rqNetSend, frame: f})
-	return r.wok
+	return r.wok, r.err
 }
 
-func (c *guestCtx) NetForward(f guest.Frame) bool {
+func (c *guestCtx) NetForward(f guest.Frame) (bool, error) {
 	r := c.do(request{kind: rqNetForward, frame: f})
-	return r.wok
+	return r.wok, r.err
 }
 
-func (c *guestCtx) NetRecv() (guest.Frame, bool) {
+func (c *guestCtx) NetRecv() (guest.Frame, bool, error) {
 	r := c.do(request{kind: rqNetRecv})
-	return r.frame, r.wok
+	return r.frame, r.wok, r.err
 }
 
 func (c *guestCtx) NetAddr() guest.Addr {

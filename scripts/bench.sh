@@ -14,9 +14,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# The pinned gate set: the kernel hot path and the two heaviest
-# cluster artifacts (the routed fabric and the qdisc layer).
-PINNED='BenchmarkMachineSteps|BenchmarkRouterFlood|BenchmarkFairFlood'
+# The pinned gate set: the kernel hot path and the heaviest cluster
+# artifacts (the routed fabric, the qdisc layer, and the chaos
+# overlay with its crash/restart machinery).
+PINNED='BenchmarkMachineSteps|BenchmarkRouterFlood|BenchmarkFairFlood|BenchmarkChaosFlood'
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-30}"
 
 if [ "${1:-}" = "--check" ]; then

@@ -49,6 +49,20 @@ say "cluster ewma red + drr"
 say "cluster fifo explicit"
 "$BIN" cluster -victims O -pps 8000 -link-pps 20000 -qdisc fifo -scale "$SCALE" >/dev/null
 
+# Chaos mode across the fault-injection surface: healthy, transient
+# syscall faults, a mid-flood router crash, and the full overlay with
+# reboot plus a flapping egress. The command exits nonzero on any
+# conservation-ledger violation, so these double as integrity gates.
+say "chaos healthy"
+"$BIN" chaos -pps 10000 -scale "$SCALE" >/dev/null
+say "chaos transient faults"
+"$BIN" chaos -pps 10000 -fault-ppm 20000 -fault-syscalls sendto,read -fault-errno eagain -scale "$SCALE" >/dev/null
+say "chaos router crash"
+"$BIN" chaos -pps 10000 -crash-at 0.15 -scale "$SCALE" >/dev/null
+say "chaos crash+reboot+flap"
+"$BIN" chaos -pps 10000 -fault-ppm 20000 -crash-at 0.15 -restart-after 0.08 \
+    -flap 0.1:0.03:0.1 -scale "$SCALE" >/dev/null
+
 # The parallel campaign engine end to end (every artifact, all cores).
 say "all"
 "$BIN" all -scale "$SCALE" >/dev/null
