@@ -315,6 +315,10 @@ func (f chaosFlags) chaosSpec() (cpumeter.ChaosSpec, error) {
 			if c == "" {
 				return cs, fmt.Errorf("chaos: -fault-syscalls %q has an empty entry (want e.g. \"sendto,read\")", f.faultCalls)
 			}
+			if !cpumeter.IsKnownSyscall(c) {
+				return cs, fmt.Errorf("chaos: -fault-syscalls entry %q is not a known syscall (known: %s)",
+					c, strings.Join(cpumeter.KnownSyscallNames(), ", "))
+			}
 			calls = append(calls, c)
 		}
 	}

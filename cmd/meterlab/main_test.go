@@ -61,6 +61,7 @@ func TestChaosFlagValidation(t *testing.T) {
 		{"errno without ppm", []string{"chaos", "-fault-errno", "eio"}, "without -fault-ppm"},
 		{"unknown errno", []string{"chaos", "-fault-ppm", "100", "-fault-errno", "ebadf"}, "unknown -fault-errno"},
 		{"empty syscall entry", []string{"chaos", "-fault-ppm", "100", "-fault-syscalls", "sendto,,read"}, "empty entry"},
+		{"typo'd syscall name", []string{"chaos", "-fault-ppm", "100", "-fault-syscalls", "sendto,sendot"}, "not a known syscall"},
 		{"negative crash time", []string{"chaos", "-crash-at", "-1"}, ">= 0"},
 		{"negative restart time", []string{"chaos", "-crash-at", "1", "-restart-after", "-0.5"}, ">= 0"},
 		{"restart without crash", []string{"chaos", "-restart-after", "0.5"}, "requires -crash-at"},

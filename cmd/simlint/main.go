@@ -1,0 +1,21 @@
+// Simlint is the repo's determinism and billing-integrity linter: a
+// vet-protocol multichecker over the analyzers in
+// internal/analysis/passes. Build it once, then let `go vet` drive
+// it across the module:
+//
+//	go build -o bin/simlint ./cmd/simlint
+//	go vet -vettool=$(pwd)/bin/simlint ./...
+//
+// or run both steps through scripts/lint.sh. Individual analyzers
+// can be selected the usual vet way, e.g.
+// `go vet -vettool=... -mapiter ./...`.
+package main
+
+import (
+	"repro/internal/analysis/simlint"
+	"repro/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(simlint.All()...)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/simlint"
+)
+
+// passesDir is where analyzer packages live, relative to this
+// package's directory (the test working directory).
+const passesDir = "../../internal/analysis/passes"
+
+// helperPkgs are packages under passes/ that export no Analyzer.
+var helperPkgs = map[string]bool{
+	"guestapi": true,
+}
+
+// TestSuiteRegistersEveryAnalyzer pins the binary's contents: every
+// analyzer package under internal/analysis/passes must be enrolled in
+// simlint.All() under its directory name, and the suite must be
+// well-formed. A pass that exists on disk but is missing here would
+// silently drop out of the binary, the CI gate, and scripts/lint.sh.
+func TestSuiteRegistersEveryAnalyzer(t *testing.T) {
+	suite := simlint.All()
+	if err := analysis.Validate(suite); err != nil {
+		t.Fatal(err)
+	}
+	registered := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no documentation", a.Name)
+		}
+		registered[a.Name] = true
+	}
+
+	entries, err := os.ReadDir(passesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := 0
+	for _, e := range entries {
+		if !e.IsDir() || helperPkgs[e.Name()] {
+			continue
+		}
+		onDisk++
+		if !registered[e.Name()] {
+			t.Errorf("analyzer package %s/%s is not registered in simlint.All()", passesDir, e.Name())
+		}
+	}
+	if len(suite) != onDisk {
+		t.Errorf("suite registers %d analyzers, %d analyzer packages on disk", len(suite), onDisk)
+	}
+}

@@ -156,6 +156,13 @@ type (
 // probabilities are expressed in (1e6 = certain injection).
 const FaultPPMScale = kernel.PPMScale
 
+// KnownSyscallNames returns the closed set of syscall-class names, in
+// sorted order, that fault specs and guest syscalls may use.
+func KnownSyscallNames() []string { return kernel.KnownSyscallNames() }
+
+// IsKnownSyscall reports whether name is in the syscall namespace.
+func IsKnownSyscall(name string) bool { return kernel.IsKnownSyscall(name) }
+
 // Queueing disciplines a link spec may select (LinkSpec.Qdisc and
 // FairFloodSpec.Qdisc): FIFO is the default starvable wire, DRR the
 // deficit-round-robin fair queue with per-flow byte quanta.

@@ -1,0 +1,137 @@
+// Package analysis is a self-contained reimplementation of the core
+// of golang.org/x/tools/go/analysis, built on the standard library
+// only. The repo's determinism and billing-integrity invariants (no
+// map-iteration order leaks, no wall-clock reads, no discarded guest
+// errnos, a closed syscall namespace) are enforced by custom
+// analyzers in internal/analysis/passes; this package gives them the
+// standard Analyzer/Pass/Diagnostic shape so they stay portable to
+// the upstream framework, and internal/analysis/unit drives them
+// under the `go vet -vettool` protocol.
+//
+// Only the subset the simlint suite needs is implemented: named
+// analyzers with doc strings, optional Requires dependencies whose
+// results flow through Pass.ResultOf, and position-carrying
+// diagnostics. Facts (cross-package information flow) are not
+// supported; every simlint analyzer is a single-unit check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name for selection on the
+// command line, documentation, optional prerequisite analyzers, and
+// the Run function that inspects a package and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in CLI flags and diagnostics. It
+	// must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation. The first line is used as
+	// a summary in flag listings.
+	Doc string
+
+	// Requires lists analyzers whose results this analyzer consumes
+	// via Pass.ResultOf. The graph must be acyclic.
+	Requires []*Analyzer
+
+	// Run inspects the package described by pass and reports
+	// diagnostics through pass.Report. The returned value is made
+	// available to dependents via ResultOf.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass describes one analyzer's single unit of work: one package,
+// parsed and type-checked.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type information for Files.
+	TypesInfo *types.Info
+
+	// ResultOf maps each analyzer in Analyzer.Requires to its result
+	// for this package.
+	ResultOf map[*Analyzer]any
+
+	// Report delivers one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+}
+
+func (p *Pass) String() string {
+	return fmt.Sprintf("%s@%s", p.Analyzer.Name, p.Pkg.Path())
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message, plus an
+// optional category for grouping.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: zero means unknown
+	Category string    // optional
+	Message  string
+}
+
+// Validate checks that the analyzers are well formed: non-empty
+// distinct names, non-nil Run functions, and an acyclic Requires
+// graph. Drivers call it before running anything.
+func Validate(analyzers []*Analyzer) error {
+	names := make(map[string]bool)
+	// Colors for the cycle walk: missing = white, false = in
+	// progress (grey), true = done (black).
+	state := make(map[*Analyzer]bool)
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		if a == nil {
+			return fmt.Errorf("analysis: nil analyzer in Requires graph")
+		}
+		if done, seen := state[a]; seen {
+			if !done {
+				return fmt.Errorf("analysis: cycle through analyzer %q", a.Name)
+			}
+			return nil
+		}
+		state[a] = false
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q has nil Run", a.Name)
+		}
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = true
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return err
+		}
+		if names[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+// Package analysistest runs internal/analysis analyzers over small
+// fixture packages and checks their diagnostics against expectations
+// written in the fixture source, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	ctx.Syscall("sendot") // want `unknown syscall name "sendot"`
+//
+// Fixtures live in a GOPATH-shaped tree, testdata/src/<importpath>/,
+// and are resolved with an empty GOROOT: an import of "time" or
+// "math/rand" inside a fixture binds to the fixture's own miniature
+// stub package, never the real standard library, so suites stay
+// hermetic, offline, and fast.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/unit"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, the conventional fixture root.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package, runs the analyzer, and reports any
+// mismatch between produced diagnostics and the fixtures' `// want`
+// expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	ld := newLoader(testdata)
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		findings, err := unit.Analyze([]*analysis.Analyzer{a}, ld.fset, pkg.files, pkg.types, ld.info)
+		if err != nil {
+			t.Errorf("analyzing %s: %v", path, err)
+			continue
+		}
+		checkWants(t, ld.fset, pkg.files, findings)
+	}
+}
+
+// A want is one expectation comment: a line that must receive a
+// diagnostic matching rx.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantRE captures the expectation list of a `// want` comment.
+var wantRE = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// checkWants matches findings against the fixtures' expectations.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []unit.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSuffix(strings.TrimSpace(m[1]), "*/")
+				for rest != "" {
+					rx, tail, err := cutPattern(rest)
+					if err != nil {
+						t.Errorf("%s: bad want comment: %v", pos, err)
+						break
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		pos := fset.Position(f.Diagnostic.Pos)
+		msg := f.Diagnostic.Message
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// cutPattern pops one quoted or backquoted regexp off the front of a
+// want list.
+func cutPattern(s string) (*regexp.Regexp, string, error) {
+	if s == "" || (s[0] != '"' && s[0] != '`') {
+		return nil, "", fmt.Errorf("expected quoted regexp, got %q", s)
+	}
+	quote := s[0]
+	end := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return nil, "", fmt.Errorf("unterminated pattern %q", s)
+	}
+	lit := s[:end+1]
+	text, err := strconv.Unquote(lit)
+	if err != nil {
+		return nil, "", fmt.Errorf("cannot unquote %s: %v", lit, err)
+	}
+	rx, err := regexp.Compile(text)
+	if err != nil {
+		return nil, "", fmt.Errorf("bad regexp %s: %v", lit, err)
+	}
+	return rx, s[end+1:], nil
+}
+
+// loader type-checks GOPATH-shaped fixture trees from source,
+// memoizing packages so shared stubs (a fixture "time") check once.
+type loader struct {
+	ctxt build.Context
+	fset *token.FileSet
+	info *types.Info
+	pkgs map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	types *types.Package
+	files []*ast.File
+}
+
+func newLoader(testdata string) *loader {
+	ctxt := build.Default
+	// An empty GOROOT keeps resolution in pure GOPATH mode: the
+	// module-aware `go list` fallback declines to run, stdlib import
+	// paths bind to fixture stubs, and everything resolves offline.
+	ctxt.GOROOT = ""
+	ctxt.GOPATH = testdata
+	ctxt.CgoEnabled = false
+	ctxt.Dir = ""
+	return &loader{
+		ctxt: ctxt,
+		fset: token.NewFileSet(),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+		pkgs: make(map[string]*fixturePkg),
+	}
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	if path == "unsafe" {
+		p := &fixturePkg{types: types.Unsafe}
+		l.pkgs[path] = p
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+
+	bp, err := l.ctxt.Import(path, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(bp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			p, err := l.load(imp)
+			if err != nil {
+				return nil, err
+			}
+			return p.types, nil
+		}),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{types: tpkg, files: files}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

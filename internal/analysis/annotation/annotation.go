@@ -1,0 +1,86 @@
+// Package annotation parses simlint suppression comments. A finding
+// is suppressed by a justified annotation on the offending line or
+// the line directly above it:
+//
+//	//simlint:unordered-ok close order is commutative: each close
+//	// wakes an independent parked goroutine
+//	for _, t := range m.tasks {
+//
+// The justification is mandatory: an annotation without one is itself
+// reported by the analyzers, so every suppression in the tree carries
+// its reasoning next to the code it excuses.
+package annotation
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix opens every simlint annotation comment.
+const Prefix = "simlint:"
+
+// A Note is one parsed annotation: its key (e.g. "unordered-ok"),
+// the justification text that followed it, and the line it sits on.
+type Note struct {
+	Key    string
+	Reason string
+	Line   int
+}
+
+// An Index holds every simlint annotation in a package, addressable
+// by file and line.
+type Index struct {
+	fset *token.FileSet
+	// byFileLine keys on token.File name + line so lookups need only
+	// a position.
+	byFileLine map[string]map[int][]Note
+}
+
+// New scans the files' comments and builds the package's index.
+func New(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, byFileLine: make(map[string]map[int][]Note)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments are never annotations
+				}
+				text = strings.TrimLeft(text, " \t")
+				text, ok = strings.CutPrefix(text, Prefix)
+				if !ok {
+					continue
+				}
+				key, reason, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				n := Note{Key: key, Reason: strings.TrimSpace(reason), Line: pos.Line}
+				lines := ix.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Note)
+					ix.byFileLine[pos.Filename] = lines
+				}
+				lines[n.Line] = append(lines[n.Line], n)
+			}
+		}
+	}
+	return ix
+}
+
+// At returns the annotation with the given key attached to pos: on
+// the same line (a trailing comment) or on the line directly above.
+func (ix *Index) At(pos token.Pos, key string) (Note, bool) {
+	p := ix.fset.Position(pos)
+	lines := ix.byFileLine[p.Filename]
+	if lines == nil {
+		return Note{}, false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, n := range lines[line] {
+			if n.Key == key {
+				return n, true
+			}
+		}
+	}
+	return Note{}, false
+}

@@ -1,0 +1,44 @@
+// Package detscope decides which packages are inside the simulator's
+// deterministic core — the code whose every observable effect must be
+// a pure function of the seed, because ledgers, goldens, and the
+// chaos subsystem's bit-for-bit replay guarantee are computed there.
+// The mapiter and wallclock analyzers only fire inside this scope;
+// CLI frontends, examples, and the cpumeter timing wrappers live
+// outside it and may touch the wall clock freely.
+package detscope
+
+import "strings"
+
+// deterministic lists the package-path tails of the deterministic
+// core. Matching by tail rather than full path keeps the predicate
+// independent of the module name, which also lets analyzer testdata
+// packages (e.g. "a/internal/kernel") opt in naturally.
+var deterministic = []string{
+	"internal/kernel",
+	"internal/cluster",
+	"internal/device",
+	"internal/metering",
+	"internal/experiments",
+	"internal/sim",
+	"internal/guest",
+}
+
+// Deterministic reports whether the import path names a package in
+// the deterministic core. Test binaries for such a package (go vet
+// analyzes "pkg [pkg.test]" and "pkg_test [pkg.test]" units too)
+// count: golden files and replay assertions are produced there.
+func Deterministic(path string) bool {
+	// A test variant's path looks like "repro/internal/kernel
+	// [repro/internal/kernel.test]"; the external-test package is
+	// "repro/internal/kernel_test [...]". Normalize both.
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, "_test")
+	for _, tail := range deterministic {
+		if path == tail || strings.HasSuffix(path, "/"+tail) {
+			return true
+		}
+	}
+	return false
+}

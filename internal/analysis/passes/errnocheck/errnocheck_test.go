@@ -1,0 +1,12 @@
+package errnocheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/errnocheck"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errnocheck.Analyzer, "a/app")
+}

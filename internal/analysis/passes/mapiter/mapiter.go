@@ -1,0 +1,73 @@
+// Package mapiter defines the simlint analyzer that forbids ranging
+// over maps inside the simulator's deterministic core. Go randomizes
+// map iteration order per run, so a `for … range someMap` whose body
+// has any observable effect — appending to a slice, firing events,
+// writing a ledger — is exactly the bug class that survives every
+// unit test and then diverges a golden replay three PRs later.
+//
+// Loops whose order provably cannot leak (closing a set of channels,
+// copying into another map, counting) are suppressed one by one with
+// a justified annotation:
+//
+//	//simlint:unordered-ok each close wakes an independent goroutine
+//	for _, t := range m.tasks {
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/annotation"
+	"repro/internal/analysis/detscope"
+)
+
+// Key is the annotation that suppresses a finding, e.g.
+// `//simlint:unordered-ok <why>`.
+const Key = "unordered-ok"
+
+// Analyzer flags range-over-map statements in deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag range over a map in the deterministic core\n\n" +
+		"Map iteration order is randomized per run; inside the packages that\n" +
+		"must replay bit-for-bit it may only be used under a justified\n" +
+		"//simlint:unordered-ok annotation, or after sorting the keys.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !detscope.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	notes := annotation.New(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.TypesInfo.TypeOf(rs.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key == nil && rs.Value == nil {
+				// `for range m {}` observes only len(m): no order to leak.
+				return true
+			}
+			if note, ok := notes.At(rs.For, Key); ok {
+				if note.Reason == "" {
+					pass.Reportf(rs.For, "simlint:%s annotation needs a justification after the key", Key)
+				}
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s has nondeterministic iteration order in a deterministic package; sort the keys or annotate //simlint:%s <why>",
+				types.ExprString(rs.X), Key)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/mapiter"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapiter.Analyzer,
+		"a/internal/kernel", "a/cmd/tool")
+}

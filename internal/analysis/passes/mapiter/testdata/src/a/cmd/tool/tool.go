@@ -1,0 +1,13 @@
+// Package tool sits outside the deterministic scope; map ranges here
+// must produce no findings.
+package tool
+
+func Flags(m map[string]bool) int {
+	n := 0
+	for k, v := range m {
+		if v {
+			n += len(k)
+		}
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package kernel is a mapiter fixture on a deterministic import path.
+package kernel
+
+func flagged(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotated(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//simlint:unordered-ok map-to-map copy; insertion order cannot be observed
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func unjustified(m map[string]int) int {
+	n := 0
+	//simlint:unordered-ok
+	for k := range m { // want `annotation needs a justification`
+		n += len(k)
+	}
+	return n
+}
+
+func lenOnly(m map[string]int) int {
+	n := 0
+	for range m { // observes only len(m): no order to leak
+		n++
+	}
+	return n
+}
+
+func sliceRange(s []string) int {
+	n := 0
+	for _, v := range s { // slices iterate in index order: fine
+		n += len(v)
+	}
+	return n
+}

@@ -1,0 +1,13 @@
+package syscallname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/syscallname"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), syscallname.Analyzer,
+		"a/internal/kernel", "a/app")
+}

@@ -1,0 +1,12 @@
+// Package guest is a miniature stub of the guest surface for the
+// syscallname fixtures; the analyzer recognizes it by path tail and
+// names.
+package guest
+
+type Context interface {
+	Syscall(name string) error
+}
+
+func SyscallRetry(ctx Context, name string, budget int64) error {
+	return ctx.Syscall(name)
+}

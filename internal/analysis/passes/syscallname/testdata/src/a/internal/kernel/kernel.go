@@ -1,0 +1,33 @@
+// Package kernel is a fixture twin of the real kernel's stringly
+// syscall surface: the analyzer recognizes syscallCost, injectFault,
+// SyscallFault, and the cost table by name and package-path tail, but
+// validates the strings against the REAL kernel.KnownSyscallNames
+// set (brk … write).
+package kernel
+
+type SyscallFault struct {
+	Name    string
+	Errno   int
+	ProbPPM uint32
+}
+
+var syscallServiceUs = map[string]int64{
+	"read":   3,
+	"sendot": 4, // want `unknown syscall name "sendot" in the syscall cost table`
+}
+
+func syscallCost(name string) int64 { return syscallServiceUs[name] }
+
+func injectFault(name string, f SyscallFault) {}
+
+func use(dynamic string) {
+	syscallCost("gettime")
+	syscallCost("gettimeofday") // want `unknown syscall name "gettimeofday" in syscallCost`
+	syscallCost(dynamic)        // dynamic name: left to runtime validation
+	injectFault("sendto", SyscallFault{Name: "sendto"})
+	injectFault("sendot", SyscallFault{}) // want `unknown syscall name "sendot" in injectFault`
+	_ = SyscallFault{Name: "reed"}        // want `unknown syscall name "reed" in SyscallFault.Name`
+	_ = SyscallFault{"reed", 0, 0}        // want `unknown syscall name "reed" in SyscallFault.Name`
+	//simlint:syscall-ok probing the default-cost fallback for names off the table
+	syscallCost("frobnicate")
+}

@@ -1,0 +1,9 @@
+// Command meterlab sits outside the deterministic scope; wall-clock
+// reads here must produce no findings.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Since(time.Now())
+}

@@ -1,0 +1,13 @@
+// Package device exercises the blank-import finding and the sim.Rand
+// promoted-method exemption.
+package device
+
+import (
+	_ "math/rand" // want `import of math/rand in a deterministic package`
+
+	"a/internal/sim"
+)
+
+// Jitter draws from the seeded wrapper: the promoted Int63n resolves
+// to a math/rand object but must not be flagged.
+func Jitter(r *sim.Rand) int64 { return r.Int63n(8) }

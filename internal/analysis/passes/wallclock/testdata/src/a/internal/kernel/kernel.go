@@ -1,0 +1,31 @@
+// Package kernel is a wallclock fixture on a deterministic import
+// path.
+package kernel
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flaggedClock() time.Duration {
+	start := time.Now()      // want `time.Now reads the host wall clock`
+	return time.Since(start) // want `time.Since reads the host wall clock`
+}
+
+func flaggedRand() int {
+	return rand.Int() // want `math/rand.Int uses the host rng`
+}
+
+func annotatedClock() time.Time {
+	//simlint:wallclock-ok fixture: measured outside the simulated timeline
+	return time.Now()
+}
+
+func unjustified() time.Time {
+	//simlint:wallclock-ok
+	return time.Now() // want `annotation needs a justification`
+}
+
+func methodNotFlagged(a, b time.Time) time.Duration {
+	return a.Sub(b) // a method on time.Time reads no clock
+}

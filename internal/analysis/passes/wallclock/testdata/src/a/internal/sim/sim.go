@@ -1,0 +1,19 @@
+// Package sim is a fixture twin of the real sim.Rand wrapper: the one
+// sanctioned math/rand reference, suppressed file-wide by the
+// annotated import line.
+package sim
+
+import "math/rand" //simlint:wallclock-ok fixture twin of sim.Rand: rand.New is fed a seeded source
+
+type Rand struct {
+	*rand.Rand
+}
+
+type fixed struct{ state int64 }
+
+func (f *fixed) Int63() int64    { f.state++; return f.state }
+func (f *fixed) Seed(seed int64) { f.state = seed }
+
+func New(seed int64) *Rand {
+	return &Rand{Rand: rand.New(&fixed{state: seed})}
+}

@@ -1,0 +1,18 @@
+// Package rand is a miniature stub of math/rand for the wallclock
+// fixtures; see the time stub for why imports resolve here.
+package rand
+
+type Source interface {
+	Int63() int64
+	Seed(seed int64)
+}
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand { return &Rand{src: src} }
+
+func (r *Rand) Int63() int64 { return r.src.Int63() }
+
+func (r *Rand) Int63n(n int64) int64 { return r.Int63() % n }
+
+func Int() int { return 0 }

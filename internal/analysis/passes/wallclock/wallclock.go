@@ -1,0 +1,156 @@
+// Package wallclock defines the simlint analyzer that keeps the host
+// wall clock and the host random number generator out of the
+// simulator's deterministic core. Virtual time comes from sim.Clock
+// and randomness from sim.Rand's seeded splitmix64 stream; a stray
+// time.Now, time.Since, or math/rand call makes a run a function of
+// the machine it happened to execute on, which is precisely what the
+// replay goldens exist to rule out. Only the cpumeter timing
+// wrappers and cmd/meterlab — outside the deterministic scope — may
+// measure real time.
+//
+// The one legitimate math/rand reference (internal/sim/rand.go wraps
+// its Rand API around a deterministic source) is suppressed with a
+// justified annotation on the import line, which covers the file:
+//
+//	import "math/rand" //simlint:wallclock-ok seeded source only
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/annotation"
+	"repro/internal/analysis/detscope"
+)
+
+// Key is the annotation that suppresses a finding, e.g.
+// `//simlint:wallclock-ok <why>`. On a math/rand import line it
+// suppresses every math/rand use in that file.
+const Key = "wallclock-ok"
+
+// Analyzer flags wall-clock reads and host-rng use in deterministic
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flag time.Now/time.Since and math/rand in the deterministic core\n\n" +
+		"Deterministic packages must take time from sim.Clock and randomness\n" +
+		"from sim.Rand; host clocks and host rngs make replays\n" +
+		"machine-dependent. Suppress a deliberate use with a justified\n" +
+		"//simlint:wallclock-ok annotation.",
+	Run: run,
+}
+
+// randPaths are the host rng packages; any object from them counts.
+var randPaths = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// timeFuncs are the forbidden wall-clock reads from package time.
+var timeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !detscope.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	notes := annotation.New(pass.Fset, pass.Files)
+
+	for _, f := range pass.Files {
+		// An annotated math/rand import suppresses the whole file's
+		// rand uses; an unannotated one is itself the finding for
+		// side-effect (blank/dot) imports that have no use sites.
+		fileRandOK := false
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !randPaths[path] {
+				continue
+			}
+			note, ok := notes.At(imp.Pos(), Key)
+			switch {
+			case ok && note.Reason == "":
+				pass.Reportf(imp.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+			case ok:
+				fileRandOK = true
+			case imp.Name != nil && (imp.Name.Name == "_" || imp.Name.Name == "."):
+				pass.Reportf(imp.Pos(), "import of %s in a deterministic package: use sim.Rand's seeded stream or annotate //simlint:%s <why>", path, Key)
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				// Methods promoted from sim.Rand's embedded *rand.Rand
+				// resolve to math/rand objects, but drawing from the
+				// seeded wrapper is exactly what this analyzer wants
+				// code to do: exempt selections rooted at sim.Rand.
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if s, ok := pass.TypesInfo.Selections[sel]; ok && recvIsSimRand(s.Recv()) {
+						return false
+					}
+				}
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch path := obj.Pkg().Path(); {
+			case path == "time" && timeFuncs[obj.Name()] && isPkgFunc(obj):
+				if note, ok := notes.At(id.Pos(), Key); ok {
+					if note.Reason == "" {
+						pass.Reportf(id.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+					}
+					return true
+				}
+				pass.Reportf(id.Pos(), "time.%s reads the host wall clock in a deterministic package; use the machine's sim.Clock or annotate //simlint:%s <why>", obj.Name(), Key)
+			case randPaths[path]:
+				if fileRandOK {
+					return true
+				}
+				if note, ok := notes.At(id.Pos(), Key); ok {
+					if note.Reason == "" {
+						pass.Reportf(id.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+					}
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s.%s uses the host rng in a deterministic package; draw from sim.Rand's seeded stream or annotate //simlint:%s <why>", path, obj.Name(), Key)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// recvIsSimRand reports whether a method selection's static receiver
+// is the deterministic sim.Rand wrapper (or a fixture twin: a type
+// named Rand in a package whose path ends in "sim").
+func recvIsSimRand(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Rand" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "sim" || strings.HasSuffix(path, "/sim")
+}
+
+// isPkgFunc reports whether obj is a package-level function (so a
+// local method that happens to be called Now is not confused with
+// time.Now — obj.Pkg()=="time" already rules that out, but a method
+// on a type defined in package time, like Time.Sub, must not match).
+func isPkgFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

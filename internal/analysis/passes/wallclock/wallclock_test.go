@@ -1,0 +1,13 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/wallclock"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer,
+		"a/internal/kernel", "a/internal/sim", "a/internal/device", "a/cmd/meterlab")
+}

@@ -1,0 +1,23 @@
+// Package simlint aggregates the repo's determinism and
+// billing-integrity analyzers into the suite cmd/simlint ships and CI
+// runs via `go vet -vettool`. Adding an analyzer here is all it takes
+// to enroll it in the binary, the CI gate, and the registration test.
+package simlint
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/errnocheck"
+	"repro/internal/analysis/passes/mapiter"
+	"repro/internal/analysis/passes/syscallname"
+	"repro/internal/analysis/passes/wallclock"
+)
+
+// All returns the full simlint suite in registration order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		mapiter.Analyzer,
+		wallclock.Analyzer,
+		errnocheck.Analyzer,
+		syscallname.Analyzer,
+	}
+}

@@ -1,0 +1,334 @@
+// Package unit drives internal/analysis analyzers under the command
+// protocol `go vet -vettool=...` speaks (the protocol implemented
+// upstream by golang.org/x/tools/go/analysis/unitchecker):
+//
+//	simlint -V=full    describe the executable (for build caching)
+//	simlint -flags     describe supported flags in JSON
+//	simlint foo.cfg    analyze the compilation unit foo.cfg describes
+//
+// The build tool hands the unit over as a JSON config naming the Go
+// files, the import map, and the export-data file of every
+// dependency, so analysis here piggybacks on the compiler's type
+// information instead of re-typechecking the world. Diagnostics go to
+// stderr in the usual file:line:col form and make the process — and
+// therefore `go vet` — exit nonzero.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// config mirrors the JSON compilation-unit description `go vet`
+// writes (unitchecker.Config upstream). Fields the simlint suite
+// does not consume are omitted; unknown JSON keys are ignored.
+type config struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built from the given
+// analyzers. It terminates the process.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	// The build tool probes -V=full and -flags before any unit work;
+	// answer those before general flag parsing.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			printVersion(progname)
+			os.Exit(0)
+		case "-flags", "--flags":
+			printFlags(analyzers)
+			os.Exit(0)
+		}
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-analyzer...] unit.cfg\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  -%s\n\t%s\n", a.Name, doc)
+		}
+		os.Exit(2)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	// Vet flag convention: naming any analyzer runs only the named
+	// ones; naming none runs everything (minus explicit -name=false).
+	explicitTrue := false
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := enabled[f.Name]; ok {
+			explicit[f.Name] = true
+			if *enabled[f.Name] {
+				explicitTrue = true
+			}
+		}
+	})
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		switch {
+		case explicitTrue && *enabled[a.Name]:
+			selected = append(selected, a)
+		case !explicitTrue && (!explicit[a.Name] || *enabled[a.Name]):
+			selected = append(selected, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+	}
+	os.Exit(run(args[0], selected))
+}
+
+// printVersion emits the executable-identity line `go vet` hashes
+// into its build cache key: rebuilding the vettool with different
+// code changes the line and invalidates cached vet results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
+}
+
+// printFlags describes the tool's flags as the JSON array `go vet`
+// expects, so analyzer-selection flags typed after `go vet` reach us.
+func printFlags(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// run analyzes one compilation unit and returns the process exit
+// code: 0 clean, 1 diagnostics or failure.
+func run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// The build tool expects a facts file for downstream units.
+	// Simlint analyzers export no facts, so for fact-only (VetxOnly)
+	// dependency units an empty facts file is the complete answer —
+	// no parsing or typechecking needed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatalf("failed to write facts file: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the compiler's export data, exactly as
+	// the build tool laid it out in the config.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	diags, err := Analyze(analyzers, fset, files, pkg, info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Diagnostic.Pos), d.Diagnostic.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// A Finding pairs a diagnostic with the analyzer that produced it.
+type Finding struct {
+	Analyzer   *analysis.Analyzer
+	Diagnostic analysis.Diagnostic
+}
+
+// Analyze runs the analyzers (and, first, their transitive Requires)
+// over one type-checked package and collects every diagnostic in
+// file/position order. It is the driver core shared by the vettool
+// path and the analysistest harness.
+func Analyze(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	type action struct {
+		result any
+		err    error
+		done   bool
+	}
+	actions := make(map[*analysis.Analyzer]*action)
+	var findings []Finding
+
+	var exec func(a *analysis.Analyzer) *action
+	exec = func(a *analysis.Analyzer) *action {
+		act := actions[a]
+		if act == nil {
+			act = new(action)
+			actions[a] = act
+		}
+		if act.done {
+			return act
+		}
+		act.done = true
+		inputs := make(map[*analysis.Analyzer]any)
+		for _, req := range a.Requires {
+			reqact := exec(req)
+			if reqact.err != nil {
+				act.err = fmt.Errorf("%s: failed prerequisite %s: %w", a.Name, req.Name, reqact.err)
+				return act
+			}
+			inputs[req] = reqact.result
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			ResultOf:  inputs,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{Analyzer: a, Diagnostic: d})
+			},
+		}
+		act.result, act.err = a.Run(pass)
+		return act
+	}
+	for _, a := range analyzers {
+		if act := exec(a); act.err != nil {
+			return nil, act.err
+		}
+	}
+
+	// Report in a stable order regardless of analyzer registration:
+	// position first, then analyzer name, then message.
+	sortFindings(fset, findings)
+	return findings, nil
+}
+
+func sortFindings(fset *token.FileSet, findings []Finding) {
+	less := func(x, y Finding) bool {
+		px, py := fset.Position(x.Diagnostic.Pos), fset.Position(y.Diagnostic.Pos)
+		if px.Filename != py.Filename {
+			return px.Filename < py.Filename
+		}
+		if px.Offset != py.Offset {
+			return px.Offset < py.Offset
+		}
+		if x.Analyzer.Name != y.Analyzer.Name {
+			return x.Analyzer.Name < y.Analyzer.Name
+		}
+		return x.Diagnostic.Message < y.Diagnostic.Message
+	}
+	// Insertion sort: finding counts are tiny and the comparator is
+	// only needed here.
+	for i := 1; i < len(findings); i++ {
+		for j := i; j > 0 && less(findings[j], findings[j-1]); j-- {
+			findings[j], findings[j-1] = findings[j-1], findings[j]
+		}
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -20,6 +20,7 @@ func pacedSender(peerIdx int, frames int, gap sim.Cycles) func(*Cluster, *kernel
 			Content: "paced sender v1",
 			Body: func(ctx guest.Context) {
 				for i := 0; i < frames; i++ {
+					//simlint:errno-ok the chaos harness asserts on billing invariants, not per-send errno
 					ctx.NetSend(guest.Frame{Dst: dst, Flow: uint32(i)})
 					ctx.Sleep(gap)
 				}

@@ -1453,6 +1453,7 @@ func Forwarder(lookup sim.Cycles) guest.Routine {
 				}
 				// A forward still failing after the budget is this
 				// router's drop; recovery belongs to the end hosts.
+				//simlint:errno-ok the router drops on exhausted budget by design; end hosts own recovery
 				guest.ForwardRetry(ctx, f, budget)
 			}
 		}

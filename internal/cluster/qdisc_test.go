@@ -217,14 +217,17 @@ func TestQdiscValidation(t *testing.T) {
 		})
 		return err
 	}
-	for name, ls := range map[string]LinkSpec{
-		"unknown qdisc":        {From: 0, To: 1, Qdisc: "wfq"},
-		"quantum without drr":  {From: 0, To: 1, QuantumBytes: 512},
-		"drr on infinite wire": {From: 0, To: 1, Qdisc: QdiscDRR, PacketsPerSecond: UnlimitedPPS},
-		"red weight over 16":   {From: 0, To: 1, RED: &REDSpec{MinDepth: 4, MaxDepth: 16, MaxPct: 50, Weight: 17}},
+	for _, tc := range []struct {
+		name string
+		ls   LinkSpec
+	}{
+		{"unknown qdisc", LinkSpec{From: 0, To: 1, Qdisc: "wfq"}},
+		{"quantum without drr", LinkSpec{From: 0, To: 1, QuantumBytes: 512}},
+		{"drr on infinite wire", LinkSpec{From: 0, To: 1, Qdisc: QdiscDRR, PacketsPerSecond: UnlimitedPPS}},
+		{"red weight over 16", LinkSpec{From: 0, To: 1, RED: &REDSpec{MinDepth: 4, MaxDepth: 16, MaxPct: 50, Weight: 17}}},
 	} {
-		if err := mk(ls); err == nil {
-			t.Errorf("%s: accepted", name)
+		if err := mk(tc.ls); err == nil {
+			t.Errorf("%s: accepted", tc.name)
 		}
 	}
 	// Bottleneck pipes must agree on discipline and quantum.

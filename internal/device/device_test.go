@@ -265,9 +265,12 @@ func TestNICFloodStartStopAllocates(t *testing.T) {
 }
 
 func TestIRQString(t *testing.T) {
-	for irq, want := range map[IRQ]string{IRQTimer: "timer", IRQNIC: "nic", IRQDisk: "disk", IRQ(99): "unknown"} {
-		if got := irq.String(); got != want {
-			t.Errorf("IRQ(%d) = %q, want %q", int(irq), got, want)
+	for _, tc := range []struct {
+		irq  IRQ
+		want string
+	}{{IRQTimer, "timer"}, {IRQNIC, "nic"}, {IRQDisk, "disk"}, {IRQ(99), "unknown"}} {
+		if got := tc.irq.String(); got != tc.want {
+			t.Errorf("IRQ(%d) = %q, want %q", int(tc.irq), got, tc.want)
 		}
 	}
 }

@@ -31,6 +31,7 @@ func floodBody(freq sim.Hz, pps, packets uint64, frame guest.Frame) guest.Routin
 			// A transient injected fault retries within half a period;
 			// a hard fault (or exhausted budget) forfeits this slot —
 			// an attacker's lost packet is nobody's problem.
+			//simlint:errno-ok the flood source forfeits a faulted slot by design
 			guest.SendRetry(ctx, frame, base/2)
 			interval := base
 			frac += rem
@@ -269,6 +270,7 @@ func AckEcho(flow uint32) guest.Routine {
 				}
 				// A persistently failing ack send is dropped: the
 				// sender's retransmission timeout owns recovery.
+				//simlint:errno-ok a dropped ack is recovered by the sender's retransmission timeout
 				guest.SendRetry(ctx,
 					guest.Frame{Dst: f.Src, Flow: f.Flow, ECN: true, ECE: f.CE},
 					ackEchoRetryCycles)

@@ -196,18 +196,21 @@ func TestTrustedMitigationRejectsAllAttacks(t *testing.T) {
 func TestAblationsRun(t *testing.T) {
 	o := tiny()
 	o.Scale = 0.02
-	for name, fn := range map[string]func(Options) (*Figure, error){
-		"tickrate": AblationTickRate,
-		"sched":    AblationScheduler,
-		"irq":      AblationIRQAccounting,
-		"detector": AblationDetector,
+	for _, tc := range []struct {
+		name string
+		fn   func(Options) (*Figure, error)
+	}{
+		{"tickrate", AblationTickRate},
+		{"sched", AblationScheduler},
+		{"irq", AblationIRQAccounting},
+		{"detector", AblationDetector},
 	} {
-		fig, err := fn(o)
+		fig, err := tc.fn(o)
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatalf("%s: %v", tc.name, err)
 		}
 		if len(fig.Rows) < 2 {
-			t.Fatalf("%s: rows = %d", name, len(fig.Rows))
+			t.Fatalf("%s: rows = %d", tc.name, len(fig.Rows))
 		}
 	}
 }

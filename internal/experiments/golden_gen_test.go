@@ -6,8 +6,9 @@ import (
 )
 
 // TestGeneratePR3Goldens regenerates the PR 3 cluster-family golden
-// renders. The goldens pin pre-refactor behaviour, so regenerate them
-// only when the byte-compat bar itself is intentionally moved:
+// renders, in the pinned pr3Artifacts order. The goldens pin
+// pre-refactor behaviour, so regenerate them only when the byte-compat
+// bar itself is intentionally moved:
 //
 //	GOLDEN_GEN=1 go test ./internal/experiments -run TestGeneratePR3Goldens
 func TestGeneratePR3Goldens(t *testing.T) {
@@ -15,16 +16,12 @@ func TestGeneratePR3Goldens(t *testing.T) {
 		t.Skip("set GOLDEN_GEN=1 to regenerate")
 	}
 	o := quick()
-	for id, run := range map[string]func(Options) (*Figure, error){
-		"cluster":    ClusterFlood,
-		"multiflood": MultiAttackerFlood,
-		"swapflood":  CrossMachineExceptionFlood,
-	} {
-		fig, err := run(o)
+	for _, a := range pr3Artifacts {
+		fig, err := a.run(o)
 		if err != nil {
-			t.Fatalf("%s: %v", id, err)
+			t.Fatalf("%s: %v", a.id, err)
 		}
-		if err := os.WriteFile("testdata/pr3_"+id+".golden", []byte(fig.Render()), 0o644); err != nil {
+		if err := os.WriteFile("testdata/pr3_"+a.id+".golden", []byte(fig.Render()), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -2,8 +2,24 @@ package experiments
 
 import (
 	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 )
+
+// pr3Artifacts enumerates the PR 3 cluster-family artifacts in fixed
+// order. This used to be a map, so golden regeneration wrote files —
+// and a multi-artifact failure reported ids — in a different order
+// every run; the slice pins one order for the replay test, the
+// generator, and TestPR3ArtifactOrderIsPinned below.
+var pr3Artifacts = []struct {
+	id  string
+	run func(Options) (*Figure, error)
+}{
+	{"cluster", ClusterFlood},
+	{"multiflood", MultiAttackerFlood},
+	{"swapflood", CrossMachineExceptionFlood},
+}
 
 // TestPR3ArtifactsReplayBitForBit pins the addressed-fabric refactor's
 // compatibility bar: a router-free, tail-drop-only topology (every
@@ -13,21 +29,56 @@ import (
 // routing/RED plumbing landed.
 func TestPR3ArtifactsReplayBitForBit(t *testing.T) {
 	o := quick()
-	for id, run := range map[string]func(Options) (*Figure, error){
-		"cluster":    ClusterFlood,
-		"multiflood": MultiAttackerFlood,
-		"swapflood":  CrossMachineExceptionFlood,
-	} {
-		want, err := os.ReadFile("testdata/pr3_" + id + ".golden")
+	for _, a := range pr3Artifacts {
+		want, err := os.ReadFile("testdata/pr3_" + a.id + ".golden")
 		if err != nil {
 			t.Fatal(err)
 		}
-		fig, err := run(o)
+		fig, err := a.run(o)
 		if err != nil {
-			t.Fatalf("%s: %v", id, err)
+			t.Fatalf("%s: %v", a.id, err)
 		}
 		if got := fig.Render(); got != string(want) {
-			t.Errorf("%s diverged from the PR 3 golden\n--- got ---\n%s--- want ---\n%s", id, got, want)
+			t.Errorf("%s diverged from the PR 3 golden\n--- got ---\n%s--- want ---\n%s", a.id, got, want)
+		}
+	}
+}
+
+// TestPR3ArtifactOrderIsPinned is the determinism regression for the
+// site the simlint mapiter analyzer flagged here: the artifact table
+// must stay sorted and duplicate-free, and must cover exactly the
+// goldens checked in under testdata/ — so a rename or addition cannot
+// silently leave a golden unreplayed or regenerate files in an order
+// that churns diffs.
+func TestPR3ArtifactOrderIsPinned(t *testing.T) {
+	ids := make([]string, len(pr3Artifacts))
+	for i, a := range pr3Artifacts {
+		ids[i] = a.id
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("pr3Artifacts ids %v are not sorted", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			t.Errorf("pr3Artifacts has duplicate id %q", ids[i])
+		}
+	}
+	goldens, err := filepath.Glob("testdata/pr3_*.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk []string
+	for _, g := range goldens {
+		base := filepath.Base(g)
+		onDisk = append(onDisk, base[len("pr3_"):len(base)-len(".golden")])
+	}
+	sort.Strings(onDisk)
+	if len(onDisk) != len(ids) {
+		t.Fatalf("testdata has goldens for %v, table covers %v", onDisk, ids)
+	}
+	for i := range ids {
+		if ids[i] != onDisk[i] {
+			t.Fatalf("testdata has goldens for %v, table covers %v", onDisk, ids)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/guest"
 	"repro/internal/sim"
@@ -34,14 +35,20 @@ type FaultSpec struct {
 	Syscalls []SyscallFault
 }
 
-// Validate reports the first malformed entry: an unknown errno or a
-// probability past PPMScale. Upper layers (cluster specs, CLI flags)
-// call it to turn bad configs into usage errors before New panics.
+// Validate reports the first malformed entry: a name outside the
+// syscall namespace, an unknown errno, or a probability past
+// PPMScale. Upper layers (cluster specs, CLI flags) call it to turn
+// bad configs into usage errors before New panics. The name check
+// matters most: a typo'd entry would otherwise arm nothing and let a
+// chaos run report a clean bill that tested nothing.
 func (s *FaultSpec) Validate() error {
 	if s == nil {
 		return nil
 	}
 	for _, sf := range s.Syscalls {
+		if !IsKnownSyscall(sf.Name) {
+			return fmt.Errorf("fault %q: unknown syscall (known: %s)", sf.Name, strings.Join(knownSyscallNames, ", "))
+		}
 		if sf.ProbPPM > PPMScale {
 			return fmt.Errorf("fault %q: probability %d ppm exceeds %d", sf.Name, sf.ProbPPM, PPMScale)
 		}

@@ -32,6 +32,10 @@ func TestFaultSpecValidate(t *testing.T) {
 		{"unknown errno",
 			FaultSpec{Syscalls: []SyscallFault{{Name: "read", Errno: 99, ProbPPM: 10}}},
 			"unknown errno"},
+		{"unknown syscall name",
+			//simlint:syscall-ok the rejection of this typo is the property under test
+			FaultSpec{Syscalls: []SyscallFault{{Name: "sendot", Errno: guest.EIO, ProbPPM: 10}}},
+			"unknown syscall"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()
@@ -52,7 +56,9 @@ func TestFaultSpecValidate(t *testing.T) {
 func faultProbeBody(peer device.Addr, sends int) guest.Routine {
 	return func(ctx guest.Context) {
 		for i := 0; i < sends; i++ {
-			ctx.Syscall("gettimeofday")
+			//simlint:errno-ok the probe ignores errno by design: divergence must surface in bills and counters alone
+			ctx.Syscall("gettime")
+			//simlint:errno-ok the probe ignores errno by design: divergence must surface in bills and counters alone
 			ctx.NetSend(guest.Frame{Dst: peer, Flow: uint32(i)})
 			for {
 				if _, ok, err := ctx.NetRecv(); !ok || err != nil {

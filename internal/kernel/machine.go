@@ -373,6 +373,7 @@ type SpawnConfig struct {
 func (m *Machine) Spawn(sc SpawnConfig) (*proc.Proc, error) {
 	p := m.table.Create(sc.Name, nil)
 	p.SetNice(sc.Nice)
+	//simlint:unordered-ok map-to-map copy; insertion order cannot be observed
 	for k, v := range sc.Env {
 		p.Env[k] = v
 	}
@@ -648,6 +649,7 @@ func (m *Machine) shutdown() {
 		return
 	}
 	m.closed = true
+	//simlint:unordered-ok closing each grant channel is commutative; no history event is emitted
 	for _, t := range m.tasks {
 		close(t.grant)
 	}

@@ -1,0 +1,35 @@
+package kernel
+
+import "sort"
+
+// The syscall-class namespace is closed: every name a guest, a fault
+// spec, or a cost lookup may use is a key of syscallServiceUs. The
+// set is exported so upper layers (CLI flag validation, the simlint
+// syscallname analyzer) can reject a typo'd name — "sendot" —
+// up front instead of letting it ride as a silently inert fault or a
+// silently default-priced syscall.
+
+// knownSyscallNames is the sorted snapshot of the namespace, built
+// once at init.
+var knownSyscallNames = func() []string {
+	names := make([]string, 0, len(syscallServiceUs))
+	//simlint:unordered-ok building a sorted snapshot: sort.Strings below re-establishes a total order
+	for name := range syscallServiceUs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}()
+
+// KnownSyscallNames returns the closed set of syscall-class names in
+// sorted order. The caller owns the returned slice.
+func KnownSyscallNames() []string {
+	return append([]string(nil), knownSyscallNames...)
+}
+
+// IsKnownSyscall reports whether name is a member of the syscall
+// namespace.
+func IsKnownSyscall(name string) bool {
+	_, ok := syscallServiceUs[name]
+	return ok
+}

@@ -30,12 +30,14 @@ func TestNetSendRoutesAndCounters(t *testing.T) {
 	var acks, nacks int
 	if _, err := m.Spawn(SpawnConfig{Name: "sender", Body: func(ctx guest.Context) {
 		for i := 0; i < 4; i++ {
+			//simlint:errno-ok carried bool is the assertion; this fixture injects no faults
 			if ok, _ := ctx.NetSend(guest.Frame{Dst: peer}); ok {
 				acks++
 			} else {
 				nacks++
 			}
 		}
+		//simlint:errno-ok carried bool is the assertion; this fixture injects no faults
 		if ok, _ := ctx.NetSend(guest.Frame{Dst: 9}); ok { // no route to this address
 			t.Error("NetSend to unrouted destination reported carried")
 		}
@@ -68,6 +70,7 @@ func TestNetSendBillsSystemTime(t *testing.T) {
 	m.NIC().SetRoute(peer, m.NIC().AddTxRoute(func(device.Frame) bool { return true }))
 	p, _ := m.Spawn(SpawnConfig{Name: "sender", Body: func(ctx guest.Context) {
 		for i := 0; i < 1000; i++ {
+			//simlint:errno-ok backpressure test; drops are counted by the NIC ledger, not the guest
 			ctx.NetSend(guest.Frame{Dst: peer})
 		}
 	}})
@@ -97,12 +100,14 @@ func TestNetRecvDrainsFramesInArrivalOrder(t *testing.T) {
 			seen = ctx.NetRxWait(seen)
 		}
 		for {
+			//simlint:errno-ok drain loop; ok bounds it and this fixture injects no faults
 			f, ok, _ := ctx.NetRecv()
 			if !ok {
 				break
 			}
 			got = append(got, f)
 		}
+		//simlint:errno-ok emptyOK is the assertion; this fixture injects no faults
 		_, emptyOK, _ = ctx.NetRecv()
 	}}); err != nil {
 		t.Fatal(err)
@@ -136,9 +141,11 @@ func TestNetForwardPreservesSource(t *testing.T) {
 		return true
 	}))
 	if _, err := m.Spawn(SpawnConfig{Name: "fwd", Body: func(ctx guest.Context) {
+		//simlint:errno-ok carried bool is the assertion; this fixture injects no faults
 		if ok, _ := ctx.NetForward(guest.Frame{Src: origin, Dst: dst, Flow: 9}); !ok {
 			t.Error("NetForward dropped on an open route")
 		}
+		//simlint:errno-ok fault-free fixture; Src rewriting is the property under test
 		ctx.NetSend(guest.Frame{Src: origin, Dst: dst}) // Src must be overwritten
 	}}); err != nil {
 		t.Fatal(err)
@@ -171,6 +178,7 @@ func TestRxBufferOverflowDrops(t *testing.T) {
 			seen = ctx.NetRxWait(seen)
 		}
 		for {
+			//simlint:errno-ok drain loop; ok bounds it and this fixture injects no faults
 			f, ok, _ := ctx.NetRecv()
 			if !ok {
 				break

@@ -188,6 +188,7 @@ func (l *ledger) usage(pid proc.PID) Usage {
 
 func (l *ledger) snapshot() map[proc.PID]Usage {
 	out := make(map[proc.PID]Usage, len(l.byTGID))
+	//simlint:unordered-ok map-to-map copy; callers order via SortedPIDs
 	for pid, u := range l.byTGID {
 		out[pid] = *u
 	}
@@ -428,6 +429,7 @@ var (
 // deterministic report rendering.
 func SortedPIDs(snap map[proc.PID]Usage) []proc.PID {
 	pids := make([]proc.PID, 0, len(snap))
+	//simlint:unordered-ok key harvest for the sort below; output is totally ordered
 	for pid := range snap {
 		pids = append(pids, pid)
 	}

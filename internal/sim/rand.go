@@ -1,6 +1,6 @@
 package sim
 
-import "math/rand"
+import "math/rand" //simlint:wallclock-ok deterministic seeded source only; rand.New is fed the splitmix64 source below
 
 // Rand wraps a seeded deterministic source. All stochastic behaviour
 // in the simulator (packet inter-arrival jitter, address selection,

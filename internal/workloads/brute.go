@@ -119,7 +119,7 @@ func BuildBrute(p Params) (*guest.Program, *Result) {
 							c.Call1("free", tmp)
 						}
 						// Synchronise progress with the leader.
-						c.Syscall("futex")
+						c.Syscall("futex") //simlint:errno-ok modeled benchmark binary; the futex is pure CPU-time ballast
 					}
 					c.Call1("free", buf)
 				})
@@ -135,7 +135,7 @@ func BuildBrute(p Params) (*guest.Program, *Result) {
 				ctx.Compute(leaderChunk) // progress accounting
 				touchWorkingSet(ctx, lbuf, b)
 				if b%64 == 0 {
-					ctx.Syscall("futex")
+					ctx.Syscall("futex") //simlint:errno-ok modeled benchmark binary; the futex is pure CPU-time ballast
 				}
 			}
 			for {
@@ -143,7 +143,7 @@ func BuildBrute(p Params) (*guest.Program, *Result) {
 					break
 				}
 			}
-			ctx.Syscall("getrusage")
+			ctx.Syscall("getrusage") //simlint:errno-ok modeled benchmark epilogue; usage poll is ballast, not control flow
 			select {
 			case w := <-found:
 				res.Output = w + " " + targetHex

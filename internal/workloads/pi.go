@@ -113,8 +113,9 @@ func BuildPi(p Params) (*guest.Program, *Result) {
 			out.WriteByte(byte('0' + predigit))
 			ctx.Compute(pending)
 			ctx.Call1("free", arr)
-			ctx.Syscall("write") // print the digits
-			ctx.Syscall("getrusage")
+			//simlint:errno-ok modeled benchmark epilogue; the digits live in res.Output, not the write
+			ctx.Syscall("write")     // print the digits
+			ctx.Syscall("getrusage") //simlint:errno-ok modeled benchmark epilogue; usage poll is ballast, not control flow
 			res.Output = out.String()
 			res.Done = true
 		},

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# lint.sh — build the simlint determinism & billing-integrity analyzer
+# suite (cmd/simlint) and run it over the whole module through go
+# vet's -vettool protocol, exactly as CI does.
+#
+# Usage:
+#   scripts/lint.sh              # lint the whole module
+#   scripts/lint.sh ./internal/kernel/...   # lint selected packages
+#
+# Individual analyzers can be selected the usual vet way:
+#   scripts/lint.sh -mapiter ./...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/simlint ./cmd/simlint
+
+args=("$@")
+if [ ${#args[@]} -eq 0 ]; then
+    args=(./...)
+fi
+exec go vet -vettool="$(pwd)/bin/simlint" "${args[@]}"
