@@ -5,6 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/callsummary"
+	"repro/internal/analysis/passes/floatdet"
+	"repro/internal/analysis/passes/gotime"
+	"repro/internal/analysis/passes/wallclock"
 	"repro/internal/analysis/simlint"
 )
 
@@ -51,5 +55,24 @@ func TestSuiteRegistersEveryAnalyzer(t *testing.T) {
 	}
 	if len(suite) != onDisk {
 		t.Errorf("suite registers %d analyzers, %d analyzer packages on disk", len(suite), onDisk)
+	}
+}
+
+// TestCallsummaryKeysMatchAnalyzers pins the annotation keys the
+// callsummary pass honors while building effect summaries to the Key
+// constants of the analyzers that consume those summaries. The
+// duplication exists because importing the consumers from callsummary
+// would invert the Requires graph; a drift here would make a
+// justified annotation suppress the direct finding but leak taint to
+// every caller.
+func TestCallsummaryKeysMatchAnalyzers(t *testing.T) {
+	if callsummary.WallclockKey != wallclock.Key {
+		t.Errorf("callsummary.WallclockKey = %q, wallclock.Key = %q", callsummary.WallclockKey, wallclock.Key)
+	}
+	if callsummary.FloatKey != floatdet.Key {
+		t.Errorf("callsummary.FloatKey = %q, floatdet.Key = %q", callsummary.FloatKey, floatdet.Key)
+	}
+	if callsummary.GotimeKey != gotime.Key {
+		t.Errorf("callsummary.GotimeKey = %q, gotime.Key = %q", callsummary.GotimeKey, gotime.Key)
 	}
 }

@@ -10,9 +10,16 @@
 //
 // Only the subset the simlint suite needs is implemented: named
 // analyzers with doc strings, optional Requires dependencies whose
-// results flow through Pass.ResultOf, and position-carrying
-// diagnostics. Facts (cross-package information flow) are not
-// supported; every simlint analyzer is a single-unit check.
+// results flow through Pass.ResultOf, position-carrying diagnostics,
+// and facts — typed values an analyzer attaches to objects or
+// packages in one compilation unit and reads back when analyzing a
+// downstream unit. Facts are what make an analyzer modular: the
+// callsummary pass records per-function transitive effects
+// (wall-clock reads, float arithmetic, goroutine spawns) as facts,
+// and the unit driver carries them across package boundaries through
+// the .vetx files of the `go vet -vettool` protocol, so a violation
+// buried two packages below the deterministic scope still surfaces
+// at the call site inside it.
 package analysis
 
 import (
@@ -20,6 +27,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // An Analyzer is one static check: a name for selection on the
@@ -37,6 +45,16 @@ type Analyzer struct {
 	// Requires lists analyzers whose results this analyzer consumes
 	// via Pass.ResultOf. The graph must be acyclic.
 	Requires []*Analyzer
+
+	// FactTypes lists the concrete Fact types this analyzer exports
+	// or imports, as typed nil pointers (e.g. (*EffectFact)(nil)).
+	// Declaring a fact type is what opts the analyzer into the
+	// cross-package protocol: the driver runs fact-declaring analyzers
+	// on dependency units too (the VetxOnly runs `go vet` schedules)
+	// and serializes their facts into the unit's .vetx file. Each type
+	// must be a pointer to a gob-encodable struct; the driver
+	// registers it with encoding/gob.
+	FactTypes []Fact
 
 	// Run inspects the package described by pass and reports
 	// diagnostics through pass.Report. The returned value is made
@@ -70,6 +88,50 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver supplies it.
 	Report func(Diagnostic)
+
+	// ExportObjectFact attaches fact to obj for downstream units.
+	// Facts survive the package boundary only on objects a downstream
+	// unit can name through export data: package-level objects and
+	// methods of package-level types. Facts on anything else stay
+	// visible within the current unit. The analyzer must declare the
+	// fact's type in FactTypes. The driver supplies the hook.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportObjectFact copies into fact the fact of the same concrete
+	// type this analyzer attached to obj in an earlier unit (or
+	// earlier in this one), reporting whether one existed. The driver
+	// supplies the hook.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportPackageFact attaches fact to the current package.
+	ExportPackageFact func(fact Fact)
+
+	// ImportPackageFact copies into fact the fact of the same
+	// concrete type this analyzer attached to pkg, reporting whether
+	// one existed.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+}
+
+// A Fact is a typed value an analyzer attaches to an object or a
+// package in one compilation unit and imports in another. Concrete
+// fact types implement the marker method and must be gob-encodable
+// pointers; each analyzer sees only its own facts, so two analyzers
+// may use the same concrete type without interference.
+type Fact interface {
+	AFact() // marker method
+}
+
+// An ObjectFact is one exported (object, fact) pair, as enumerated by
+// drivers when serializing a unit's facts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// A PackageFact is one exported (package, fact) pair.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
 }
 
 func (p *Pass) String() string {
@@ -115,6 +177,14 @@ func Validate(analyzers []*Analyzer) error {
 		}
 		if a.Run == nil {
 			return fmt.Errorf("analysis: analyzer %q has nil Run", a.Name)
+		}
+		for _, ft := range a.FactTypes {
+			if ft == nil {
+				return fmt.Errorf("analysis: analyzer %q declares a nil fact type", a.Name)
+			}
+			if reflect.TypeOf(ft).Kind() != reflect.Pointer {
+				return fmt.Errorf("analysis: analyzer %q fact type %T is not a pointer", a.Name, ft)
+			}
 		}
 		for _, req := range a.Requires {
 			if err := visit(req); err != nil {

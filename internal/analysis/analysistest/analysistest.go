@@ -42,25 +42,74 @@ func TestData() string {
 // Run loads each fixture package, runs the analyzer, and reports any
 // mismatch between produced diagnostics and the fixtures' `// want`
 // expectations as test errors.
+//
+// Facts flow between fixture packages exactly as they do between the
+// vettool's compilation units: before a package is checked, every
+// fixture package it (transitively) imports has the suite's
+// fact-producing analyzers run over it against one shared store, so a
+// fixture in a/internal/kernel observes facts exported from
+// a/internal/lib. Diagnostics from those dependency runs are
+// discarded; only packages named in paths have their `// want`
+// expectations checked.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
 		t.Fatal(err)
 	}
 	ld := newLoader(testdata)
+	facts := unit.NewFacts()
+	producers := factProducers(a)
+	factsDone := make(map[string]bool)
 	for _, path := range paths {
 		pkg, err := ld.load(path)
 		if err != nil {
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		findings, err := unit.Analyze([]*analysis.Analyzer{a}, ld.fset, pkg.files, pkg.types, ld.info)
+		// Dependency-first fact pass: ld.order lists every loaded
+		// package in import post-order, so by the time the target is
+		// analyzed its dependencies' facts are in the store.
+		for _, dep := range ld.order {
+			if dep == path || factsDone[dep] || len(producers) == 0 {
+				continue
+			}
+			factsDone[dep] = true
+			dp := ld.pkgs[dep]
+			if _, err := unit.AnalyzeWithFacts(producers, ld.fset, dp.files, dp.types, ld.info, facts); err != nil {
+				t.Errorf("computing facts for %s: %v", dep, err)
+			}
+		}
+		findings, err := unit.AnalyzeWithFacts([]*analysis.Analyzer{a}, ld.fset, pkg.files, pkg.types, ld.info, facts)
 		if err != nil {
 			t.Errorf("analyzing %s: %v", path, err)
 			continue
 		}
+		factsDone[path] = true
 		checkWants(t, ld.fset, pkg.files, findings)
 	}
+}
+
+// factProducers returns the fact-declaring analyzers in a's
+// transitive Requires closure (including a itself), the set that must
+// run over dependency fixtures for their facts to exist.
+func factProducers(a *analysis.Analyzer) []*analysis.Analyzer {
+	seen := make(map[*analysis.Analyzer]bool)
+	var out []*analysis.Analyzer
+	var visit func(x *analysis.Analyzer)
+	visit = func(x *analysis.Analyzer) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, req := range x.Requires {
+			visit(req)
+		}
+		if len(x.FactTypes) > 0 {
+			out = append(out, x)
+		}
+	}
+	visit(a)
+	return out
 }
 
 // A want is one expectation comment: a line that must receive a
@@ -159,6 +208,9 @@ type loader struct {
 	fset *token.FileSet
 	info *types.Info
 	pkgs map[string]*fixturePkg
+	// order records successfully loaded packages in import post-order
+	// (dependencies before importers) — the order fact passes run in.
+	order []string
 }
 
 type fixturePkg struct {
@@ -232,6 +284,7 @@ func (l *loader) load(path string) (*fixturePkg, error) {
 	}
 	p := &fixturePkg{types: tpkg, files: files}
 	l.pkgs[path] = p
+	l.order = append(l.order, path)
 	return p, nil
 }
 

@@ -14,6 +14,7 @@ package annotation
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -21,10 +22,12 @@ import (
 const Prefix = "simlint:"
 
 // A Note is one parsed annotation: its key (e.g. "unordered-ok"),
-// the justification text that followed it, and the line it sits on.
+// the justification text that followed it, and the file and line it
+// sits on.
 type Note struct {
 	Key    string
 	Reason string
+	File   string
 	Line   int
 }
 
@@ -54,7 +57,7 @@ func New(fset *token.FileSet, files []*ast.File) *Index {
 				}
 				key, reason, _ := strings.Cut(text, " ")
 				pos := fset.Position(c.Pos())
-				n := Note{Key: key, Reason: strings.TrimSpace(reason), Line: pos.Line}
+				n := Note{Key: key, Reason: strings.TrimSpace(reason), File: pos.Filename, Line: pos.Line}
 				lines := ix.byFileLine[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]Note)
@@ -65,6 +68,30 @@ func New(fset *token.FileSet, files []*ast.File) *Index {
 		}
 	}
 	return ix
+}
+
+// All returns every annotation in the package, ordered by file, line,
+// and key — the suppression inventory the driver's JSON mode reports
+// alongside diagnostics.
+func (ix *Index) All() []Note {
+	var out []Note
+	//simlint:unordered-ok notes are fully sorted below
+	for _, lines := range ix.byFileLine {
+		//simlint:unordered-ok notes are fully sorted below
+		for _, notes := range lines {
+			out = append(out, notes...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
 }
 
 // At returns the annotation with the given key attached to pos: on

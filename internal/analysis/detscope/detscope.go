@@ -23,22 +23,64 @@ var deterministic = []string{
 	"internal/guest",
 }
 
+// billing lists the package-path tails of the billing scope: the
+// subset of the deterministic core whose arithmetic lands in ledgers
+// and replayed bills, where floatdet forbids float computation. The
+// detector/report/textplot layers sit outside it and may render
+// percentages freely.
+var billing = []string{
+	"internal/kernel",
+	"internal/cluster",
+	"internal/device",
+	"internal/metering",
+}
+
 // Deterministic reports whether the import path names a package in
 // the deterministic core. Test binaries for such a package (go vet
 // analyzes "pkg [pkg.test]" and "pkg_test [pkg.test]" units too)
 // count: golden files and replay assertions are produced there.
 func Deterministic(path string) bool {
-	// A test variant's path looks like "repro/internal/kernel
-	// [repro/internal/kernel.test]"; the external-test package is
-	// "repro/internal/kernel_test [...]". Normalize both.
-	if i := strings.IndexByte(path, ' '); i >= 0 {
-		path = path[:i]
+	return matchTail(path, deterministic)
+}
+
+// Billing reports whether the import path names a package in the
+// billing scope, floatdet's narrower slice of the deterministic core.
+func Billing(path string) bool {
+	return matchTail(path, billing)
+}
+
+// Tracked reports whether the callsummary facts pass summarizes the
+// package: any package with an "internal" path segment — the module's
+// own helper layers plus analyzer fixture trees — but never the
+// standard library. Effects (wall-clock reads, float arithmetic,
+// goroutine spawns) propagate as facts only out of tracked packages;
+// root APIs like time.Now are recognized directly at call sites, so
+// stdlib units need no summaries and the driver can skip type-checking
+// them entirely on fact-only runs.
+func Tracked(path string) bool {
+	path = normalize(path)
+	if path == "internal" || strings.HasPrefix(path, "internal/") {
+		return true
 	}
-	path = strings.TrimSuffix(path, "_test")
-	for _, tail := range deterministic {
+	return strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal")
+}
+
+func matchTail(path string, tails []string) bool {
+	path = normalize(path)
+	for _, tail := range tails {
 		if path == tail || strings.HasSuffix(path, "/"+tail) {
 			return true
 		}
 	}
 	return false
+}
+
+// normalize strips the unit decorations go vet adds: a test variant's
+// path looks like "repro/internal/kernel [repro/internal/kernel.test]";
+// the external-test package is "repro/internal/kernel_test [...]".
+func normalize(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
 }

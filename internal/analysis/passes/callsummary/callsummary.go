@@ -1,0 +1,445 @@
+// Package callsummary is the simlint suite's shared inter-procedural
+// pass: for every function declared in a tracked package it computes
+// a transitive effect summary — does calling this function (or
+// anything it reaches) read the host wall clock, perform float
+// arithmetic, or touch goroutines and channels? — and exports it as
+// an object fact. Downstream analyzers (wallclock, floatdet, gotime)
+// consume the summaries through Requires/ResultOf: when code inside
+// their policed scope calls a helper two packages below it, the
+// helper's fact carries the violation back up to the call site inside
+// the scope, which is where the diagnostic belongs.
+//
+// Effects are collected conservatively from syntax plus type
+// information: a closure with effects marks its defining function
+// even if the closure is only stored, and dynamic calls (interface
+// methods, function values) contribute nothing. Sites suppressed by a
+// justified simlint annotation do not contribute either — an
+// annotation is a determinism proof for the site, so the taint must
+// not outlive it (internal/sim's annotated math/rand wrapper is the
+// canonical case: without this rule every machine's rng draw would
+// light up the tree).
+package callsummary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/annotation"
+	"repro/internal/analysis/detscope"
+	"repro/internal/analysis/passes/guestapi"
+)
+
+// Effects is a bit set of behaviors a function transitively performs.
+type Effects uint8
+
+const (
+	// WallClock marks host time reads (time.Now/time.Since) and host
+	// rng draws (math/rand outside the seeded sim.Rand wrapper).
+	WallClock Effects = 1 << iota
+	// Float marks non-constant floating-point arithmetic, conversions
+	// to or from float types, maps keyed on floats, and switches on
+	// float values.
+	Float
+	// Concurrency marks goroutine spawns, channel operations, select
+	// statements, and any use of sync or sync/atomic.
+	Concurrency
+)
+
+// String renders the bit set for diagnostics, e.g. "wall-clock+float".
+func (e Effects) String() string {
+	var parts []string
+	if e&WallClock != 0 {
+		parts = append(parts, "wall-clock")
+	}
+	if e&Float != 0 {
+		parts = append(parts, "float")
+	}
+	if e&Concurrency != 0 {
+		parts = append(parts, "concurrency")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// EffectFact is the per-function summary serialized through .vetx
+// files. Functions whose summary is empty export no fact: absence
+// means "no effects".
+type EffectFact struct{ E Effects }
+
+func (*EffectFact) AFact() {}
+
+func (f *EffectFact) String() string { return "effects(" + f.E.String() + ")" }
+
+// Analyzer computes and exports per-function effect summaries. It
+// reports nothing itself; its value is the facts and the Result
+// handed to dependent analyzers.
+var Analyzer = &analysis.Analyzer{
+	Name: "callsummary",
+	Doc: "compute per-function transitive effect summaries as facts\n\n" +
+		"Records for every declared function whether it transitively reads\n" +
+		"the wall clock, performs float arithmetic, or uses goroutines and\n" +
+		"channels, so the wallclock, floatdet, and gotime analyzers can flag\n" +
+		"calls whose violation is buried packages below the policed scope.",
+	FactTypes: []analysis.Fact{(*EffectFact)(nil)},
+	Run:       run,
+}
+
+// Annotation keys honored while collecting direct effects. Each must
+// mirror the Key constant of the consuming analyzer (which cannot be
+// imported here without creating a Requires-graph import cycle); the
+// cmd/simlint registration test cross-checks them.
+const (
+	WallclockKey = "wallclock-ok"
+	FloatKey     = "float-ok"
+	GotimeKey    = "gotime-ok"
+)
+
+// A Result answers effect queries for dependent analyzers: local
+// functions from this unit's fixed point, external ones from imported
+// facts. It is this package's ResultOf value.
+type Result struct {
+	local    map[*types.Func]Effects
+	imported func(fn *types.Func) Effects
+}
+
+// Effects returns fn's transitive effect summary, or zero for nil,
+// dynamic, and unsummarized (untracked or effect-free) functions.
+func (r *Result) Effects(fn *types.Func) Effects {
+	if fn == nil {
+		return 0
+	}
+	if e, ok := r.local[fn]; ok {
+		return e
+	}
+	return r.imported(fn)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	notes := annotation.New(pass.Fset, pass.Files)
+	res := &Result{
+		local: make(map[*types.Func]Effects),
+		imported: func(fn *types.Func) Effects {
+			var f EffectFact
+			if pass.ImportObjectFact(fn, &f) {
+				return f.E
+			}
+			return 0
+		},
+	}
+	// Summaries originate only in tracked packages, mirroring the unit
+	// driver's fast path (which never even type-checks untracked
+	// fact-only units). A rand or time package would otherwise taint
+	// itself through self-references; root APIs are instead recognized
+	// directly at call sites in tracked code.
+	if !detscope.Tracked(pass.Pkg.Path()) {
+		return res, nil
+	}
+
+	// Pass 1: per-declaration direct effects and static callees.
+	// Closure bodies fold into their enclosing declaration.
+	var order []*types.Func
+	direct := make(map[*types.Func]Effects)
+	callees := make(map[*types.Func][]*types.Func)
+	for _, f := range pass.Files {
+		randOK := fileRandImportOK(notes, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			e, calls := scanBody(pass.TypesInfo, notes, fd.Body, randOK)
+			order = append(order, fn)
+			direct[fn] = e
+			callees[fn] = calls
+		}
+	}
+
+	// Pass 2: seed each function with its direct effects plus the
+	// imported facts of external callees, then close over the
+	// intra-package call graph. Three bits per function bounds the
+	// iteration count.
+	eff := make(map[*types.Func]Effects, len(order))
+	for _, fn := range order {
+		e := direct[fn]
+		for _, c := range callees[fn] {
+			if _, local := direct[c]; !local {
+				e |= res.imported(c)
+			}
+		}
+		eff[fn] = e
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			e := eff[fn]
+			for _, c := range callees[fn] {
+				e |= eff[c] // zero for non-local callees
+			}
+			if e != eff[fn] {
+				eff[fn] = e
+				changed = true
+			}
+		}
+	}
+
+	for _, fn := range order {
+		res.local[fn] = eff[fn]
+		if eff[fn] != 0 {
+			pass.ExportObjectFact(fn, &EffectFact{E: eff[fn]})
+		}
+	}
+	return res, nil
+}
+
+// scanBody collects a declaration's direct effects (suppressed sites
+// excluded) and its statically resolvable callees, closures included.
+func scanBody(info *types.Info, notes *annotation.Index, body *ast.BlockStmt, randOK bool) (Effects, []*types.Func) {
+	var e Effects
+	var calls []*types.Func
+	ok := func(pos token.Pos, key string) bool {
+		n, found := notes.At(pos, key)
+		return found && n.Reason != ""
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// Methods promoted from sim.Rand's embedded *rand.Rand are
+			// the sanctioned seeded stream, not a host rng.
+			if s, found := info.Selections[sel]; found && recvIsSimRand(s.Recv()) {
+				return false
+			}
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if fn := guestapi.Callee(info, call); fn != nil {
+				calls = append(calls, fn)
+			}
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent {
+			if clock, rand := clockRef(info, id); clock && !(rand && randOK) && !ok(id.Pos(), WallclockKey) {
+				e |= WallClock
+			}
+		}
+		if _, found := ConcOp(info, n); found && !ok(n.Pos(), GotimeKey) {
+			e |= Concurrency
+		}
+		if _, found := FloatOp(info, n); found && !ok(n.Pos(), FloatKey) {
+			e |= Float
+		}
+		return true
+	})
+	return e, calls
+}
+
+// fileRandImportOK reports whether the file's math/rand import carries
+// a justified wallclock-ok annotation, which sanctions every rand use
+// in the file (the sim wrapper's convention, shared with wallclock).
+func fileRandImportOK(notes *annotation.Index, f *ast.File) bool {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !randPaths[path] {
+			continue
+		}
+		if n, found := notes.At(imp.Pos(), WallclockKey); found && n.Reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// randPaths are the host rng packages.
+var randPaths = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// timeFuncs are the wall-clock reads from package time.
+var timeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+}
+
+// clockRef classifies an identifier as a wall-clock or host-rng
+// reference (and tells the two apart, since rand references can be
+// sanctioned file-wide by an annotated import).
+func clockRef(info *types.Info, id *ast.Ident) (clock, rand bool) {
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return false, false
+	}
+	switch path := obj.Pkg().Path(); {
+	case path == "time" && timeFuncs[obj.Name()] && isPkgFunc(obj):
+		return true, false
+	case randPaths[path]:
+		return true, true
+	}
+	return false, false
+}
+
+// ConcOp classifies a node as a direct concurrency operation,
+// returning a human-readable description for diagnostics. The gotime
+// analyzer reports these sites; this pass turns them into summary
+// bits.
+func ConcOp(info *types.Info, n ast.Node) (string, bool) {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		return "go statement", true
+	case *ast.SendStmt:
+		return "channel send", true
+	case *ast.SelectStmt:
+		return "select statement", true
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "channel receive", true
+		}
+	case *ast.RangeStmt:
+		if t, ok := info.Types[n.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				return "range over channel", true
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+				return "close of channel", true
+			}
+		}
+	case *ast.Ident:
+		obj := info.Uses[n]
+		if obj != nil && obj.Pkg() != nil {
+			if p := obj.Pkg().Path(); p == "sync" || p == "sync/atomic" {
+				return "use of " + p + "." + obj.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// FloatOp classifies a node as a non-constant floating-point
+// operation, returning a description for diagnostics. Constant
+// expressions are excluded: they fold at compile time, identically on
+// every machine. The floatdet analyzer reports these sites; this pass
+// turns them into summary bits.
+func FloatOp(info *types.Info, n ast.Node) (string, bool) {
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		switch n.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			if !isConst(info, n) && (isFloatExpr(info, n.X) || isFloatExpr(info, n.Y)) {
+				return "float arithmetic (" + n.Op.String() + ")", true
+			}
+		}
+	case *ast.UnaryExpr:
+		if (n.Op == token.SUB || n.Op == token.ADD) && !isConst(info, n) && isFloatExpr(info, n.X) {
+			return "float arithmetic (" + n.Op.String() + ")", true
+		}
+	case *ast.AssignStmt:
+		switch n.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(n.Lhs) == 1 && isFloatExpr(info, n.Lhs[0]) {
+				return "float arithmetic (" + n.Tok.String() + ")", true
+			}
+		}
+	case *ast.IncDecStmt:
+		if isFloatExpr(info, n.X) {
+			return "float arithmetic (" + n.Tok.String() + ")", true
+		}
+	case *ast.CallExpr:
+		// A call whose Fun is a type is a conversion; flag those that
+		// create float data or round it away.
+		if len(n.Args) != 1 || isConst(info, n) {
+			break
+		}
+		tv, ok := info.Types[ast.Unparen(n.Fun)]
+		if !ok || !tv.IsType() {
+			break
+		}
+		to, from := isFloatType(tv.Type), isFloatExpr(info, n.Args[0])
+		if to && !from {
+			return "conversion to " + tv.Type.String(), true
+		}
+		if from && !to {
+			return "conversion from float to " + tv.Type.String(), true
+		}
+	case *ast.MapType:
+		if tv, ok := info.Types[n.Key]; ok && isFloatType(tv.Type) {
+			return "map keyed on float", true
+		}
+	case *ast.SwitchStmt:
+		if n.Tag != nil && isFloatExpr(info, n.Tag) {
+			return "switch on float", true
+		}
+	}
+	return "", false
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isFloatType(tv.Type)
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// FuncName renders a function for diagnostics as pkg.Func or
+// pkg.Type.Method, the shape readers of the flagged call site expect.
+func FuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := types.Unalias(rt).(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := types.Unalias(rt).(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// recvIsSimRand reports whether a method selection's static receiver
+// is the deterministic sim.Rand wrapper (or a fixture twin).
+func recvIsSimRand(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Rand" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "sim" || strings.HasSuffix(path, "/sim")
+}
+
+// isPkgFunc reports whether obj is a package-level function, so a
+// method on a type defined in package time (Time.Sub) never matches
+// the timeFuncs set.
+func isPkgFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

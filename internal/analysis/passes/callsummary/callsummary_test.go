@@ -1,0 +1,45 @@
+package callsummary_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/callsummary"
+)
+
+// probe reports every declared function's non-empty effect summary at
+// its name, so fixtures can assert summaries with `// want` comments
+// — including summaries whose effects arrive as facts from other
+// fixture packages.
+var probe = &analysis.Analyzer{
+	Name:     "callsummaryprobe",
+	Doc:      "report each declared function's effect summary",
+	Requires: []*analysis.Analyzer{callsummary.Analyzer},
+	Run: func(pass *analysis.Pass) (any, error) {
+		res := pass.ResultOf[callsummary.Analyzer].(*callsummary.Result)
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if e := res.Effects(fn); e != 0 {
+					pass.Reportf(fd.Name.Pos(), "effects: %s", e)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), probe,
+		"a/internal/lib", "a/internal/core")
+}

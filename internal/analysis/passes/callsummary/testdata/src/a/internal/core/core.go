@@ -1,0 +1,37 @@
+// Package core calls into lib: its summaries must pick up lib's
+// effects through facts, and intra-package recursion must reach a
+// fixed point.
+package core
+
+import "a/internal/lib"
+
+// Indirect reaches the wall clock one package down.
+func Indirect() { // want `effects: wall-clock`
+	_ = lib.Stamp()
+}
+
+// Both reaches float arithmetic and sync use through two different
+// helpers.
+func Both() { // want `effects: float\+concurrency`
+	_ = lib.Ratio(1, 2)
+	lib.Locked()
+}
+
+// Clean calls only effect-free and annotation-sanctioned helpers.
+func Clean() {
+	_ = lib.Pure(3)
+	_ = lib.Justified()
+}
+
+// PingA and PongB are mutually recursive; the fixed point must
+// terminate and propagate PongB's wall-clock effect to both.
+func PingA(n int) { // want `effects: wall-clock`
+	if n > 0 {
+		PongB(n - 1)
+	}
+}
+
+func PongB(n int) { // want `effects: wall-clock`
+	PingA(n)
+	_ = lib.Stamp()
+}

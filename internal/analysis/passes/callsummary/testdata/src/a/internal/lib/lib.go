@@ -1,0 +1,44 @@
+// Package lib holds the leaf functions whose direct effects the
+// callsummary pass must summarize and export as facts.
+package lib
+
+import (
+	"sync"
+	"time"
+)
+
+// Stamp reads the host wall clock directly.
+func Stamp() time.Time { // want `effects: wall-clock`
+	return time.Now()
+}
+
+// Ratio converts to float and divides.
+func Ratio(a, b int) float64 { // want `effects: float`
+	return float64(a) / float64(b)
+}
+
+// Locked uses the sync package.
+func Locked() { // want `effects: concurrency`
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Pure has no effects and therefore no summary and no fact.
+func Pure(x int) int { return x + 1 }
+
+// Justified uses the wall clock behind a justified annotation: the
+// suppression is a determinism proof for the site, so no taint
+// escapes to callers.
+func Justified() time.Time {
+	return time.Now() //simlint:wallclock-ok fixture: pretend this is virtualized
+}
+
+// Definer only defines a closure with a channel operation, but a
+// closure's effects attribute conservatively to its definer.
+func Definer() func() { // want `effects: concurrency`
+	return func() {
+		ch := make(chan int)
+		close(ch)
+	}
+}

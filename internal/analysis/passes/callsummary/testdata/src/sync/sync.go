@@ -1,0 +1,9 @@
+// Package sync is a miniature stub of the standard library's sync
+// package for the callsummary fixtures; see the time stub for why
+// imports resolve here.
+package sync
+
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   { m.locked = true }
+func (m *Mutex) Unlock() { m.locked = false }

@@ -1,0 +1,13 @@
+// Package time is a miniature stub of the standard library's time
+// package for the callsummary fixtures. The analysistest loader
+// resolves imports with an empty GOROOT, so this stub, never the real
+// standard library, is what fixtures bind to.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time { return Time{} }
+
+func Since(t Time) Duration { return 0 }

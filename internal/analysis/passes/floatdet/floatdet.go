@@ -1,0 +1,93 @@
+// Package floatdet defines the simlint analyzer that keeps floating
+// point out of the billing scope. Billed quantities — ticks, bytes,
+// frames — are integers; the moment a float enters the arithmetic, a
+// bill becomes a function of rounding mode and evaluation order, and
+// two replays of the same seed can disagree by one ulp that a
+// comparison then amplifies into a different frame count. The
+// analyzer flags non-constant float arithmetic, conversions to or
+// from float, maps keyed on floats, and switches on float values
+// inside billing packages (detscope.Billing) — and, through the
+// callsummary facts, calls from billing code to any function outside
+// the scope that transitively performs float arithmetic, however many
+// packages down the violation hides.
+//
+// The report/textplot layers sit outside the billing scope and render
+// percentages freely. A deliberate float inside the scope (e.g. a
+// presentation-only seconds conversion) is suppressed with a
+// justified //simlint:float-ok annotation.
+package floatdet
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/annotation"
+	"repro/internal/analysis/detscope"
+	"repro/internal/analysis/passes/callsummary"
+	"repro/internal/analysis/passes/guestapi"
+)
+
+// Key is the annotation that suppresses a finding, e.g.
+// `//simlint:float-ok <why>`.
+const Key = "float-ok"
+
+// Analyzer flags float computation reachable from billing packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc: "flag float arithmetic reachable from the billing scope\n\n" +
+		"Billed quantities are integer ticks and bytes; float arithmetic,\n" +
+		"float conversions, float-keyed maps, and switches on floats make\n" +
+		"bills rounding-sensitive. Calls that reach float arithmetic in\n" +
+		"helper packages are flagged at the call site via callsummary\n" +
+		"facts. Suppress a deliberate use with a justified\n" +
+		"//simlint:float-ok annotation.",
+	Requires: []*analysis.Analyzer{callsummary.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !detscope.Billing(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	notes := annotation.New(pass.Fset, pass.Files)
+	sums := pass.ResultOf[callsummary.Analyzer].(*callsummary.Result)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if desc, ok := callsummary.FloatOp(pass.TypesInfo, n); ok {
+				if note, found := notes.At(n.Pos(), Key); found {
+					if note.Reason == "" {
+						pass.Reportf(n.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+					}
+					return true
+				}
+				pass.Reportf(n.Pos(), "%s in a billing package; billed quantities must stay in integer ticks and bytes, or annotate //simlint:%s <why>", desc, Key)
+				return true
+			}
+			// A call out of the billing scope whose callee transitively
+			// performs float arithmetic: the violation belongs to this
+			// call site. Callees inside the scope are policed where they
+			// are declared.
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := guestapi.Callee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || detscope.Billing(callee.Pkg().Path()) {
+				return true
+			}
+			if sums.Effects(callee)&callsummary.Float == 0 {
+				return true
+			}
+			if note, found := notes.At(call.Pos(), Key); found {
+				if note.Reason == "" {
+					pass.Reportf(call.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "call to %s reaches float arithmetic from a billing package; keep billed math in integer ticks and bytes, or annotate //simlint:%s <why>", callsummary.FuncName(callee), Key)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/floatdet"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatdet.Analyzer, "a/internal/kernel")
+}

@@ -1,0 +1,8 @@
+// Package core sits between the billing scope and lib: the float
+// arithmetic it reaches is two packages removed from the flagged
+// call site.
+package core
+
+import "a/internal/lib"
+
+func Scale(n int) float64 { return lib.Ratio(n, 100) }

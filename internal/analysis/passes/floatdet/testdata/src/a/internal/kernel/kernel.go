@@ -1,0 +1,64 @@
+// Package kernel is a floatdet fixture on a billing import path.
+package kernel
+
+import "a/internal/core"
+
+func flaggedArith(a, b int) float64 {
+	x := float64(a) // want `conversion to float64 in a billing package`
+	y := float64(b) // want `conversion to float64 in a billing package`
+	return x / y    // want `float arithmetic \(/\) in a billing package`
+}
+
+func flaggedCompound(x float64) float64 {
+	x *= 2 // want `float arithmetic \(\*=\) in a billing package`
+	return x
+}
+
+func flaggedRound(x float64) int {
+	return int(x) // want `conversion from float to int in a billing package`
+}
+
+func flaggedMap() {
+	m := map[float64]int{} // want `map keyed on float in a billing package`
+	_ = m
+}
+
+func flaggedSwitch(x float64) int {
+	switch x { // want `switch on float in a billing package`
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func constFolded() int64 {
+	// A constant expression folds at compile time, identically
+	// everywhere: not a finding.
+	const ticksPerSec = int64(1e9 / 2)
+	return ticksPerSec
+}
+
+func annotated(a int) float64 {
+	return float64(a) //simlint:float-ok fixture: presentation-only percentage
+}
+
+func unjustified(a int) float64 {
+	//simlint:float-ok
+	return float64(a) // want `annotation needs a justification`
+}
+
+func indirect(n int) {
+	// The division is in lib, two packages below; the fact carries it
+	// here through core.
+	_ = core.Scale(n) // want `call to core.Scale reaches float arithmetic`
+}
+
+func annotatedIndirect(n int) {
+	_ = core.Scale(n) //simlint:float-ok fixture: debug-only readout
+}
+
+func inScopeCalleeNotDoubled(a int) {
+	// annotated is inside the billing scope: policed at its own
+	// declaration, never re-flagged at call sites.
+	_ = annotated(a)
+}

@@ -1,0 +1,6 @@
+// Package lib is a tracked helper outside the billing scope: float
+// arithmetic is legal here, but taints callers inside the scope
+// through callsummary facts.
+package lib
+
+func Ratio(a, b int) float64 { return float64(a) / float64(b) }

@@ -1,0 +1,131 @@
+// Package gotime defines the simlint analyzer that confines real
+// concurrency to the simulator's engine files. The simulator models
+// thousands of tasks, but the model itself must execute as one
+// deterministic event loop: a stray goroutine or channel in model
+// code introduces host-scheduler ordering into state the replay
+// goldens assert is a pure function of the seed. Only the sanctioned
+// engine files — the kernel's coroutine scheduler (machine.go,
+// task.go) and the cluster event loop (cluster.go) — may use go
+// statements, channels, select, or the sync package inside the
+// deterministic scope; everywhere else in the scope, both direct uses
+// and calls that transitively reach concurrency (via the callsummary
+// facts) are flagged.
+//
+// Deliberate concurrency in the scope — the experiment campaign
+// runner's worker pool, which parallelizes independent seeded runs
+// and merges their outputs in deterministic order — is suppressed
+// with justified //simlint:gotime-ok annotations.
+package gotime
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/annotation"
+	"repro/internal/analysis/detscope"
+	"repro/internal/analysis/passes/callsummary"
+	"repro/internal/analysis/passes/guestapi"
+)
+
+// Key is the annotation that suppresses a finding, e.g.
+// `//simlint:gotime-ok <why>`.
+const Key = "gotime-ok"
+
+// Analyzer flags concurrency outside the sanctioned engine files.
+var Analyzer = &analysis.Analyzer{
+	Name: "gotime",
+	Doc: "flag goroutines and channel operations outside the engine files\n\n" +
+		"Deterministic packages run under the kernel's cooperative scheduler;\n" +
+		"real goroutines, channels, select, and sync belong only in the\n" +
+		"sanctioned engine files (kernel machine.go/task.go, cluster\n" +
+		"cluster.go). Calls that reach concurrency in helper packages are\n" +
+		"flagged at the call site via callsummary facts. Suppress a\n" +
+		"deliberate use with a justified //simlint:gotime-ok annotation.",
+	Requires: []*analysis.Analyzer{callsummary.Analyzer},
+	Run:      run,
+}
+
+// sanctioned maps a package-path tail to the base names of its engine
+// files, where the event loop's own concurrency machinery lives.
+var sanctioned = map[string][]string{
+	"internal/kernel":  {"machine.go", "task.go"},
+	"internal/cluster": {"cluster.go"},
+}
+
+// sanctionedFile reports whether the file is an engine file of its
+// package. Test variants ("pkg [pkg.test]") inherit their package's
+// sanction list, but test files themselves are never sanctioned.
+func sanctionedFile(pkgPath, filename string) bool {
+	base := filepath.Base(filename)
+	for tail, files := range sanctioned {
+		if pkgPath != tail && !strings.HasSuffix(normalize(pkgPath), "/"+tail) {
+			continue
+		}
+		for _, f := range files {
+			if base == f {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func normalize(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !detscope.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	notes := annotation.New(pass.Fset, pass.Files)
+	sums := pass.ResultOf[callsummary.Analyzer].(*callsummary.Result)
+
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if sanctionedFile(pass.Pkg.Path(), filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if desc, ok := callsummary.ConcOp(pass.TypesInfo, n); ok {
+				if note, found := notes.At(n.Pos(), Key); found {
+					if note.Reason == "" {
+						pass.Reportf(n.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+					}
+					return true
+				}
+				pass.Reportf(n.Pos(), "%s in a deterministic package outside the engine files; schedule through the kernel's event loop, or annotate //simlint:%s <why>", desc, Key)
+				return true
+			}
+			// Calls that leave the deterministic scope for a callee that
+			// transitively touches concurrency are the indirect form of
+			// the same leak. In-scope callees are policed at their own
+			// declaration sites.
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := guestapi.Callee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || detscope.Deterministic(callee.Pkg().Path()) {
+				return true
+			}
+			if sums.Effects(callee)&callsummary.Concurrency == 0 {
+				return true
+			}
+			if note, found := notes.At(call.Pos(), Key); found {
+				if note.Reason == "" {
+					pass.Reportf(call.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "call to %s reaches goroutine or channel operations from a deterministic package; schedule through the kernel's event loop, or annotate //simlint:%s <why>", callsummary.FuncName(callee), Key)
+			return true
+		})
+	}
+	return nil, nil
+}

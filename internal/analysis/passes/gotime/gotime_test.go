@@ -1,0 +1,12 @@
+package gotime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/gotime"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), gotime.Analyzer, "a/internal/kernel")
+}

@@ -1,0 +1,14 @@
+// machine.go is a sanctioned engine file: the kernel's own coroutine
+// scheduler lives here, so goroutines and channels are its business.
+package kernel
+
+type Machine struct {
+	ready chan int
+}
+
+func (m *Machine) Run() {
+	m.ready = make(chan int, 1)
+	go func() { m.ready <- 1 }()
+	<-m.ready
+	close(m.ready)
+}

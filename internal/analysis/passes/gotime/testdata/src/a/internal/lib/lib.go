@@ -1,0 +1,10 @@
+// Package lib is a tracked helper outside the deterministic scope:
+// its channel use is legal here, but taints callers inside the scope
+// through callsummary facts.
+package lib
+
+func Spawn() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	<-ch
+}

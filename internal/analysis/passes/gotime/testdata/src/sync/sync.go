@@ -1,0 +1,10 @@
+// Package sync is a miniature stub of the standard library's sync
+// package for the gotime fixtures. The analysistest loader resolves
+// imports with an empty GOROOT, so this stub, never the real standard
+// library, is what fixtures bind to.
+package sync
+
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   { m.locked = true }
+func (m *Mutex) Unlock() { m.locked = false }

@@ -1,0 +1,13 @@
+package ledgerbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ledgerbalance"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ledgerbalance.Analyzer,
+		"a/internal/cluster", "a/internal/relay")
+}

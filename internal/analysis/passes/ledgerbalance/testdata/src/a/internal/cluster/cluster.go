@@ -1,0 +1,99 @@
+// Package cluster is a ledgerbalance fixture: a Link ledger with the
+// four conservation counters (exported, so helper packages can move
+// them across package boundaries) and the update shapes the analyzer
+// must accept and reject.
+package cluster
+
+type Link struct {
+	Sent, Delivered, Dropped, Queued int
+}
+
+// Deliver is a legal one-sided helper: it moves only the right side;
+// callers that counted the sent side close the balance.
+func (l *Link) Deliver() {
+	l.Delivered++
+}
+
+// Send pairs the sent count with an outcome on every path.
+func Send(l *Link, up bool) {
+	l.Sent++
+	if up {
+		l.Deliver()
+	} else {
+		l.Dropped++
+	}
+}
+
+// CondSend is balanced per path: (0,0) and (+1,+1).
+func CondSend(l *Link, ok bool) {
+	if ok {
+		l.Sent++
+		l.Queued++
+	}
+}
+
+// Expire moves frames from queued to dropped: right side nets zero.
+func Expire(l *Link, n int) {
+	for i := 0; i < n; i++ {
+		l.Queued--
+		l.Dropped++
+	}
+}
+
+// BatchSend pairs its movements inside the loop: legal at any trip
+// count (the function's net then depends on it, so callers fold zero).
+func BatchSend(l *Link, frames []int) {
+	for range frames {
+		l.Sent++
+		l.Queued++
+	}
+}
+
+func BadSend(l *Link) { // want `Link counters net sent\+1 but delivered\+dropped\+queued\+0 on some path`
+	l.Sent++
+}
+
+func BadBranch(l *Link, ok bool) { // want `net sent\+1 but delivered\+dropped\+queued\+0 on some path`
+	l.Sent++
+	if ok {
+		l.Queued++
+	}
+}
+
+func BadLoop(l *Link, frames []int) {
+	for range frames { // want `move sent and delivered\+dropped\+queued unequally per iteration`
+		l.Sent++
+	}
+}
+
+func BadAssign(l *Link) {
+	l.Queued = 0 // want `direct assignment to Link counter "Queued"`
+}
+
+func BadNonConst(l *Link, n int) {
+	l.Dropped += n // want `non-constant update to Link counter "Dropped"`
+}
+
+//simlint:ledger-ok fixture: reconciliation helper, callers rebuild the other side
+func AnnotatedSentOnly(l *Link) {
+	l.Sent++
+}
+
+//simlint:ledger-ok
+func Unjustified(l *Link) { // want `annotation needs a justification`
+	l.Sent++
+}
+
+// UseHelper closes the balance through a same-package helper call.
+func UseHelper(l *Link) {
+	l.Sent++
+	l.Deliver()
+}
+
+// Closure bodies are checked independently: their execution time is
+// unknown, so they must balance on their own.
+func BadClosure(l *Link) func() {
+	return func() { // want `net sent\+1 but delivered\+dropped\+queued\+0 on some path`
+		l.Sent++
+	}
+}

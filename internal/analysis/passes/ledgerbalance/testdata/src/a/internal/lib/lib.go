@@ -1,0 +1,14 @@
+// Package lib moves Link counters from outside the cluster package;
+// its annotated one-sided helper exports a (sent+1, rest+0) fact that
+// consumers must balance.
+package lib
+
+import "a/internal/cluster"
+
+// SentOnly counts a frame as sent; the caller must land it in
+// delivered, dropped, or queued.
+//
+//simlint:ledger-ok callers account the delivered/dropped/queued side
+func SentOnly(l *cluster.Link) {
+	l.Sent++
+}

@@ -1,0 +1,19 @@
+// Package relay consumes the DeltaFact lib exports: whether the
+// balance closes is decided two packages away from where the counter
+// moves.
+package relay
+
+import (
+	"a/internal/cluster"
+	"a/internal/lib"
+)
+
+// Good balances lib's sent-side fact with a delivery.
+func Good(l *cluster.Link) {
+	lib.SentOnly(l)
+	l.Delivered++
+}
+
+func Bad(l *cluster.Link) { // want `net sent\+1 but delivered\+dropped\+queued\+0 on some path`
+	lib.SentOnly(l)
+}

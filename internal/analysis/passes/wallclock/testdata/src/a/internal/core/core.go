@@ -1,0 +1,8 @@
+// Package core sits between the deterministic scope and lib: the
+// wall-clock read it reaches is two packages removed from the call
+// site that gets flagged.
+package core
+
+import "a/internal/lib"
+
+func Boot() { _ = lib.Stamp() }

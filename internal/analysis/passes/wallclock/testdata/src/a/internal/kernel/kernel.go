@@ -5,6 +5,8 @@ package kernel
 import (
 	"math/rand"
 	"time"
+
+	"a/internal/core"
 )
 
 func flaggedClock() time.Duration {
@@ -28,4 +30,14 @@ func unjustified() time.Time {
 
 func methodNotFlagged(a, b time.Time) time.Duration {
 	return a.Sub(b) // a method on time.Time reads no clock
+}
+
+func indirect() {
+	// The time.Now is in lib, two packages below; the fact carries it
+	// here through core.
+	core.Boot() // want `call to core.Boot reaches the host wall clock or rng`
+}
+
+func annotatedIndirect() {
+	core.Boot() //simlint:wallclock-ok fixture: startup stamp outside the simulated timeline
 }

@@ -1,0 +1,8 @@
+// Package lib is a tracked helper package outside the deterministic
+// scope: its wall-clock read is legal here, but becomes a finding at
+// any call site inside the scope, via callsummary facts.
+package lib
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

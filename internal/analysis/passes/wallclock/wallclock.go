@@ -13,6 +13,11 @@
 // justified annotation on the import line, which covers the file:
 //
 //	import "math/rand" //simlint:wallclock-ok seeded source only
+//
+// Violations need not be direct: a deterministic package calling a
+// helper that (transitively) reads the clock is flagged at the call
+// site, using the per-function effect facts the callsummary pass
+// exports across package boundaries.
 package wallclock
 
 import (
@@ -24,6 +29,8 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/annotation"
 	"repro/internal/analysis/detscope"
+	"repro/internal/analysis/passes/callsummary"
+	"repro/internal/analysis/passes/guestapi"
 )
 
 // Key is the annotation that suppresses a finding, e.g.
@@ -38,9 +45,11 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flag time.Now/time.Since and math/rand in the deterministic core\n\n" +
 		"Deterministic packages must take time from sim.Clock and randomness\n" +
 		"from sim.Rand; host clocks and host rngs make replays\n" +
-		"machine-dependent. Suppress a deliberate use with a justified\n" +
-		"//simlint:wallclock-ok annotation.",
-	Run: run,
+		"machine-dependent. Indirect reads through helper packages are\n" +
+		"flagged at the call site via callsummary facts. Suppress a\n" +
+		"deliberate use with a justified //simlint:wallclock-ok annotation.",
+	Requires: []*analysis.Analyzer{callsummary.Analyzer},
+	Run:      run,
 }
 
 // randPaths are the host rng packages; any object from them counts.
@@ -60,6 +69,7 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	notes := annotation.New(pass.Fset, pass.Files)
+	sums := pass.ResultOf[callsummary.Analyzer].(*callsummary.Result)
 
 	for _, f := range pass.Files {
 		// An annotated math/rand import suppresses the whole file's
@@ -83,6 +93,26 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 
 		ast.Inspect(f, func(n ast.Node) bool {
+			// Indirect use: a call leaving the deterministic scope whose
+			// callee transitively reaches the clock or a host rng. Direct
+			// sites (callees in time/math/rand) report through the ident
+			// check below, and in-scope callees are policed where they
+			// are declared, so this only fires for out-of-scope helpers.
+			if call, ok := n.(*ast.CallExpr); ok {
+				callee := guestapi.Callee(pass.TypesInfo, call)
+				if callee != nil && callee.Pkg() != nil &&
+					!detscope.Deterministic(callee.Pkg().Path()) &&
+					sums.Effects(callee)&callsummary.WallClock != 0 {
+					if note, ok := notes.At(call.Pos(), Key); ok {
+						if note.Reason == "" {
+							pass.Reportf(call.Pos(), "simlint:%s annotation needs a justification after the key", Key)
+						}
+					} else {
+						pass.Reportf(call.Pos(), "call to %s reaches the host wall clock or rng from a deterministic package; take time from sim.Clock and randomness from sim.Rand, or annotate //simlint:%s <why>", callsummary.FuncName(callee), Key)
+					}
+				}
+				return true
+			}
 			id, ok := n.(*ast.Ident)
 			if !ok {
 				// Methods promoted from sim.Rand's embedded *rand.Rand

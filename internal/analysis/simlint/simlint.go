@@ -6,18 +6,30 @@ package simlint
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/callsummary"
 	"repro/internal/analysis/passes/errnocheck"
+	"repro/internal/analysis/passes/floatdet"
+	"repro/internal/analysis/passes/gotime"
+	"repro/internal/analysis/passes/ledgerbalance"
 	"repro/internal/analysis/passes/mapiter"
 	"repro/internal/analysis/passes/syscallname"
 	"repro/internal/analysis/passes/wallclock"
 )
 
 // All returns the full simlint suite in registration order.
+// callsummary reports nothing itself but is enrolled so its facts
+// pass is addressable from the command line and counted by the
+// registration test; the driver would run it anyway as a prerequisite
+// of wallclock, floatdet, and gotime.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		mapiter.Analyzer,
 		wallclock.Analyzer,
 		errnocheck.Analyzer,
 		syscallname.Analyzer,
+		callsummary.Analyzer,
+		floatdet.Analyzer,
+		ledgerbalance.Analyzer,
+		gotime.Analyzer,
 	}
 }

@@ -1,0 +1,250 @@
+// Facts storage for the unit driver: the in-process table each
+// analysis run reads and writes through the Pass fact hooks, plus the
+// gob serialization that carries facts between compilation units
+// through the .vetx files of the `go vet -vettool` protocol.
+//
+// Facts cross the package boundary by name, not by pointer: a fact on
+// repro/internal/lib.Helper is serialized as ("callsummary",
+// "repro/internal/lib", "Helper") and re-resolved when a downstream
+// unit's type-check imports that package from export data. Only
+// objects a downstream unit can name survive serialization —
+// package-level objects and methods of package-level types; facts on
+// anything else (locals, closures) remain visible within the unit
+// that exported them, which is all an intra-package fixed point
+// needs. Every unit re-exports the facts it imported, so a fact flows
+// transitively: lib → core → kernel works even though kernel's unit
+// only reads its direct dependencies' .vetx files.
+package unit
+
+import (
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// A Facts store holds every fact exported during a driver run plus
+// the facts decoded from dependency units' .vetx files. One store is
+// shared by all analyzers of a run; entries are namespaced by
+// analyzer, so an analyzer only ever observes its own facts.
+type Facts struct {
+	// byObj resolves same-process lookups by object identity — the
+	// fast path within a unit, and the only path for facts on objects
+	// that have no cross-unit name.
+	byObj map[objFactKey]analysis.Fact
+	// byName resolves cross-unit lookups (and serialization): facts
+	// keyed by analyzer, package path, and object path ("" names the
+	// package itself).
+	byName map[nameFactKey]analysis.Fact
+}
+
+type objFactKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+type nameFactKey struct {
+	analyzer string
+	pkgPath  string
+	object   string // "" = package fact
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts {
+	return &Facts{
+		byObj:  make(map[objFactKey]analysis.Fact),
+		byName: make(map[nameFactKey]analysis.Fact),
+	}
+}
+
+// exportObject records fact against obj for analyzer a.
+func (f *Facts) exportObject(a *analysis.Analyzer, obj types.Object, fact analysis.Fact) {
+	if obj == nil || fact == nil {
+		panic(fmt.Sprintf("%s: ExportObjectFact with nil object or fact", a.Name))
+	}
+	f.byObj[objFactKey{a.Name, obj}] = fact
+	if path := objectPath(obj); path != "" && obj.Pkg() != nil {
+		f.byName[nameFactKey{a.Name, obj.Pkg().Path(), path}] = fact
+	}
+}
+
+// importObject copies the fact analyzer a attached to obj into dst,
+// reporting whether a fact of dst's concrete type existed. Lookup
+// tries object identity first (facts exported in this process), then
+// the serialized name table (facts decoded from dependency units).
+func (f *Facts) importObject(a *analysis.Analyzer, obj types.Object, dst analysis.Fact) bool {
+	if obj == nil || dst == nil {
+		panic(fmt.Sprintf("%s: ImportObjectFact with nil object or fact", a.Name))
+	}
+	if src, ok := f.byObj[objFactKey{a.Name, obj}]; ok && copyFact(dst, src) {
+		return true
+	}
+	if path := objectPath(obj); path != "" && obj.Pkg() != nil {
+		if src, ok := f.byName[nameFactKey{a.Name, obj.Pkg().Path(), path}]; ok && copyFact(dst, src) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportPackage records fact against the package with the given path.
+func (f *Facts) exportPackage(a *analysis.Analyzer, pkgPath string, fact analysis.Fact) {
+	if fact == nil {
+		panic(fmt.Sprintf("%s: ExportPackageFact with nil fact", a.Name))
+	}
+	f.byName[nameFactKey{a.Name, pkgPath, ""}] = fact
+}
+
+// importPackage copies analyzer a's fact for the package into dst.
+func (f *Facts) importPackage(a *analysis.Analyzer, pkgPath string, dst analysis.Fact) bool {
+	if dst == nil {
+		panic(fmt.Sprintf("%s: ImportPackageFact with nil fact", a.Name))
+	}
+	src, ok := f.byName[nameFactKey{a.Name, pkgPath, ""}]
+	return ok && copyFact(dst, src)
+}
+
+// copyFact copies src's value into dst when their concrete types
+// match. A type mismatch is not an error: the store may hold a fact
+// of a different concrete type under the same key, which simply does
+// not answer this import.
+func copyFact(dst, src analysis.Fact) bool {
+	dv, sv := reflect.ValueOf(dst), reflect.ValueOf(src)
+	if dv.Type() != sv.Type() || dv.Kind() != reflect.Pointer || dv.IsNil() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// objectPath names obj in a way a downstream unit can reproduce from
+// export data: "Name" for package-level objects, "Type.Method" for
+// methods of package-level named types, "" for everything else
+// (which therefore cannot cross the unit boundary).
+func objectPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if p, ok := types.Unalias(rt).(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			named, ok := types.Unalias(rt).(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return ""
+			}
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name()
+	}
+	return ""
+}
+
+// factRecord is the serialized form of one fact: who exported it,
+// where it lives, and the gob-registered fact value itself.
+type factRecord struct {
+	Analyzer string
+	PkgPath  string
+	Object   string // "" = package fact
+	Fact     analysis.Fact
+}
+
+// Encode writes the store's name-addressable facts — its own exports
+// plus everything it imported, so downstream units see transitive
+// facts through direct dependencies — as one deterministic gob
+// stream, sorted by (analyzer, package, object).
+func (f *Facts) Encode(w io.Writer) error {
+	records := make([]factRecord, 0, len(f.byName))
+	for k, fact := range f.byName { //simlint:unordered-ok records are sorted before encoding
+		records = append(records, factRecord{Analyzer: k.analyzer, PkgPath: k.pkgPath, Object: k.object, Fact: fact})
+	}
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		return a.Object < b.Object
+	})
+	return gob.NewEncoder(w).Encode(records)
+}
+
+// Decode merges one .vetx stream's records into the store. An empty
+// stream (the facts file of a unit that exported nothing) is valid
+// and merges nothing. Records naming objects that no longer resolve
+// in the current type graph are harmless: they sit in the name table
+// and never answer an import.
+func (f *Facts) Decode(r io.Reader) error {
+	var records []factRecord
+	if err := gob.NewDecoder(r).Decode(&records); err != nil {
+		if err == io.EOF {
+			return nil // empty facts file
+		}
+		return err
+	}
+	for _, rec := range records {
+		if rec.Fact == nil {
+			continue
+		}
+		f.byName[nameFactKey{rec.Analyzer, rec.PkgPath, rec.Object}] = rec.Fact
+	}
+	return nil
+}
+
+// registerFactTypes makes every fact type declared by the analyzers
+// (and their transitive requirements) known to gob, so Encode/Decode
+// can carry them through interface-typed records.
+func registerFactTypes(analyzers []*analysis.Analyzer) {
+	seen := make(map[*analysis.Analyzer]bool)
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, ft := range a.FactTypes {
+			gob.Register(ft)
+		}
+		for _, req := range a.Requires {
+			visit(req)
+		}
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+}
+
+// factProducers filters the analyzers' transitive closure down to
+// those that declare fact types — the set a fact-only (VetxOnly)
+// dependency run must execute so downstream units see their facts.
+func factProducers(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	seen := make(map[*analysis.Analyzer]bool)
+	var out []*analysis.Analyzer
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}

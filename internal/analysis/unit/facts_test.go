@@ -1,0 +1,180 @@
+package unit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// effectFact is the test's stand-in for an analyzer fact that crosses
+// the unit boundary through a .vetx stream.
+type effectFact struct{ N int }
+
+func (*effectFact) AFact() {}
+
+// otherFact shares no concrete type with effectFact; an import asking
+// for it must not be answered by an effectFact under the same key.
+type otherFact struct{ S string }
+
+func (*otherFact) AFact() {}
+
+func init() {
+	gob.Register(&effectFact{})
+	gob.Register(&otherFact{})
+}
+
+// typecheckLib parses and checks the fixture's upstream package from
+// scratch. Calling it twice yields two object graphs with distinct
+// identities for the same names — exactly the relationship between
+// the unit that exported a fact and a downstream unit that re-imports
+// the package from export data.
+func typecheckLib(t *testing.T) *types.Package {
+	t.Helper()
+	const src = `package lib
+
+type Meter struct{}
+
+func (m *Meter) Read() int { return 0 }
+
+func Stamp() int { return 1 }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "lib.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check("fix/internal/lib", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func lookupFunc(t *testing.T, pkg *types.Package, path string) *types.Func {
+	t.Helper()
+	var obj types.Object
+	if name, method, ok := strings.Cut(path, "."); ok {
+		named := pkg.Scope().Lookup(name).(*types.TypeName).Type().(*types.Named)
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == method {
+				obj = named.Method(i)
+			}
+		}
+	} else {
+		obj = pkg.Scope().Lookup(path)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("fixture object %s is %T, want *types.Func", path, obj)
+	}
+	return fn
+}
+
+// TestFactsCrossUnitRoundTrip pins the .vetx fact path end to end at
+// the store level: facts exported against one type graph, encoded,
+// decoded into a fresh store (the downstream-only re-run: nothing in
+// the identity table), and imported against a *different* type graph
+// for the same package — plus the stale-record guarantee that a
+// serialized fact naming an object the current graph cannot resolve
+// merges harmlessly and never answers an import.
+func TestFactsCrossUnitRoundTrip(t *testing.T) {
+	az := &analysis.Analyzer{Name: "fx", Doc: "test", Run: func(*analysis.Pass) (interface{}, error) { return nil, nil }}
+	libA := typecheckLib(t)
+
+	up := NewFacts()
+	up.exportObject(az, lookupFunc(t, libA, "Stamp"), &effectFact{N: 7})
+	up.exportObject(az, lookupFunc(t, libA, "Meter.Read"), &effectFact{N: 3})
+	up.exportPackage(az, libA.Path(), &effectFact{N: 99})
+	// A stale record: the exporting unit knew an object that the
+	// downstream unit's (newer) version of the package no longer has.
+	up.byName[nameFactKey{az.Name, libA.Path(), "Removed"}] = &effectFact{N: 1}
+
+	var vetx bytes.Buffer
+	if err := up.Encode(&vetx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The downstream unit: a fresh store (no object identities carry
+	// over between vet processes) and a freshly checked package whose
+	// objects are distinct from libA's.
+	down := NewFacts()
+	if err := down.Decode(bytes.NewReader(vetx.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	libB := typecheckLib(t)
+
+	var got effectFact
+	if !down.importObject(az, lookupFunc(t, libB, "Stamp"), &got) || got.N != 7 {
+		t.Errorf("Stamp fact after round trip = %+v, %v; want N=7 via the name table", got, got.N == 7)
+	}
+	if !down.importObject(az, lookupFunc(t, libB, "Meter.Read"), &got) || got.N != 3 {
+		t.Errorf("Meter.Read fact after round trip = %+v; want N=3", got)
+	}
+	var pf effectFact
+	if !down.importPackage(az, libB.Path(), &pf) || pf.N != 99 {
+		t.Errorf("package fact after round trip = %+v; want N=99", pf)
+	}
+
+	// Namespacing: the same object under a different analyzer name has
+	// no fact.
+	other := &analysis.Analyzer{Name: "fy", Doc: "test", Run: az.Run}
+	if down.importObject(other, lookupFunc(t, libB, "Stamp"), &got) {
+		t.Error("fact leaked across analyzer namespaces")
+	}
+	// Type discipline: a fact of one concrete type never answers an
+	// import asking for another.
+	var of otherFact
+	if down.importObject(az, lookupFunc(t, libB, "Stamp"), &of) {
+		t.Error("effectFact answered an otherFact import")
+	}
+
+	// The stale "Removed" record survived the merge without harm: it is
+	// present in the name table but no resolvable object reaches it.
+	if _, ok := down.byName[nameFactKey{az.Name, libB.Path(), "Removed"}]; !ok {
+		t.Error("stale record was dropped at decode; it should merge inert")
+	}
+	for key := range down.byObj {
+		t.Errorf("decode populated the identity table: %v", key)
+	}
+}
+
+// TestFactsDecodeEmptyStream pins the empty-.vetx convention: a unit
+// that exported nothing writes an empty file, and decoding it is a
+// no-op, not an error.
+func TestFactsDecodeEmptyStream(t *testing.T) {
+	f := NewFacts()
+	if err := f.Decode(bytes.NewReader(nil)); err != nil {
+		t.Fatalf("Decode(empty) = %v, want nil", err)
+	}
+	if len(f.byName) != 0 {
+		t.Errorf("Decode(empty) merged %d records", len(f.byName))
+	}
+}
+
+// TestFactsEncodeDeterministic pins the byte-determinism of the .vetx
+// stream: same facts, same bytes, regardless of map iteration order.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	az := &analysis.Analyzer{Name: "fx", Doc: "test", Run: func(*analysis.Pass) (interface{}, error) { return nil, nil }}
+	build := func() []byte {
+		f := NewFacts()
+		for i := 0; i < 32; i++ {
+			f.exportPackage(az, fmt.Sprintf("fix/p%02d", i), &effectFact{N: i})
+		}
+		var buf bytes.Buffer
+		if err := f.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("two encodings of the same facts differ")
+	}
+}

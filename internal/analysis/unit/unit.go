@@ -7,14 +7,21 @@
 //	simlint foo.cfg    analyze the compilation unit foo.cfg describes
 //
 // The build tool hands the unit over as a JSON config naming the Go
-// files, the import map, and the export-data file of every
-// dependency, so analysis here piggybacks on the compiler's type
-// information instead of re-typechecking the world. Diagnostics go to
-// stderr in the usual file:line:col form and make the process — and
-// therefore `go vet` — exit nonzero.
+// files, the import map, the export-data file of every dependency,
+// and each dependency's facts (.vetx) file, so analysis here
+// piggybacks on the compiler's type information instead of
+// re-typechecking the world, and facts exported by dependency units
+// flow in for cross-package analysis. Diagnostics go to stderr in the
+// usual file:line:col form (suffixed with the reporting analyzer's
+// name in brackets) and make the process — and therefore `go vet` —
+// exit nonzero; with -json they go to stdout as structured records
+// instead and the exit status stays zero, the upstream unitchecker
+// convention that lets `go vet -vettool=... -json` stream findings to
+// tooling.
 package unit
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -28,9 +35,12 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/annotation"
+	"repro/internal/analysis/detscope"
 )
 
 // config mirrors the JSON compilation-unit description `go vet`
@@ -44,6 +54,7 @@ type config struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -74,6 +85,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	}
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics and suppression records as JSON to stdout (exit status 0)")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
@@ -117,7 +129,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		fs.Usage()
 	}
-	os.Exit(run(args[0], selected))
+	os.Exit(run(args[0], selected, *jsonOut))
 }
 
 // printVersion emits the executable-identity line `go vet` hashes
@@ -142,7 +154,8 @@ func printFlags(analyzers []*analysis.Analyzer) {
 		Bool  bool
 		Usage string
 	}
-	flags := make([]jsonFlag, 0, len(analyzers))
+	flags := make([]jsonFlag, 0, len(analyzers)+1)
+	flags = append(flags, jsonFlag{Name: "json", Bool: true, Usage: "emit diagnostics and suppression records as JSON"})
 	for _, a := range analyzers {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
@@ -155,8 +168,9 @@ func printFlags(analyzers []*analysis.Analyzer) {
 }
 
 // run analyzes one compilation unit and returns the process exit
-// code: 0 clean, 1 diagnostics or failure.
-func run(cfgFile string, analyzers []*analysis.Analyzer) int {
+// code: 0 clean, 1 diagnostics or failure (JSON mode always exits 0;
+// the records are the result).
+func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		log.Fatal(err)
@@ -166,16 +180,51 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
 
-	// The build tool expects a facts file for downstream units.
-	// Simlint analyzers export no facts, so for fact-only (VetxOnly)
-	// dependency units an empty facts file is the complete answer —
-	// no parsing or typechecking needed.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	// Merge every dependency's facts before any analysis, in sorted
+	// path order so collisions (there should be none: entries are
+	// namespaced by exporting package) resolve deterministically.
+	registerFactTypes(analyzers)
+	facts := NewFacts()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		f, err := os.Open(cfg.PackageVetx[path])
+		if err != nil {
+			log.Fatalf("failed to read facts file for %s: %v", path, err)
+		}
+		err = facts.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("failed to decode facts file for %s: %v", path, err)
+		}
+	}
+
+	// The build tool expects a facts file for downstream units: this
+	// unit's own exports plus a re-export of everything imported, so
+	// facts flow transitively through direct dependencies.
+	writeVetx := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var buf bytes.Buffer
+		if err := facts.Encode(&buf); err != nil {
+			log.Fatalf("failed to encode facts: %v", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
 			log.Fatalf("failed to write facts file: %v", err)
 		}
 	}
-	if cfg.VetxOnly {
+
+	// Fact-only dependency units outside the tracked scope (the
+	// standard library, mainly) originate no facts — re-exporting the
+	// dependencies' tables is the complete answer, no parsing or
+	// type-checking needed. That keeps `go vet` fast over the vast
+	// untracked dependency graph.
+	if cfg.VetxOnly && !detscope.Tracked(cfg.ImportPath) {
+		writeVetx()
 		return 0
 	}
 
@@ -228,17 +277,76 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 		log.Fatal(err)
 	}
 
-	diags, err := Analyze(analyzers, fset, files, pkg, info)
+	// A tracked fact-only unit runs just the fact-producing analyzers
+	// (and their prerequisites): downstream units need the facts, not
+	// the diagnostics, which the unit's own full run reports.
+	if cfg.VetxOnly {
+		if producers := factProducers(analyzers); len(producers) > 0 {
+			if _, err := AnalyzeWithFacts(producers, fset, files, pkg, info, facts); err != nil {
+				log.Fatal(err)
+			}
+		}
+		writeVetx()
+		return 0
+	}
+
+	diags, err := AnalyzeWithFacts(analyzers, fset, files, pkg, info, facts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	writeVetx()
+	if jsonOut {
+		printJSON(os.Stdout, cfg.ImportPath, fset, files, diags)
+		return 0
+	}
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Diagnostic.Pos), d.Diagnostic.Message)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Diagnostic.Pos), d.Diagnostic.Message, d.Analyzer.Name)
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printJSON emits one structured record per unit: the diagnostics
+// plus every simlint suppression annotation in force, so tooling (CI
+// annotators, dashboards) sees both what fired and what was
+// deliberately silenced — a suppression is a decision worth auditing,
+// not an absence of signal.
+func printJSON(w io.Writer, pkgPath string, fset *token.FileSet, files []*ast.File, diags []Finding) {
+	type jsonDiag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	type jsonSupp struct {
+		File   string `json:"file"`
+		Line   int    `json:"line"`
+		Key    string `json:"key"`
+		Reason string `json:"reason"`
+	}
+	out := struct {
+		Package      string     `json:"package"`
+		Findings     []jsonDiag `json:"findings"`
+		Suppressions []jsonSupp `json:"suppressions"`
+	}{Package: pkgPath, Findings: []jsonDiag{}, Suppressions: []jsonSupp{}}
+	for _, d := range diags {
+		pos := fset.Position(d.Diagnostic.Pos)
+		out.Findings = append(out.Findings, jsonDiag{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Analyzer: d.Analyzer.Name, Message: d.Diagnostic.Message,
+		})
+	}
+	for _, n := range annotation.New(fset, files).All() {
+		out.Suppressions = append(out.Suppressions, jsonSupp{File: n.File, Line: n.Line, Key: n.Key, Reason: n.Reason})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // A Finding pairs a diagnostic with the analyzer that produced it.
@@ -249,9 +357,24 @@ type Finding struct {
 
 // Analyze runs the analyzers (and, first, their transitive Requires)
 // over one type-checked package and collects every diagnostic in
-// file/position order. It is the driver core shared by the vettool
-// path and the analysistest harness.
+// file/position order, with a private fact store (facts cannot arrive
+// from or survive to other units). Multi-unit drivers use
+// AnalyzeWithFacts.
 func Analyze(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	return AnalyzeWithFacts(analyzers, fset, files, pkg, info, NewFacts())
+}
+
+// AnalyzeWithFacts runs the analyzers (and, first, their transitive
+// Requires) over one type-checked package and collects every
+// diagnostic in file/position order. Fact imports resolve against
+// facts, and exports land there — pass the same store across units
+// (dependencies first) and cross-package facts flow exactly as they
+// do through the vettool's .vetx files. It is the driver core shared
+// by the vettool path and the analysistest harness.
+func AnalyzeWithFacts(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *Facts) ([]Finding, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
 	type action struct {
 		result any
 		err    error
@@ -289,6 +412,18 @@ func Analyze(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.F
 			ResultOf:  inputs,
 			Report: func(d analysis.Diagnostic) {
 				findings = append(findings, Finding{Analyzer: a, Diagnostic: d})
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				facts.exportObject(a, obj, fact)
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				return facts.importObject(a, obj, fact)
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				facts.exportPackage(a, pkg.Path(), fact)
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				return facts.importPackage(a, p.Path(), fact)
 			},
 		}
 		act.result, act.err = a.Run(pass)

@@ -205,6 +205,95 @@ func TestCrashRestartRunsSecondIncarnation(t *testing.T) {
 	checkBalanced(t, cl)
 }
 
+// TestRestartExpiresStrandedDRRBacklog is the regression pin for the
+// crash-during-DRR-service strand: the receiver dies while frames are
+// still parked in its pipe's backlog, the kick timer dies with it, and
+// before the fix the residual Queued frames sat stranded through the
+// outage and were then served into the *fresh* incarnation once
+// restart re-homed the timer — stale traffic addressed to a machine
+// that no longer exists. Restart must instead expire the dead
+// incarnation's backlog into the drop ledger: Queued drains to zero,
+// the reboot sees none of the pre-crash frames, and the conservation
+// identity holds at every instant.
+func TestRestartExpiresStrandedDRRBacklog(t *testing.T) {
+	perUs := sim.Cycles(testHz / 1_000_000)
+	const frames = 100
+	burstThenLinger := func(c *Cluster, m *kernel.Machine) error {
+		dst := c.AddrOf(1)
+		_, err := m.Spawn(kernel.SpawnConfig{
+			Name:    "burst",
+			Content: "burst sender v1",
+			Body: func(ctx guest.Context) {
+				// 100 frames at 50 µs apart: 2x the wire's 10k pps, so a
+				// deep backlog stands when the receiver dies at 7 ms —
+				// after the sender went quiet at 5 ms, which is what
+				// leaves the strand to the kick timer alone.
+				for i := 0; i < frames; i++ {
+					//simlint:errno-ok the chaos harness asserts on billing invariants, not per-send errno
+					ctx.NetSend(guest.Frame{Dst: dst, Flow: uint32(i % 4)})
+					ctx.Sleep(50 * perUs)
+				}
+				// Outlive the 12 ms reboot so the restart actually fires
+				// and any stale frame would have time to leak.
+				ctx.Sleep(25_000 * perUs)
+			},
+		})
+		return err
+	}
+	cl, err := New(Config{
+		Machines: []MachineSpec{
+			{
+				Config: kernel.Config{Seed: 231, CPUHz: testHz},
+				Boot:   burstThenLinger,
+			},
+			{
+				Config:       kernel.Config{Seed: 232, CPUHz: testHz},
+				Service:      true,
+				CrashAt:      sim.Cycles(testHz * 7 / 1_000), // down at 7 ms, backlog standing
+				RestartAfter: sim.Cycles(testHz * 5 / 1_000), // back at 12 ms
+				Boot:         drainDaemon,
+			},
+		},
+		Links: []LinkSpec{{
+			From: 0, To: 1, LatencyUs: 200,
+			PacketsPerSecond: 10_000, QueueDepth: 96, Qdisc: QdiscDRR,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Crashed(1) {
+		t.Fatal("receiver never crashed")
+	}
+	incs := cl.Incarnations(1)
+	if len(incs) != 2 {
+		t.Fatalf("incarnations = %d, want 2", len(incs))
+	}
+	l := cl.Link(0)
+	if l.Queued() != 0 {
+		t.Errorf("Queued = %d after the run, want 0 — restart stranded the dead pipe's backlog", l.Queued())
+	}
+	if l.Delivered() == 0 {
+		t.Error("nothing delivered before the crash")
+	}
+	if l.Dropped() == 0 {
+		t.Error("no drops — the expired backlog went uncounted")
+	}
+	if got := incs[1].NIC().Received(); got != 0 {
+		t.Errorf("fresh incarnation received %d frames, want 0 — pre-crash backlog leaked across the reboot", got)
+	}
+	if got := incs[0].NIC().Received(); got != l.Delivered() {
+		t.Errorf("first incarnation received %d, link delivered %d", got, l.Delivered())
+	}
+	if l.Sent() != frames {
+		t.Errorf("Sent = %d, want %d", l.Sent(), frames)
+	}
+	checkBalanced(t, cl)
+}
+
 // TestFlapWindowDropsThenResumes pins FIFO flap semantics: offers
 // inside a scheduled outage window are counted drops, offers before
 // and after are carried, and the ledger stays balanced.

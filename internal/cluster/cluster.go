@@ -1313,7 +1313,10 @@ func (c *Cluster) crash(i int) {
 // fabric address, transmit routes replayed in registration order,
 // routing table restored from the post-wiring snapshot — with every
 // link re-pointed at it and any DRR pipe whose service timer lived on
-// the dead incarnation re-homed. Task state is fresh (the spec's Boot
+// the dead incarnation re-homed. Residual DRR backlog addressed to
+// the dead incarnation is expired into the drop ledger first — the
+// fresh machine takes new traffic only. Task state is fresh (the
+// spec's Boot
 // runs again); ledgers are per-incarnation, so cumulative accounting
 // sums over Incarnations.
 func (c *Cluster) restart(i int, at sim.Cycles) error {
@@ -1332,6 +1335,31 @@ func (c *Cluster) restart(i int, at sim.Cycles) error {
 		}
 	}
 	oldNIC := old.NIC()
+	// Expire the dead incarnation's residual backlog before any link is
+	// re-pointed: frames still parked in a DRR pipe for a link into the
+	// crashed machine were accepted by the wire but addressed to an
+	// incarnation that no longer exists — serving them after the reboot
+	// would deliver stale traffic into the fresh machine. They become
+	// counted drops on the link that offered them, so Queued drains to
+	// Dropped and Sent = Delivered + Dropped + Queued holds across the
+	// reboot.
+	purged := make(map[*pipe]bool)
+	for _, l := range c.links {
+		for _, d := range [2]*Link{l, l.rev} {
+			p := d.pipe
+			if p.drr == nil || d.to != old || purged[p] {
+				continue
+			}
+			purged[p] = true
+			p.drr.Expire(
+				func(e device.QdiscEntry) bool { return p.byTag[e.Tag].to == old },
+				func(e device.QdiscEntry) {
+					el := p.byTag[e.Tag]
+					el.queued--
+					el.dropped++
+				})
+		}
+	}
 	for _, l := range c.links {
 		for _, d := range [2]*Link{l, l.rev} {
 			if d.from == old {

@@ -16,6 +16,7 @@ const testHz sim.Hz = 1_000_000_000 // 1 GHz for easy math
 // ticks, wakeups, preemption chances) to make lockstep divergence
 // visible.
 func busyBody(seconds float64) guest.Routine {
+	//simlint:float-ok test-only burst shaping; the result is integral Cycles before any accounting
 	burst := sim.Cycles(float64(testHz) * seconds / 200)
 	return func(ctx guest.Context) {
 		for i := 0; i < 100; i++ {

@@ -163,6 +163,54 @@ func (d *DRR) Dequeue() (QdiscEntry, bool) {
 	}
 }
 
+// Expire removes every queued entry matching dead, visiting flows in
+// ring order and each flow's backlog in FIFO order so the removal
+// sequence — and therefore the caller's drop accounting — is a pure
+// function of the queue state. Surviving flows keep their ring
+// position and deficit; a flow emptied by the purge leaves the ring
+// and forfeits its deficit exactly as if its last frame had departed.
+// expired (optional) observes each removed entry; the return value is
+// the number removed. The cluster uses this at machine restart to
+// write a dead incarnation's residual backlog off as drops rather
+// than deliver stale frames into the fresh incarnation.
+func (d *DRR) Expire(dead func(QdiscEntry) bool, expired func(QdiscEntry)) int {
+	removed := 0
+	kept := d.ring[:0]
+	for _, fl := range d.ring {
+		w := 0
+		for i := fl.head; i < len(fl.q); i++ {
+			e := fl.q[i]
+			if dead(e) {
+				fl.bytes -= e.Cost
+				d.count--
+				d.bytes -= e.Cost
+				removed++
+				if expired != nil {
+					expired(e)
+				}
+				continue
+			}
+			fl.q[w] = e
+			w++
+		}
+		for i := w; i < len(fl.q); i++ {
+			fl.q[i] = QdiscEntry{}
+		}
+		fl.q = fl.q[:w]
+		fl.head = 0
+		if w == 0 {
+			fl.deficit = 0
+			continue
+		}
+		kept = append(kept, fl)
+	}
+	for i := len(kept); i < len(d.ring); i++ {
+		d.ring[i] = nil
+	}
+	d.ring = kept
+	return removed
+}
+
 // LongestFlow reports the flow with the most queued wire bytes (ring
 // order breaks ties, so the choice is deterministic), and false when
 // nothing is queued. This is the buffer-steal victim: under pressure

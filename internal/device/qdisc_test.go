@@ -113,3 +113,56 @@ func TestDRRStealFromLongest(t *testing.T) {
 		t.Error("StealFrom an idle flow reported success")
 	}
 }
+
+// TestDRRExpire pins the restart purge primitive: Expire removes
+// exactly the entries matching the predicate in ring-then-FIFO order,
+// keeps count/byte totals exact, deactivates flows it empties, and
+// leaves surviving flows schedulable in their original ring order.
+func TestDRRExpire(t *testing.T) {
+	d := NewDRR(200)
+	// Flow 1: tags 0,1 (1 dead). Flow 2: tags 2,3 (all dead).
+	// Flow 3: tag 4 (survives untouched).
+	for i, spec := range []struct {
+		flow uint32
+		cost uint64
+	}{{1, 100}, {1, 100}, {2, 84}, {2, 84}, {3, 84}} {
+		e := entry(spec.flow, spec.cost)
+		e.Tag = uint32(i)
+		d.Enqueue(e)
+	}
+	dead := map[uint32]bool{1: true, 2: true, 3: true}
+	var order []uint32
+	n := d.Expire(
+		func(e QdiscEntry) bool { return dead[e.Tag] },
+		func(e QdiscEntry) { order = append(order, e.Tag) })
+	if n != 3 || len(order) != 3 {
+		t.Fatalf("Expire removed %d entries (observed %d), want 3", n, len(order))
+	}
+	// Ring order is activation order (1, 2, 3), FIFO within each flow.
+	want := []uint32{1, 2, 3}
+	for i, tag := range want {
+		if order[i] != tag {
+			t.Fatalf("expiry order = %v, want %v (ring then FIFO)", order, want)
+		}
+	}
+	if d.Len() != 2 || d.Bytes() != 100+84 {
+		t.Errorf("after expiry: %d frames / %d bytes, want 2 / %d", d.Len(), d.Bytes(), 100+84)
+	}
+	// The emptied flow is out of the ring; survivors drain normally.
+	var tags []uint32
+	for d.Len() > 0 {
+		e, _ := d.Dequeue()
+		tags = append(tags, e.Tag)
+	}
+	if len(tags) != 2 || tags[0] != 0 || tags[1] != 4 {
+		t.Errorf("post-expiry drain tags = %v, want [0 4]", tags)
+	}
+	if n := d.Expire(func(QdiscEntry) bool { return true }, nil); n != 0 {
+		t.Errorf("Expire on an empty scheduler removed %d entries", n)
+	}
+	// An expired flow can re-activate: a fresh enqueue serves normally.
+	d.Enqueue(entry(2, 84))
+	if e, ok := d.Dequeue(); !ok || e.F.Flow != 2 {
+		t.Errorf("re-activated flow 2 did not serve: %+v, %v", e, ok)
+	}
+}

@@ -42,22 +42,27 @@ func RunIndexed(n, parallelism int, fn func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	// The pool below is the one sanctioned use of host concurrency
+	// outside the engine: every fn(i) is a self-contained seeded run
+	// writing a disjoint slot, and aggregation reads slots in index
+	// order, so results are byte-identical to sequential execution.
+	var wg sync.WaitGroup //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		wg.Add(1) //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
+		//simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 		go func() {
-			defer wg.Done()
-			for i := range next {
+			defer wg.Done()       //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
+			for i := range next { //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 				fn(i)
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		next <- i
+		next <- i //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 	}
-	close(next)
-	wg.Wait()
+	close(next) //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
+	wg.Wait()   //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 }
 
 // RunAll executes every spec on its own fresh machine, fanning the

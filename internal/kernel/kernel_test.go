@@ -480,6 +480,7 @@ func TestConservationJiffyVsTSC(t *testing.T) {
 	if jTotal == 0 || tTotal == 0 {
 		t.Fatal("no accounting recorded")
 	}
+	//simlint:float-ok test assertion tolerance band, not billed state
 	ratio := float64(jTotal) / float64(tTotal)
 	if ratio < 0.9 || ratio > 1.1 {
 		t.Fatalf("jiffy/tsc global ratio = %.3f, want ~1 (conservation)", ratio)

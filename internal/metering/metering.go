@@ -66,6 +66,7 @@ func (u Usage) Sub(v Usage) Usage {
 
 // Seconds converts the usage to (user, system) virtual seconds.
 func (u Usage) Seconds(freq sim.Hz) (user, system float64) {
+	//simlint:float-ok presentation-only conversion; bills and ledgers stay in integer ticks
 	return float64(u.User) / float64(freq), float64(u.System) / float64(freq)
 }
 

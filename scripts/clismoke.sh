@@ -67,4 +67,10 @@ say "chaos crash+reboot+flap"
 say "all"
 "$BIN" all -scale "$SCALE" >/dev/null
 
+# Lint smoke: the vettool must load and run clean over the CLI package
+# (CI restores SIMLINT_BIN from the per-job cache; locally lint.sh
+# builds it once into bin/).
+say "lint smoke"
+scripts/lint.sh ./cmd/... >/dev/null
+
 say "ok"

@@ -9,14 +9,62 @@
 #
 # Individual analyzers can be selected the usual vet way:
 #   scripts/lint.sh -mapiter ./...
+#
+# SIMLINT_BIN, when set to an existing executable, is reused instead
+# of rebuilding — CI builds the vettool once per job (restoring it
+# from the actions cache when the sources are unchanged) and shares it
+# across the vet gate and the clismoke lint smoke.
+#
+# On findings the script fails with a per-analyzer count summary, and
+# under GitHub Actions (GITHUB_ACTIONS=true) each finding is also
+# emitted as a ::error workflow annotation so it lands on the PR diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-mkdir -p bin
-go build -o bin/simlint ./cmd/simlint
+BIN="${SIMLINT_BIN:-bin/simlint}"
+if [ -z "${SIMLINT_BIN:-}" ] || [ ! -x "$BIN" ]; then
+    # Only an explicitly provided SIMLINT_BIN is trusted as current;
+    # otherwise rebuild so local analyzer edits are never linted with
+    # a stale binary.
+    mkdir -p "$(dirname "$BIN")"
+    go build -o "$BIN" ./cmd/simlint
+fi
 
 args=("$@")
 if [ ${#args[@]} -eq 0 ]; then
     args=(./...)
 fi
-exec go vet -vettool="$(pwd)/bin/simlint" "${args[@]}"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+status=0
+go vet -vettool="$(pwd)/$BIN" "${args[@]}" 2>&1 | tee "$out" >&2 || status=$?
+
+if [ "$status" -ne 0 ]; then
+    # Findings print as "path/file.go:line:col: message [analyzer]";
+    # anything else (package headers, build errors) passes through
+    # above and is not counted.
+    total=0
+    analyzers=""
+    while IFS= read -r line; do
+        if [[ "$line" =~ ^(.+\.go):([0-9]+):([0-9]+):\ (.*)\ \[([A-Za-z0-9_-]+)\]$ ]]; then
+            file="${BASH_REMATCH[1]}"
+            lno="${BASH_REMATCH[2]}"
+            col="${BASH_REMATCH[3]}"
+            msg="${BASH_REMATCH[4]}"
+            an="${BASH_REMATCH[5]}"
+            total=$((total + 1))
+            analyzers="$analyzers$an"$'\n'
+            if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+                printf '::error file=%s,line=%s,col=%s,title=simlint/%s::%s\n' \
+                    "$file" "$lno" "$col" "$an" "$msg"
+            fi
+        fi
+    done <"$out"
+    if [ "$total" -gt 0 ]; then
+        echo "simlint: $total finding(s):" >&2
+        printf '%s' "$analyzers" | sort | uniq -c | sort -rn |
+            awk '{ printf "  %-14s %d\n", $2, $1 }' >&2
+    fi
+fi
+exit "$status"
