@@ -9,6 +9,7 @@
 package cpumeter
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/guest"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 )
 
 // BenchScale is the victim/attack scale benchmarks run at.
@@ -309,6 +311,111 @@ func BenchmarkChaosFlood(b *testing.B) {
 		}
 		return fig.Bars[len(fig.Bars)-2].Total()
 	}, "router-bill-sec")
+}
+
+// BenchmarkMachineStepsDriver races the two guest drivers on an
+// identical resumable guest — a long compute/sleep alternation — so
+// the flyweight driver's saving (no goroutine handoff per request, no
+// parked stack) shows up directly as ns/op and B/op deltas against
+// the goroutine driver running the very same state machine through
+// guest.StepRoutine.
+func BenchmarkMachineStepsDriver(b *testing.B) {
+	const iters = 50_000
+	driver := func(flyweight bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := kernel.New(kernel.Config{Seed: 2010, CPUHz: 1_000_000_000})
+				var n uint64
+				var step guest.Step
+				step = func(ctx guest.Context, _ guest.Resume) guest.Step {
+					if n >= iters {
+						return nil
+					}
+					n++
+					if n%2 == 0 {
+						ctx.Compute(50_000)
+					} else {
+						ctx.Sleep(50_000)
+					}
+					return step
+				}
+				sc := kernel.SpawnConfig{Name: "stepper", Content: "steady stepper v1"}
+				if flyweight {
+					sc.Step = step
+				} else {
+					sc.Body = guest.StepRoutine(step)
+				}
+				if _, err := m.Spawn(sc); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("flyweight", driver(true))
+	b.Run("goroutine", driver(false))
+}
+
+// BenchmarkResidentMachines measures whole-fleet residency: 10k idle
+// simulated machines, each hosting one resumable idler guest, all
+// stepped through a few idle ticks, reported as resident bytes (heap
+// plus goroutine stacks — a parked guest's stack lives in StackInuse,
+// not HeapAlloc) per machine. Under the flyweight driver a resident
+// guest is a few words of struct state, so the per-machine figure is
+// the machine model itself (~6 KB of scheduler arrays, accountants,
+// devices) plus per-process billing metadata; the goroutine sub-bench
+// pays a parked ~8 KB-class stack per guest on top — the cost the
+// flyweight driver exists to delete.
+func BenchmarkResidentMachines(b *testing.B) {
+	const residents = 10_000
+	fleet := func(flyweight bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				machines := make([]*kernel.Machine, residents)
+				for j := range machines {
+					m := kernel.New(kernel.Config{Seed: int64(2010 + j), CPUHz: 1_000_000_000})
+					var step guest.Step
+					step = func(ctx guest.Context, _ guest.Resume) guest.Step {
+						ctx.Sleep(1_000_000)
+						return step
+					}
+					sc := kernel.SpawnConfig{Name: "idler", Content: "resident idler v1"}
+					if flyweight {
+						sc.Step = step
+					} else {
+						sc.Body = guest.StepRoutine(step)
+					}
+					if _, err := m.Spawn(sc); err != nil {
+						b.Fatal(err)
+					}
+					machines[j] = m
+				}
+				for tick := sim.Cycles(1); tick <= 4; tick++ {
+					for _, m := range machines {
+						if _, err := m.RunUntil(tick * 250_000); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&after)
+				resident := float64(after.HeapAlloc-before.HeapAlloc) +
+					float64(after.StackInuse) - float64(before.StackInuse)
+				b.ReportMetric(resident/residents, "B/machine")
+				for _, m := range machines {
+					m.Shutdown()
+				}
+			}
+		}
+	}
+	b.Run("flyweight", fleet(true))
+	b.Run("goroutine", fleet(false))
 }
 
 // BenchmarkMeterAllocs pins the allocation footprint of one metered

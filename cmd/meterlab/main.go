@@ -58,6 +58,8 @@
 //	              after the crash (0 = stays down; requires -crash-at)
 //	-flap s       (chaos only) flap the router→victim egress wire: "first:down:up"
 //	              in virtual seconds (e.g. 0.5:0.1:0.4; up 0 = one outage)
+//	-cpuprofile f write a pprof CPU profile of the command to file f
+//	-memprofile f write a pprof heap profile (post-run, after a GC) to file f
 //
 // Output is byte-identical at every -parallel setting; only the host
 // wall-clock changes.
@@ -67,6 +69,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -113,6 +117,8 @@ func run(args []string) error {
 	crashAt := fs.Float64("crash-at", 0, "kill the router this many virtual seconds in for 'chaos' (0 = never)")
 	restartAfter := fs.Float64("restart-after", 0, "reboot the router this many virtual seconds after the crash for 'chaos' (0 = stays down; requires -crash-at)")
 	flapStr := fs.String("flap", "", "egress outage windows for 'chaos': first:down:up in virtual seconds (up 0 = one outage)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the command to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (post-run, after a GC) to this file")
 
 	switch cmd {
 	case "list":
@@ -139,44 +145,114 @@ func run(args []string) error {
 			Scale:           *scale,
 			Parallelism:     *parallel,
 		}
-		switch cmd {
-		case "run":
-			return runArtifact(target, opts)
-		case "all":
-			return runAllArtifacts(opts)
-		case "cluster":
-			return runCluster(clusterFlags{
-				victims:      *victims,
-				pps:          *pps,
-				latencyUs:    *latencyUs,
-				linkPPS:      *linkPPS,
-				queueDepth:   *queueDepth,
-				lossless:     *lossless,
-				redMin:       *redMin,
-				redMax:       *redMax,
-				redMaxP:      *redMaxP,
-				redWeight:    *redWeight,
-				qdisc:        *qdisc,
-				quantumBytes: *quantumBytes,
-			}, opts)
-		case "chaos":
-			return runChaos(chaosFlags{
-				pps:          *pps,
-				latencyUs:    *latencyUs,
-				faultPPM:     *faultPPM,
-				faultCalls:   *faultSyscalls,
-				faultErrno:   *faultErrno,
-				crashAt:      *crashAt,
-				restartAfter: *restartAfter,
-				flap:         *flapStr,
-			}, opts)
-		default:
-			return meterJob(target, *attackKey, opts)
+		prof, err := startProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			return err
 		}
+		runErr := func() error {
+			switch cmd {
+			case "run":
+				return runArtifact(target, opts)
+			case "all":
+				return runAllArtifacts(opts)
+			case "cluster":
+				return runCluster(clusterFlags{
+					victims:      *victims,
+					pps:          *pps,
+					latencyUs:    *latencyUs,
+					linkPPS:      *linkPPS,
+					queueDepth:   *queueDepth,
+					lossless:     *lossless,
+					redMin:       *redMin,
+					redMax:       *redMax,
+					redMaxP:      *redMaxP,
+					redWeight:    *redWeight,
+					qdisc:        *qdisc,
+					quantumBytes: *quantumBytes,
+				}, opts)
+			case "chaos":
+				return runChaos(chaosFlags{
+					pps:          *pps,
+					latencyUs:    *latencyUs,
+					faultPPM:     *faultPPM,
+					faultCalls:   *faultSyscalls,
+					faultErrno:   *faultErrno,
+					crashAt:      *crashAt,
+					restartAfter: *restartAfter,
+					flap:         *flapStr,
+				}, opts)
+			default:
+				return meterJob(target, *attackKey, opts)
+			}
+		}()
+		if err := prof.stop(); err != nil && runErr == nil {
+			runErr = err
+		}
+		return runErr
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// profiler manages the optional pprof outputs wrapped around one
+// command: a CPU profile recording the whole run and a heap profile
+// written after it (post-GC, so it shows what the run left live, not
+// transient garbage).
+type profiler struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// startProfiles opens the requested profile outputs before the
+// command runs, so an unwritable path is a usage error up front
+// rather than a surprise after minutes of simulation.
+func startProfiles(cpuPath, memPath string) (*profiler, error) {
+	p := &profiler{memPath: memPath}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		f.Close()
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// stop finalises both profiles. It runs even when the command failed,
+// so a partial run still yields a usable CPU profile.
+func (p *profiler) stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // clusterFlags carries the cluster mode's raw flag values; they are

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -114,6 +115,55 @@ func TestParseVictimsAlternatesBilling(t *testing.T) {
 	for i, v := range vs {
 		if v.Workload != wantWork[i] || v.Billing != wantBilling[i] {
 			t.Errorf("victim %d = %s/%s, want %s/%s", i, v.Workload, v.Billing, wantWork[i], wantBilling[i])
+		}
+	}
+}
+
+// TestProfileFlagValidation pins the pprof plumbing's up-front path
+// check: an unwritable -cpuprofile/-memprofile destination is a usage
+// error before any machine is built, not a failure after the run.
+func TestProfileFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad cpuprofile path", []string{"meter", "O", "-scale", "0.001", "-cpuprofile", "/nonexistent-dir/cpu.pb"}, "-cpuprofile"},
+		{"bad memprofile path", []string{"meter", "O", "-scale", "0.001", "-memprofile", "/nonexistent-dir/mem.pb"}, "-memprofile"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: run(%v) accepted", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestProfileFlagsWriteProfiles smokes the pprof plumbing end to end:
+// a tiny metering run with both profiles requested leaves two
+// non-empty profile files behind.
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pb.gz"
+	mem := dir + "/mem.pb.gz"
+	args := []string{"meter", "O", "-scale", "0.01", "-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v) = %v", args, err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
 		}
 	}
 }

@@ -1,0 +1,46 @@
+package cpumeter
+
+import (
+	"testing"
+)
+
+// TestDriverEquivalenceAllArtifacts pins the flyweight port's core
+// guarantee: every registered artifact renders byte-identically
+// whether the ported hot-path guests (flood sources, ack-paced flows,
+// forwarding and echo daemons) run on the default flyweight
+// resumable-step driver or on the compat goroutine driver. The two
+// drivers share one guest source — the state machines — so any
+// divergence here is an engine bug, not a port bug.
+func TestDriverEquivalenceAllArtifacts(t *testing.T) {
+	opts := func(goroutines bool) Options {
+		return Options{
+			Seed:            7,
+			Freq:            1_000_000_000,
+			Scale:           0.01,
+			PhysMemBytes:    32 << 20,
+			GoroutineGuests: goroutines,
+		}
+	}
+	ids := Experiments()
+	flyweight, err := ReproduceAll(ids, opts(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goroutine, err := ReproduceAll(ids, opts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flyweight) != len(ids) || len(goroutine) != len(ids) {
+		t.Fatalf("lengths: flyweight=%d goroutine=%d want %d", len(flyweight), len(goroutine), len(ids))
+	}
+	for i, id := range ids {
+		fw := flyweight[i].Render()
+		gr := goroutine[i].Render()
+		if fw == "" {
+			t.Errorf("%s: empty render", id)
+		}
+		if fw != gr {
+			t.Errorf("%s: drivers diverged\n--- flyweight ---\n%s--- goroutine ---\n%s", id, fw, gr)
+		}
+	}
+}

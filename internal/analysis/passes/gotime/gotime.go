@@ -5,11 +5,14 @@
 // code introduces host-scheduler ordering into state the replay
 // goldens assert is a pure function of the seed. Only the sanctioned
 // engine files — the kernel's coroutine scheduler (machine.go,
-// task.go) and the cluster event loop (cluster.go) — may use go
-// statements, channels, select, or the sync package inside the
-// deterministic scope; everywhere else in the scope, both direct uses
-// and calls that transitively reach concurrency (via the callsummary
-// facts) are flagged.
+// task.go), its flyweight step driver (step.go) and the cluster event
+// loop (cluster.go) — may use go statements, channels, select, or the
+// sync package inside the deterministic scope; everywhere else in the
+// scope, both direct uses and calls that transitively reach
+// concurrency (via the callsummary facts) are flagged. Notably the
+// ported resumable guests (cluster/forwarder.go, the experiments'
+// flood and ack-flow machines) are NOT sanctioned: a guest runs under
+// the simulated scheduler and must never touch the host's.
 //
 // Deliberate concurrency in the scope — the experiment campaign
 // runner's worker pool, which parallelizes independent seeded runs
@@ -39,7 +42,7 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flag goroutines and channel operations outside the engine files\n\n" +
 		"Deterministic packages run under the kernel's cooperative scheduler;\n" +
 		"real goroutines, channels, select, and sync belong only in the\n" +
-		"sanctioned engine files (kernel machine.go/task.go, cluster\n" +
+		"sanctioned engine files (kernel machine.go/task.go/step.go, cluster\n" +
 		"cluster.go). Calls that reach concurrency in helper packages are\n" +
 		"flagged at the call site via callsummary facts. Suppress a\n" +
 		"deliberate use with a justified //simlint:gotime-ok annotation.",
@@ -50,7 +53,7 @@ var Analyzer = &analysis.Analyzer{
 // sanctioned maps a package-path tail to the base names of its engine
 // files, where the event loop's own concurrency machinery lives.
 var sanctioned = map[string][]string{
-	"internal/kernel":  {"machine.go", "task.go"},
+	"internal/kernel":  {"machine.go", "task.go", "step.go"},
 	"internal/cluster": {"cluster.go"},
 }
 

@@ -8,5 +8,6 @@ import (
 )
 
 func Test(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), gotime.Analyzer, "a/internal/kernel")
+	analysistest.Run(t, analysistest.TestData(), gotime.Analyzer,
+		"a/internal/kernel", "a/internal/cluster")
 }

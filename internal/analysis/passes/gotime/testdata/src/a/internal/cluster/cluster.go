@@ -1,0 +1,14 @@
+// cluster.go is the sanctioned cluster event loop: its lockstep
+// barrier machinery is the one place fabric code may use channels.
+package cluster
+
+type Cluster struct {
+	barrier chan struct{}
+}
+
+func (c *Cluster) Run() {
+	c.barrier = make(chan struct{})
+	go func() { c.barrier <- struct{}{} }()
+	<-c.barrier
+	close(c.barrier)
+}

@@ -1,0 +1,11 @@
+// step.go is a sanctioned engine file: the flyweight step driver may
+// coordinate with the goroutine driver's channels during shutdown.
+package kernel
+
+func drainOnShutdown(grant chan struct{}) {
+	close(grant)
+	select {
+	case <-grant:
+	default:
+	}
+}

@@ -44,7 +44,6 @@ import (
 	"math"
 
 	"repro/internal/device"
-	"repro/internal/guest"
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -1428,62 +1427,6 @@ func (c *Cluster) Shutdown() {
 	for _, m := range c.machines {
 		if m != nil {
 			m.Shutdown()
-		}
-	}
-}
-
-// DefaultForwardUs is a software router's per-frame lookup/queue
-// service when a forwarder leaves it unset: ~3 µs of FIB lookup,
-// header rewrite, and queue handling.
-const DefaultForwardUs = 3
-
-// Forwarder returns the forwarding guest a router machine runs: it
-// blocks for traffic, then drains the kernel's receive buffer,
-// spending lookup cycles of user-mode table work per frame before
-// retransmitting it — Src preserved — toward its destination via
-// NetForward. Every step is billed on the router machine like any
-// guest's work (the receive interrupts, the read and sendto
-// syscalls, the lookup cycles), so the router's own bill is a
-// first-class observable: an attacker flooding through a shared
-// router inflates the router's metered time without ever running an
-// instruction there. Spawn it on a MachineSpec with Service set —
-// the daemon never exits; the cluster retires it when the fabric
-// quiesces.
-func Forwarder(lookup sim.Cycles) guest.Routine {
-	return func(ctx guest.Context) {
-		self := ctx.NetAddr()
-		seen := uint64(0)
-		// Retry budget against injected read/sendto faults: generous
-		// enough to outlast a transient, bounded so a hard-faulted
-		// router drops the frame and moves on instead of wedging the
-		// fabric. With no faults configured the retry wrappers never
-		// touch the clock, so healthy histories replay bit-for-bit.
-		budget := 64 * lookup
-		if budget < 1<<16 {
-			budget = 1 << 16
-		}
-		for {
-			seen = ctx.NetRxWait(seen)
-			for {
-				f, ok, err := guest.RecvRetry(ctx, budget)
-				if err != nil || !ok {
-					// A persistent read fault leaves the frame buffered
-					// (err, not ok, distinguishes it from a drained
-					// queue); the next delivery wakes the daemon to
-					// try again.
-					break
-				}
-				if lookup > 0 {
-					ctx.Compute(lookup)
-				}
-				if f.Dst == self {
-					continue // addressed to the router itself: consumed
-				}
-				// A forward still failing after the budget is this
-				// router's drop; recovery belongs to the end hosts.
-				//simlint:errno-ok the router drops on exhausted budget by design; end hosts own recovery
-				guest.ForwardRetry(ctx, f, budget)
-			}
 		}
 	}
 }

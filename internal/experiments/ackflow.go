@@ -7,6 +7,13 @@
 // way. The sender halves its window on a mark and grows it additively
 // on a clean ack, so an ECN-capable flow backs off under congestion
 // instead of bleeding tail-drops.
+//
+// All three guests here are written as resumable state machines
+// (guest.Step) so fleets of them run on the flyweight driver — a few
+// words of struct state per guest instead of a parked goroutine
+// stack. The Routine constructors wrap the same machines for the
+// goroutine driver; either way the request sequence is identical, so
+// histories replay bit-for-bit across drivers.
 package experiments
 
 import (
@@ -15,36 +22,83 @@ import (
 	"repro/internal/sim"
 )
 
-// floodBody returns a packet-generator guest offering `packets`
-// copies of `frame` at a nominal `pps` through the billed tx path.
-// The inter-send interval carries the freq%pps remainder (like the
-// local flood generator), so the sleep schedule itself does not
-// drift; each send's billed kernel time still stretches the
-// effective period, so the offered rate runs somewhat below nominal
-// — the sending link's Sent counter records what actually went out.
-func floodBody(freq sim.Hz, pps, packets uint64, frame guest.Frame) guest.Routine {
-	base := sim.Cycles(uint64(freq) / pps)
-	rem := uint64(freq) % pps
-	return func(ctx guest.Context) {
-		var frac uint64
-		for n := uint64(0); n < packets; n++ {
-			// A transient injected fault retries within half a period;
-			// a hard fault (or exhausted budget) forfeits this slot —
-			// an attacker's lost packet is nobody's problem.
-			//simlint:errno-ok the flood source forfeits a faulted slot by design
-			guest.SendRetry(ctx, frame, base/2)
-			interval := base
-			frac += rem
-			if frac >= pps {
-				frac -= pps
-				interval++
-			}
-			if interval == 0 {
-				interval = 1
-			}
-			ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
-		}
+// floodGen is the resumable packet generator behind floodBody: send a
+// slot's frame (retrying transients within half a period), carry the
+// freq%pps remainder into the interval, sleep the jittered slot, and
+// repeat until the budget of packets is offered.
+type floodGen struct {
+	base     sim.Cycles
+	rem, pps uint64
+	packets  uint64
+	frame    guest.Frame
+	n, frac  uint64
+	retry    guest.RetryStep
+	sendOp   guest.RetryOp
+	sendDone guest.RetryDone
+	wake     guest.Step
+}
+
+func (g *floodGen) start(ctx guest.Context, _ guest.Resume) guest.Step {
+	g.sendOp = func(ctx guest.Context) {
+		//simlint:errno-ok resumable post: the errno arrives in the next activation's Resume
+		ctx.NetSend(g.frame)
 	}
+	g.sendDone = g.afterSend
+	g.wake = g.afterSleep
+	if g.n >= g.packets {
+		return nil
+	}
+	return g.retry.Begin(ctx, g.sendOp, g.base/2, g.sendDone)
+}
+
+// afterSend drops any send error — a transient injected fault retried
+// within half a period; a hard fault (or exhausted budget) forfeits
+// this slot, and an attacker's lost packet is nobody's problem — then
+// sleeps out the slot.
+func (g *floodGen) afterSend(ctx guest.Context, _ guest.Resume) guest.Step {
+	interval := g.base
+	g.frac += g.rem
+	if g.frac >= g.pps {
+		g.frac -= g.pps
+		interval++
+	}
+	if interval == 0 {
+		interval = 1
+	}
+	ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
+	return g.wake
+}
+
+func (g *floodGen) afterSleep(ctx guest.Context, _ guest.Resume) guest.Step {
+	g.n++
+	if g.n >= g.packets {
+		return nil
+	}
+	return g.retry.Begin(ctx, g.sendOp, g.base/2, g.sendDone)
+}
+
+// floodBodyStep returns the packet generator as a resumable state
+// machine offering `packets` copies of `frame` at a nominal `pps`
+// through the billed tx path. The inter-send interval carries the
+// freq%pps remainder (like the local flood generator), so the sleep
+// schedule itself does not drift; each send's billed kernel time
+// still stretches the effective period, so the offered rate runs
+// somewhat below nominal — the sending link's Sent counter records
+// what actually went out.
+func floodBodyStep(freq sim.Hz, pps, packets uint64, frame guest.Frame) guest.Step {
+	g := &floodGen{
+		base:    sim.Cycles(uint64(freq) / pps),
+		rem:     uint64(freq) % pps,
+		pps:     pps,
+		packets: packets,
+		frame:   frame,
+	}
+	return g.start
+}
+
+// floodBody is floodBodyStep for the goroutine driver.
+func floodBody(freq sim.Hz, pps, packets uint64, frame guest.Frame) guest.Routine {
+	return guest.StepRoutine(floodBodyStep(freq, pps, packets, frame))
 }
 
 // AckFlowConfig parameterises one ack-paced transfer.
@@ -118,165 +172,313 @@ type AckFlowStats struct {
 	RecvErrors uint64
 }
 
-// AckPacedSender returns the flow's sending guest. stats must outlive
-// the run; the routine fills it as its last action.
-func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
-	maxW := cfg.Window
-	if maxW == 0 {
-		maxW = 8
-	}
-	budget := cfg.Budget
-	if budget == 0 {
-		budget = 4 * cfg.Frames
-	}
-	idleLimit := cfg.IdleTicks
-	if idleLimit == 0 {
-		idleLimit = 128
-	}
-	useClock := cfg.TimeoutCycles > 0
-	return func(ctx guest.Context) {
-		window := maxW
-		var sent, acked, lost uint64
-		idle := 0
-		sendFails := 0
-		var lastProgress sim.Cycles
-		if useClock {
-			lastProgress = ctx.ClockNow()
-		}
-		for acked < cfg.Frames {
-			progress := false
-			for {
-				f, ok, err := ctx.NetRecv()
-				if err != nil {
-					// Injected read fault: the acks stay buffered, so
-					// surface the error and re-poll after a pace tick
-					// instead of mistaking the fault for a drained queue.
-					stats.RecvErrors++
-					break
-				}
-				if !ok {
-					break
-				}
-				if f.Flow != cfg.Flow {
-					continue
-				}
-				acked++
-				progress = true
-				// Back off on the data path's congestion echo only; a
-				// CE stamped on the ack itself by the return path is
-				// not this flow's signal.
-				if f.ECE {
-					stats.Marks++
-					if window > 1 {
-						window /= 2
-						stats.Backoffs++
-					}
-				} else if window < maxW {
-					window++
-				}
-			}
-			if progress {
-				idle = 0
-				if useClock {
-					lastProgress = ctx.ClockNow()
-				}
-				continue
-			}
-			// Signed: an ack for a frame already written off as lost
-			// would otherwise underflow the outstanding count.
-			outstanding := int64(sent) - int64(acked) - int64(lost)
-			if outstanding < 0 {
-				outstanding = 0
-			}
-			if sent < budget && uint64(outstanding) < window {
-				_, err := guest.SendRetry(ctx,
-					guest.Frame{Dst: cfg.Peer, Flow: cfg.Flow, ECN: true, Bytes: cfg.FrameBytes},
-					4*cfg.PaceCycles)
-				if err != nil {
-					// The frame never left: it is not outstanding, so do
-					// not count it sent. Persistent failure (a hard EIO
-					// device, or 100% injection) abandons the transfer
-					// instead of spinning forever.
-					stats.SendErrors++
-					sendFails++
-					if sendFails >= idleLimit {
-						stats.GaveUp = true
-						break
-					}
-					ctx.Sleep(cfg.PaceCycles)
-					continue
-				}
-				sendFails = 0
-				sent++
-				ctx.Sleep(cfg.PaceCycles)
-				continue
-			}
-			// Window closed or budget spent: poll for acks. The
-			// retransmission decision is clock-driven when
-			// TimeoutCycles is armed — real elapsed virtual time since
-			// the last ack, whatever the poll cadence — and the old
-			// idle-tick count otherwise.
-			ctx.Sleep(cfg.PaceCycles)
-			timedOut := false
-			if useClock {
-				timedOut = ctx.ClockNow()-lastProgress >= cfg.TimeoutCycles
-			} else {
-				idle++
-				timedOut = idle >= idleLimit
-			}
-			if timedOut {
-				stats.Timeouts++
-				if sent >= budget {
-					stats.GaveUp = true
-					break
-				}
-				if fresh := int64(sent) - int64(acked) - int64(lost); fresh > 0 {
-					stats.Lost += uint64(fresh)
-				}
-				lost = sent - acked
-				idle = 0
-				if useClock {
-					lastProgress = ctx.ClockNow()
-				}
-			}
-		}
-		stats.Sent, stats.Acked = sent, acked
-		if useClock {
-			stats.DoneAt = ctx.ClockNow()
-		}
-	}
+// ackSender is the resumable sending guest. One activation runs from
+// resume to the next kernel request; the transfer's whole position —
+// window, counters, timeout clocks — lives in this struct, not a
+// goroutine stack. Control flow mirrors the original blocking loop
+// statement for statement so both drivers replay identically.
+type ackSender struct {
+	cfg   AckFlowConfig
+	stats *AckFlowStats
+
+	maxW, budget uint64
+	idleLimit    int
+	useClock     bool
+	data         guest.Frame
+
+	window, sent, acked, lost uint64
+	idle, sendFails           int
+	lastProgress              sim.Cycles
+	progress                  bool
+
+	retry    guest.RetryStep
+	sendOp   guest.RetryOp
+	sendDone guest.RetryDone
+
+	initClock, drain, progressClock, sendSlept,
+	pollSlept, timeoutClock, resetClock, doneClock guest.Step
 }
 
-// AckEcho returns the receive-side echo daemon: for every data frame
-// of the given flow it sends one ack to the frame's own Src, raising
-// the ack's ECE bit when the data frame arrived CE-marked; frames of
-// other flows (an attacker's junk) are drained and ignored. The
-// daemon never exits — run it on a cluster machine marked Service.
-func AckEcho(flow uint32) guest.Routine {
-	return func(ctx guest.Context) {
-		seen := uint64(0)
-		for {
-			seen = ctx.NetRxWait(seen)
-			for {
-				// Retry transient injected faults briefly so a buffered
-				// data frame is not stranded behind a fault until the
-				// next delivery wakes the daemon.
-				f, ok, err := guest.RecvRetry(ctx, ackEchoRetryCycles)
-				if err != nil || !ok {
-					break
-				}
-				if f.Flow != flow {
-					continue
-				}
-				// A persistently failing ack send is dropped: the
-				// sender's retransmission timeout owns recovery.
-				//simlint:errno-ok a dropped ack is recovered by the sender's retransmission timeout
-				guest.SendRetry(ctx,
-					guest.Frame{Dst: f.Src, Flow: f.Flow, ECN: true, ECE: f.CE},
-					ackEchoRetryCycles)
+func (g *ackSender) start(ctx guest.Context, _ guest.Resume) guest.Step {
+	g.window = g.maxW
+	g.sendOp = func(ctx guest.Context) {
+		//simlint:errno-ok resumable post: the errno arrives in the next activation's Resume
+		ctx.NetSend(g.data)
+	}
+	g.sendDone = g.afterSend
+	g.initClock = g.afterInitClock
+	g.drain = g.afterRecv
+	g.progressClock = g.afterProgressClock
+	g.sendSlept = g.afterSendSleep
+	g.pollSlept = g.afterPollSleep
+	g.timeoutClock = g.afterTimeoutClock
+	g.resetClock = g.afterResetClock
+	g.doneClock = g.afterDoneClock
+	if g.useClock {
+		ctx.ClockNow()
+		return g.initClock
+	}
+	return g.outer(ctx)
+}
+
+func (g *ackSender) afterInitClock(ctx guest.Context, r guest.Resume) guest.Step {
+	g.lastProgress = sim.Cycles(r.Ret)
+	return g.outer(ctx)
+}
+
+// outer is the transfer's top-of-loop: done check, then a fresh drain
+// of the ack queue. Not an activation boundary — it runs inline
+// inside whichever activation reached it.
+func (g *ackSender) outer(ctx guest.Context) guest.Step {
+	if g.acked >= g.cfg.Frames {
+		return g.finish(ctx)
+	}
+	g.progress = false
+	//simlint:errno-ok resumable post: the errno arrives in the next activation's Resume
+	ctx.NetRecv()
+	return g.drain
+}
+
+func (g *ackSender) afterRecv(ctx guest.Context, r guest.Resume) guest.Step {
+	if r.Err != nil {
+		// Injected read fault: the acks stay buffered, so surface the
+		// error and re-poll after a pace tick instead of mistaking the
+		// fault for a drained queue.
+		g.stats.RecvErrors++
+		return g.afterDrain(ctx)
+	}
+	if !r.OK {
+		return g.afterDrain(ctx)
+	}
+	if f := r.Frame; f.Flow == g.cfg.Flow {
+		g.acked++
+		g.progress = true
+		// Back off on the data path's congestion echo only; a CE
+		// stamped on the ack itself by the return path is not this
+		// flow's signal.
+		if f.ECE {
+			g.stats.Marks++
+			if g.window > 1 {
+				g.window /= 2
+				g.stats.Backoffs++
 			}
+		} else if g.window < g.maxW {
+			g.window++
 		}
 	}
+	//simlint:errno-ok resumable post: the errno arrives in the next activation's Resume
+	ctx.NetRecv()
+	return g.drain
+}
+
+func (g *ackSender) afterDrain(ctx guest.Context) guest.Step {
+	if g.progress {
+		g.idle = 0
+		if g.useClock {
+			ctx.ClockNow()
+			return g.progressClock
+		}
+		return g.outer(ctx)
+	}
+	// Signed: an ack for a frame already written off as lost would
+	// otherwise underflow the outstanding count.
+	outstanding := int64(g.sent) - int64(g.acked) - int64(g.lost)
+	if outstanding < 0 {
+		outstanding = 0
+	}
+	if g.sent < g.budget && uint64(outstanding) < g.window {
+		return g.retry.Begin(ctx, g.sendOp, 4*g.cfg.PaceCycles, g.sendDone)
+	}
+	// Window closed or budget spent: poll for acks. The
+	// retransmission decision is clock-driven when TimeoutCycles is
+	// armed — real elapsed virtual time since the last ack, whatever
+	// the poll cadence — and the old idle-tick count otherwise.
+	ctx.Sleep(g.cfg.PaceCycles)
+	return g.pollSlept
+}
+
+func (g *ackSender) afterProgressClock(ctx guest.Context, r guest.Resume) guest.Step {
+	g.lastProgress = sim.Cycles(r.Ret)
+	return g.outer(ctx)
+}
+
+func (g *ackSender) afterSend(ctx guest.Context, r guest.Resume) guest.Step {
+	if r.Err != nil {
+		// The frame never left: it is not outstanding, so do not count
+		// it sent. Persistent failure (a hard EIO device, or 100%
+		// injection) abandons the transfer instead of spinning forever.
+		g.stats.SendErrors++
+		g.sendFails++
+		if g.sendFails >= g.idleLimit {
+			g.stats.GaveUp = true
+			return g.finish(ctx)
+		}
+		ctx.Sleep(g.cfg.PaceCycles)
+		return g.sendSlept
+	}
+	g.sendFails = 0
+	g.sent++
+	ctx.Sleep(g.cfg.PaceCycles)
+	return g.sendSlept
+}
+
+func (g *ackSender) afterSendSleep(ctx guest.Context, _ guest.Resume) guest.Step {
+	return g.outer(ctx)
+}
+
+func (g *ackSender) afterPollSleep(ctx guest.Context, _ guest.Resume) guest.Step {
+	if g.useClock {
+		ctx.ClockNow()
+		return g.timeoutClock
+	}
+	g.idle++
+	return g.timeoutDecide(ctx, g.idle >= g.idleLimit)
+}
+
+func (g *ackSender) afterTimeoutClock(ctx guest.Context, r guest.Resume) guest.Step {
+	return g.timeoutDecide(ctx, sim.Cycles(r.Ret)-g.lastProgress >= g.cfg.TimeoutCycles)
+}
+
+func (g *ackSender) timeoutDecide(ctx guest.Context, timedOut bool) guest.Step {
+	if !timedOut {
+		return g.outer(ctx)
+	}
+	g.stats.Timeouts++
+	if g.sent >= g.budget {
+		g.stats.GaveUp = true
+		return g.finish(ctx)
+	}
+	if fresh := int64(g.sent) - int64(g.acked) - int64(g.lost); fresh > 0 {
+		g.stats.Lost += uint64(fresh)
+	}
+	g.lost = g.sent - g.acked
+	g.idle = 0
+	if g.useClock {
+		ctx.ClockNow()
+		return g.resetClock
+	}
+	return g.outer(ctx)
+}
+
+func (g *ackSender) afterResetClock(ctx guest.Context, r guest.Resume) guest.Step {
+	g.lastProgress = sim.Cycles(r.Ret)
+	return g.outer(ctx)
+}
+
+func (g *ackSender) finish(ctx guest.Context) guest.Step {
+	g.stats.Sent, g.stats.Acked = g.sent, g.acked
+	if g.useClock {
+		ctx.ClockNow()
+		return g.doneClock
+	}
+	return nil
+}
+
+func (g *ackSender) afterDoneClock(ctx guest.Context, r guest.Resume) guest.Step {
+	g.stats.DoneAt = sim.Cycles(r.Ret)
+	return nil
+}
+
+// AckPacedSenderStep returns the flow's sending guest as a resumable
+// state machine for the flyweight driver. stats must outlive the run;
+// the guest fills it as its last action.
+func AckPacedSenderStep(cfg AckFlowConfig, stats *AckFlowStats) guest.Step {
+	g := &ackSender{cfg: cfg, stats: stats}
+	g.maxW = cfg.Window
+	if g.maxW == 0 {
+		g.maxW = 8
+	}
+	g.budget = cfg.Budget
+	if g.budget == 0 {
+		g.budget = 4 * cfg.Frames
+	}
+	g.idleLimit = cfg.IdleTicks
+	if g.idleLimit == 0 {
+		g.idleLimit = 128
+	}
+	g.useClock = cfg.TimeoutCycles > 0
+	g.data = guest.Frame{Dst: cfg.Peer, Flow: cfg.Flow, ECN: true, Bytes: cfg.FrameBytes}
+	return g.start
+}
+
+// AckPacedSender is AckPacedSenderStep for the goroutine driver.
+func AckPacedSender(cfg AckFlowConfig, stats *AckFlowStats) guest.Routine {
+	return guest.StepRoutine(AckPacedSenderStep(cfg, stats))
+}
+
+// ackEchoGen is the resumable echo daemon: block for traffic, drain
+// the receive buffer with briefly-retried reads, and ack each
+// matching data frame back to its own source.
+type ackEchoGen struct {
+	flow uint32
+	seen uint64
+	ack  guest.Frame
+
+	retry    guest.RetryStep
+	recvOp   guest.RetryOp
+	recvDone guest.RetryDone
+	sendOp   guest.RetryOp
+	sendDone guest.RetryDone
+	wake     guest.Step
+}
+
+func (g *ackEchoGen) start(ctx guest.Context, _ guest.Resume) guest.Step {
+	g.recvOp = func(ctx guest.Context) {
+		//simlint:errno-ok resumable post: the errno arrives in the next activation's Resume
+		ctx.NetRecv()
+	}
+	g.recvDone = g.afterRecv
+	g.sendOp = func(ctx guest.Context) {
+		//simlint:errno-ok resumable post: the errno arrives in the next activation's Resume
+		ctx.NetSend(g.ack)
+	}
+	g.sendDone = g.afterSendAck
+	g.wake = g.afterWait
+	ctx.NetRxWait(g.seen)
+	return g.wake
+}
+
+func (g *ackEchoGen) afterWait(ctx guest.Context, r guest.Resume) guest.Step {
+	g.seen = r.Ret
+	// Retry transient injected faults briefly so a buffered data frame
+	// is not stranded behind a fault until the next delivery wakes the
+	// daemon.
+	return g.retry.Begin(ctx, g.recvOp, ackEchoRetryCycles, g.recvDone)
+}
+
+func (g *ackEchoGen) afterRecv(ctx guest.Context, r guest.Resume) guest.Step {
+	if r.Err != nil || !r.OK {
+		ctx.NetRxWait(g.seen)
+		return g.wake
+	}
+	f := r.Frame
+	if f.Flow != g.flow {
+		return g.retry.Begin(ctx, g.recvOp, ackEchoRetryCycles, g.recvDone)
+	}
+	g.ack = guest.Frame{Dst: f.Src, Flow: f.Flow, ECN: true, ECE: f.CE}
+	return g.retry.Begin(ctx, g.sendOp, ackEchoRetryCycles, g.sendDone)
+}
+
+// afterSendAck drops any error — a persistently failing ack send is
+// the sender's retransmission timeout's problem — and drains on.
+func (g *ackEchoGen) afterSendAck(ctx guest.Context, _ guest.Resume) guest.Step {
+	return g.retry.Begin(ctx, g.recvOp, ackEchoRetryCycles, g.recvDone)
+}
+
+// AckEchoStep returns the receive-side echo daemon as a resumable
+// state machine: for every data frame of the given flow it sends one
+// ack to the frame's own Src, raising the ack's ECE bit when the data
+// frame arrived CE-marked; frames of other flows (an attacker's junk)
+// are drained and ignored. The daemon never exits — run it on a
+// cluster machine marked Service.
+func AckEchoStep(flow uint32) guest.Step {
+	g := &ackEchoGen{flow: flow}
+	return g.start
+}
+
+// AckEcho is AckEchoStep for the goroutine driver.
+func AckEcho(flow uint32) guest.Routine {
+	return guest.StepRoutine(AckEchoStep(flow))
 }
 
 // ackEchoRetryCycles bounds the echo daemon's backoff on an injected

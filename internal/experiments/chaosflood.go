@@ -215,11 +215,8 @@ func RunChaosFlood(spec ChaosFloodSpec) (*ChaosFloodOut, error) {
 					return nil // silent baseline
 				}
 				packets := uint64(floodSec * float64(pps))
-				_, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "pktgen",
-					Content: "junk-ip packet generator v3 (routed)",
-					Body:    floodBody(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(victimIdx)}),
-				})
+				_, err := m.Spawn(guestSpawn(o, "pktgen", "junk-ip packet generator v3 (routed)",
+					floodBodyStep(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(victimIdx)})))
 				return err
 			},
 		})
@@ -238,18 +235,15 @@ func RunChaosFlood(spec ChaosFloodSpec) (*ChaosFloodOut, error) {
 			if fl.FlowFrames == 0 {
 				return nil
 			}
-			_, err := m.Spawn(kernel.SpawnConfig{
-				Name:    "flowsend",
-				Content: "ack-paced ecn sender v1 (chaos-hardened)",
-				Body: AckPacedSender(AckFlowConfig{
+			_, err := m.Spawn(guestSpawn(o, "flowsend", "ack-paced ecn sender v1 (chaos-hardened)",
+				AckPacedSenderStep(AckFlowConfig{
 					Peer:          c.AddrOf(victimIdx),
 					Flow:          routerFloodFlowID,
 					Frames:        fl.FlowFrames,
 					Window:        fl.FlowWindow,
 					PaceCycles:    500 * perUs, // ≤2k pps offered
 					TimeoutCycles: 50_000 * perUs,
-				}, flowStats),
-			})
+				}, flowStats)))
 			return err
 		},
 	})
@@ -268,11 +262,8 @@ func RunChaosFlood(spec ChaosFloodSpec) (*ChaosFloodOut, error) {
 		CrashAt:      crashAt,
 		RestartAfter: restartAfter,
 		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
-			p, err := m.Spawn(kernel.SpawnConfig{
-				Name:    "fwd",
-				Content: "store-and-forward router daemon v1",
-				Body:    cluster.Forwarder(sim.Cycles(lookupUs) * perUs),
-			})
+			p, err := m.Spawn(guestSpawn(o, "fwd", "store-and-forward router daemon v1",
+				cluster.ForwarderStep(sim.Cycles(lookupUs)*perUs)))
 			if p != nil {
 				routerPIDs = append(routerPIDs, p.PID)
 			}
@@ -292,11 +283,8 @@ func RunChaosFlood(spec ChaosFloodSpec) (*ChaosFloodOut, error) {
 		Service: fl.FlowFrames > 0,
 		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
 			if fl.FlowFrames > 0 {
-				if _, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "echod",
-					Content: "per-flow ack echo daemon v1",
-					Body:    AckEcho(routerFloodFlowID),
-				}); err != nil {
+				if _, err := m.Spawn(guestSpawn(o, "echod", "per-flow ack echo daemon v1",
+					AckEchoStep(routerFloodFlowID))); err != nil {
 					return err
 				}
 			}

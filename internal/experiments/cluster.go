@@ -206,19 +206,36 @@ func RunCluster(spec ClusterRunSpec) (*ClusterOut, error) {
 				interval = 1
 			}
 			packets := uint64(floodSec * float64(spec.FloodPPS))
-			_, err := m.Spawn(kernel.SpawnConfig{
-				Name:    "pktgen",
-				Content: "junk-ip packet generator v1",
-				Body: func(ctx guest.Context) {
-					for n := uint64(0); n < packets; n++ {
-						for _, tg := range targets {
-							tg.link.Send(tg.frame)
-						}
-						ctx.Syscall("sendto") //simlint:errno-ok modeled flood binary never checks errno; the bill charges the attempt
-						ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
-					}
-				},
-			})
+			// The generator as a resumable state machine: inject this
+			// slot's frames onto every victim link (host-side calls,
+			// fine mid-activation), bill one sendto, sleep out the
+			// jittered slot, repeat. pc tracks which request the last
+			// activation posted.
+			var pc int
+			var n uint64
+			var step guest.Step
+			step = func(ctx guest.Context, _ guest.Resume) guest.Step {
+				switch pc {
+				case 1: // sendto billed; sleep out the slot
+					pc = 2
+					ctx.Sleep(ctx.Rand().Jitter(interval, interval/4+1))
+					return step
+				case 2: // slot done
+					n++
+					pc = 0
+				}
+				if n >= packets {
+					return nil
+				}
+				for _, tg := range targets {
+					tg.link.Send(tg.frame)
+				}
+				pc = 1
+				//simlint:errno-ok modeled flood binary never checks errno; the bill charges the attempt
+				ctx.Syscall("sendto")
+				return step
+			}
+			_, err := m.Spawn(guestSpawn(o, "pktgen", "junk-ip packet generator v1", step))
 			return err
 		},
 	})

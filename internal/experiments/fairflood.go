@@ -153,12 +153,9 @@ func RunFairFlood(spec FairFloodSpec) (*FairFloodOut, error) {
 					return nil // silent baseline
 				}
 				packets := uint64(floodSec * float64(spec.AttackerPPS))
-				_, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "pktgen",
-					Content: "junk-ip packet generator v4 (mtu frames)",
-					Body: floodBody(o.Freq, spec.AttackerPPS, packets,
-						guest.Frame{Dst: c.AddrOf(victimIdx), Bytes: junkBytes}),
-				})
+				_, err := m.Spawn(guestSpawn(o, "pktgen", "junk-ip packet generator v4 (mtu frames)",
+					floodBodyStep(o.Freq, spec.AttackerPPS, packets,
+						guest.Frame{Dst: c.AddrOf(victimIdx), Bytes: junkBytes})))
 				return err
 			},
 		},
@@ -166,10 +163,8 @@ func RunFairFlood(spec FairFloodSpec) (*FairFloodOut, error) {
 			Name:   "sender",
 			Config: senderCfg,
 			Boot: func(c *cluster.Cluster, m *kernel.Machine) error {
-				_, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "flowsend",
-					Content: "ack-paced ecn sender v2 (clock rto)",
-					Body: AckPacedSender(AckFlowConfig{
+				_, err := m.Spawn(guestSpawn(o, "flowsend", "ack-paced ecn sender v2 (clock rto)",
+					AckPacedSenderStep(AckFlowConfig{
 						Peer:          c.AddrOf(victimIdx),
 						Flow:          fairFloodFlowID,
 						Frames:        spec.FlowFrames,
@@ -177,8 +172,7 @@ func RunFairFlood(spec FairFloodSpec) (*FairFloodOut, error) {
 						PaceCycles:    500 * perUs, // ≤2k pps offered
 						TimeoutCycles: sim.Cycles(timeoutUs) * perUs,
 						FrameBytes:    flowBytes,
-					}, flowStats),
-				})
+					}, flowStats)))
 				return err
 			},
 		},
@@ -191,12 +185,10 @@ func RunFairFlood(spec FairFloodSpec) (*FairFloodOut, error) {
 				// softirq half of a real network stack: ack latency
 				// then reflects the wire under test, not the victim
 				// workload's timeslice.
-				if _, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "echod",
-					Content: "per-flow ack echo daemon v1",
-					Nice:    -15,
-					Body:    AckEcho(fairFloodFlowID),
-				}); err != nil {
+				echod := guestSpawn(o, "echod", "per-flow ack echo daemon v1",
+					AckEchoStep(fairFloodFlowID))
+				echod.Nice = -15
+				if _, err := m.Spawn(echod); err != nil {
 					return err
 				}
 				l, err := launchSpec(m, RunSpec{

@@ -93,11 +93,8 @@ func RunMultiFlood(spec MultiFloodSpec) (*MultiFloodOut, error) {
 				// through NetSend (floodBody) bills the tx path and
 				// observes the wire's drop feedback; Offered counts
 				// what was actually sent.
-				_, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "pktgen",
-					Content: "junk-ip packet generator v2 (tx-path)",
-					Body:    floodBody(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(spec.Attackers)}),
-				})
+				_, err := m.Spawn(guestSpawn(o, "pktgen", "junk-ip packet generator v2 (tx-path)",
+					floodBodyStep(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(spec.Attackers)})))
 				return err
 			},
 		})

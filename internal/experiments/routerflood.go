@@ -134,11 +134,8 @@ func RunRouterFlood(spec RouterFloodSpec) (*RouterFloodOut, error) {
 					return nil // silent baseline
 				}
 				packets := uint64(floodSec * float64(pps))
-				_, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "pktgen",
-					Content: "junk-ip packet generator v3 (routed)",
-					Body:    floodBody(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(victimIdx)}),
-				})
+				_, err := m.Spawn(guestSpawn(o, "pktgen", "junk-ip packet generator v3 (routed)",
+					floodBodyStep(o.Freq, pps, packets, guest.Frame{Dst: c.AddrOf(victimIdx)})))
 				return err
 			},
 		})
@@ -155,17 +152,14 @@ func RunRouterFlood(spec RouterFloodSpec) (*RouterFloodOut, error) {
 			if spec.FlowFrames == 0 {
 				return nil
 			}
-			_, err := m.Spawn(kernel.SpawnConfig{
-				Name:    "flowsend",
-				Content: "ack-paced ecn sender v1",
-				Body: AckPacedSender(AckFlowConfig{
+			_, err := m.Spawn(guestSpawn(o, "flowsend", "ack-paced ecn sender v1",
+				AckPacedSenderStep(AckFlowConfig{
 					Peer:       c.AddrOf(victimIdx),
 					Flow:       routerFloodFlowID,
 					Frames:     spec.FlowFrames,
 					Window:     spec.FlowWindow,
 					PaceCycles: 500 * perUs, // ≤2k pps offered
-				}, flowStats),
-			})
+				}, flowStats)))
 			return err
 		},
 	})
@@ -179,11 +173,8 @@ func RunRouterFlood(spec RouterFloodSpec) (*RouterFloodOut, error) {
 		Config:  routerCfg,
 		Service: true,
 		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
-			p, err := m.Spawn(kernel.SpawnConfig{
-				Name:    "fwd",
-				Content: "store-and-forward router daemon v1",
-				Body:    cluster.Forwarder(sim.Cycles(lookupUs) * perUs),
-			})
+			p, err := m.Spawn(guestSpawn(o, "fwd", "store-and-forward router daemon v1",
+				cluster.ForwarderStep(sim.Cycles(lookupUs)*perUs)))
 			if p != nil {
 				routerPID = p.PID
 			}
@@ -204,11 +195,8 @@ func RunRouterFlood(spec RouterFloodSpec) (*RouterFloodOut, error) {
 		Service: spec.FlowFrames > 0,
 		Boot: func(_ *cluster.Cluster, m *kernel.Machine) error {
 			if spec.FlowFrames > 0 {
-				if _, err := m.Spawn(kernel.SpawnConfig{
-					Name:    "echod",
-					Content: "per-flow ack echo daemon v1",
-					Body:    AckEcho(routerFloodFlowID),
-				}); err != nil {
+				if _, err := m.Spawn(guestSpawn(o, "echod", "per-flow ack echo daemon v1",
+					AckEchoStep(routerFloodFlowID))); err != nil {
 					return err
 				}
 			}

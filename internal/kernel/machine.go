@@ -366,11 +366,19 @@ type SpawnConfig struct {
 	// Libs are linked at spawn (with Env's LD_PRELOAD honoured).
 	// Nil links the full registry default set: libc and libm.
 	Libs []string
+	// Body runs the guest on the goroutine compat driver. Exactly one
+	// of Body and Step must be set.
 	Body guest.Routine
+	// Step runs the guest on the flyweight driver: a resumable state
+	// machine with no goroutine and no parked stack (see guest.Step).
+	Step guest.Step
 }
 
 // Spawn creates a runnable process outside any fork chain.
 func (m *Machine) Spawn(sc SpawnConfig) (*proc.Proc, error) {
+	if (sc.Body == nil) == (sc.Step == nil) {
+		return nil, fmt.Errorf("spawn %s: exactly one of Body (goroutine driver) and Step (flyweight driver) must be set", sc.Name)
+	}
 	p := m.table.Create(sc.Name, nil)
 	p.SetNice(sc.Nice)
 	//simlint:unordered-ok map-to-map copy; insertion order cannot be observed
@@ -391,6 +399,10 @@ func (m *Machine) Spawn(sc SpawnConfig) (*proc.Proc, error) {
 		return nil, fmt.Errorf("spawn %s: %w", sc.Name, err)
 	}
 	t := m.newTask(p, sc.Body)
+	if sc.Step != nil {
+		t.stepFn = sc.Step
+		t.stepCtx.t = t
+	}
 	t.billable = true
 	m.groupCount[p.TGID]++
 	t.linkMap = lm
@@ -406,15 +418,18 @@ func (m *Machine) Spawn(sc SpawnConfig) (*proc.Proc, error) {
 }
 
 func (m *Machine) newTask(p *proc.Proc, body guest.Routine) *task {
-	// grant is buffered (capacity 1) so a handoff can be published
-	// before the target has parked: the send never blocks, and the
-	// target consumes it on its next awaitGrant.
 	t := &task{
-		p:     p,
-		m:     m,
-		st:    m.statOf(p.TGID),
-		body:  body,
-		grant: make(chan struct{}, 1),
+		p:    p,
+		m:    m,
+		st:   m.statOf(p.TGID),
+		body: body,
+	}
+	if body != nil {
+		// grant is buffered (capacity 1) so a handoff can be published
+		// before the target has parked: the send never blocks, and the
+		// target consumes it on its next awaitGrant. Flyweight tasks
+		// (body nil; Spawn sets stepFn) never park, so they get none.
+		t.grant = make(chan struct{}, 1)
 	}
 	t.wakeFire = func() {
 		t.wakePending = false
@@ -651,7 +666,11 @@ func (m *Machine) shutdown() {
 	m.closed = true
 	//simlint:unordered-ok closing each grant channel is commutative; no history event is emitted
 	for _, t := range m.tasks {
-		close(t.grant)
+		if t.grant != nil {
+			// Flyweight tasks have no grant channel and no parked
+			// goroutine; there is nothing to unwind.
+			close(t.grant)
+		}
 	}
 }
 
@@ -720,6 +739,12 @@ func (m *Machine) driveStep() error {
 	t := m.current
 	switch {
 	case !t.started:
+		if t.stepFn != nil {
+			// A flyweight task's first activation runs inline on the
+			// driving goroutine; there is no guest goroutine to start.
+			m.stepRun(t)
+			return nil
+		}
 		// The task's guest code has never run: hand it the engine.
 		m.pendingDriver = t
 	case t.cur != nil && !t.begun:
@@ -737,6 +762,13 @@ func (m *Machine) driveStep() error {
 		m.finishRequest(t)
 	default:
 		return fmt.Errorf("kernel: task %v dispatched with no serviceable work", t.p)
+	}
+	// A flyweight task whose request was just granted resumes here,
+	// still on the driving goroutine. The dispatched task is checked
+	// rather than m.current: a yield grants and then vacates the CPU,
+	// and the activation must still run.
+	if t.stepFn != nil && t.granted {
+		m.stepRun(t)
 	}
 	return nil
 }
@@ -1116,7 +1148,11 @@ func (m *Machine) grantNow(t *task) {
 	t.completed = false
 	t.begun = false
 	t.granted = true
-	if t != m.driver {
+	if t != m.driver && t.stepFn == nil {
+		// Flyweight tasks have no goroutine to hand the engine to:
+		// their next activation runs inline, either in the posting
+		// stepRun loop (synchronous grant) or at the end of the
+		// driveStep that granted them.
 		m.pendingDriver = t
 	}
 }

@@ -78,9 +78,17 @@ type task struct {
 
 	body guest.Routine
 
+	// stepFn, when non-nil, marks a flyweight task: the guest is a
+	// resumable state machine driven by stepRun (see step.go) instead
+	// of a goroutine, and stepCtx is its Context. stepFn holds the
+	// continuation that receives the next granted request's reply.
+	stepFn  guest.Step
+	stepCtx stepCtx
+
 	// grant parks the guest goroutine across task switches: a send
 	// both completes the task's request and hands it the engine; a
-	// close (machine shutdown) unwinds the guest via killPanic.
+	// close (machine shutdown) unwinds the guest via killPanic. Nil
+	// for flyweight tasks, which never park.
 	grant   chan struct{}
 	started bool
 	gone    bool // goroutine finished (exit request seen)

@@ -1,0 +1,221 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/metering"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// These tests pin the compat driver's two unwinding paths directly.
+// exitPanic (ctx.Exit deep in guest code) and killPanic (machine
+// shutdown with guests parked mid-syscall) were previously exercised
+// only incidentally through cluster teardown; here each is driven on
+// a solo machine and the ledgers checked around it.
+
+// TestExitPanicUnwindsNestedGuestCode pins that Exit called several
+// frames deep in guest code unwinds the goroutine without running the
+// code behind it, and that the exit itself is billed (system time)
+// while no phantom user time appears.
+func TestExitPanicUnwindsNestedGuestCode(t *testing.T) {
+	m := testMachine(t)
+	const work = 2_000_000
+	reached := false
+	helper := func(ctx guest.Context) {
+		ctx.Compute(work)
+		ctx.Exit(5)
+		ctx.Compute(work) // must never run
+	}
+	p, err := m.Spawn(SpawnConfig{Name: "quitter", Body: func(ctx guest.Context) {
+		helper(ctx)
+		reached = true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	if reached {
+		t.Fatal("guest code after Exit ran; exitPanic did not unwind")
+	}
+	u, _ := m.UsageBy("tsc", p.PID)
+	if u.User != work {
+		t.Fatalf("tsc user = %d, want exactly %d (the pre-exit compute)", u.User, work)
+	}
+	if u.System == 0 {
+		t.Fatal("tsc system = 0; the exit path should be billed")
+	}
+}
+
+// TestExitCodeCrossesUnwind pins that the code carried by exitPanic
+// reaches the parent's Wait even when Exit fires inside a nested
+// helper rather than at the routine's tail.
+func TestExitCodeCrossesUnwind(t *testing.T) {
+	m := testMachine(t)
+	deep := func(ctx guest.Context) { ctx.Exit(31) }
+	var wres guest.WaitResult
+	var wok bool
+	_, err := m.Spawn(SpawnConfig{Name: "parent", Body: func(ctx guest.Context) {
+		ctx.Fork("child", func(c guest.Context) {
+			c.Compute(100_000)
+			deep(c)
+		})
+		wres, wok = ctx.Wait()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m)
+	if !wok || wres.ExitCode != 31 || wres.Stopped {
+		t.Fatalf("wait = %+v ok=%v, want exit code 31", wres, wok)
+	}
+}
+
+// unwindSchemes fixes the ledger snapshot order.
+var unwindSchemes = []string{"jiffy", "tsc", "process-aware"}
+
+// snapshotUsage collects every scheme's usage for a set of pids,
+// indexed [scheme][pid] in unwindSchemes order.
+func snapshotUsage(m *Machine, pids []proc.PID) [][]metering.Usage {
+	out := make([][]metering.Usage, len(unwindSchemes))
+	for si, scheme := range unwindSchemes {
+		for _, pid := range pids {
+			u, _ := m.UsageBy(scheme, pid)
+			out[si] = append(out[si], u)
+		}
+	}
+	return out
+}
+
+// requireSameLedgers fails if any per-pid usage moved between the two
+// snapshots.
+func requireSameLedgers(t *testing.T, pids []proc.PID, before, after [][]metering.Usage) {
+	t.Helper()
+	for si, want := range before {
+		for i, u := range want {
+			if after[si][i] != u {
+				t.Fatalf("%s ledger for pid %d moved across the kill: %+v -> %+v",
+					unwindSchemes[si], pids[i], u, after[si][i])
+			}
+		}
+	}
+}
+
+// TestKillPanicLeavesLedgersBalanced pins the mid-syscall kill path:
+// a machine paused at a barrier holds one guest parked mid-request
+// (the paused driver) and one blocked in a sleep syscall. Shutting
+// the machine down unwinds both via killPanic, and the unwind must
+// not move a single cycle on any ledger: the kill tears down
+// execution, not accounting.
+func TestKillPanicLeavesLedgersBalanced(t *testing.T) {
+	m := testMachine(t)
+	spinner, err := m.Spawn(SpawnConfig{Name: "spinner", Body: func(ctx guest.Context) {
+		for {
+			ctx.Compute(50_000)
+			//simlint:errno-ok no faults configured; the spin only parks the guest mid-request
+			ctx.Syscall("read")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeper, err := m.Spawn(SpawnConfig{Name: "sleeper", Body: func(ctx guest.Context) {
+		ctx.Sleep(1 << 40) // far past the barrier: killed mid-syscall
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := m.RunUntil(20_000_000)
+	if err != nil {
+		t.Fatalf("run until barrier: %v", err)
+	}
+	if done {
+		t.Fatal("machine finished before the barrier; nothing is parked mid-syscall")
+	}
+
+	pids := []proc.PID{spinner.PID, sleeper.PID}
+	before := snapshotUsage(m, pids)
+	clockBefore := m.Clock().Now()
+	spinnerBefore, _ := m.UsageBy("tsc", spinner.PID)
+	if spinnerBefore.User == 0 {
+		t.Fatal("spinner billed no user time before the kill; test drove nothing")
+	}
+
+	m.Shutdown()
+
+	if !m.Closed() {
+		t.Fatal("machine not closed after Shutdown")
+	}
+	if got := m.Clock().Now(); got != clockBefore {
+		t.Fatalf("shutdown advanced the clock: %d -> %d", clockBefore, got)
+	}
+	after := snapshotUsage(m, pids)
+	requireSameLedgers(t, pids, before, after)
+	// Every billed cycle must fit inside elapsed virtual time: a
+	// corrupt unwind that double-charged an in-flight request would
+	// push a ledger past the clock.
+	var total sim.Cycles
+	for _, u := range after[1] { // tsc
+		total += u.Total()
+	}
+	if total > clockBefore {
+		t.Fatalf("tsc ledgers sum to %d cycles but only %d elapsed", total, clockBefore)
+	}
+	// A shut-down machine must stay inert and idempotent.
+	if done, err := m.RunUntil(clockBefore + 1_000_000); !done || err != nil {
+		t.Fatalf("RunUntil after shutdown = (%v, %v), want (true, nil)", done, err)
+	}
+	m.Shutdown()
+}
+
+// TestKillPanicMidSyscallFlyweightMachineMix pins the same teardown
+// on a machine mixing both drivers: the goroutine guest unwinds via
+// killPanic while the flyweight guest (no goroutine, no grant
+// channel) is simply abandoned, and both ledgers hold.
+func TestKillPanicMidSyscallFlyweightMachineMix(t *testing.T) {
+	m := testMachine(t)
+	type looper struct{ pc int }
+	l := &looper{}
+	var step guest.Step
+	step = func(ctx guest.Context, r guest.Resume) guest.Step {
+		if l.pc == 0 {
+			l.pc = 1
+			ctx.Compute(50_000)
+		} else {
+			l.pc = 0
+			ctx.Sleep(50_000)
+		}
+		return step
+	}
+	fly, err := m.Spawn(SpawnConfig{Name: "fly", Step: step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro, err := m.Spawn(SpawnConfig{Name: "goro", Body: func(ctx guest.Context) {
+		for {
+			ctx.Compute(50_000)
+			ctx.Sleep(50_000)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.RunUntil(20_000_000)
+	if err != nil {
+		t.Fatalf("run until barrier: %v", err)
+	}
+	if done {
+		t.Fatal("machine finished; nothing live at the kill")
+	}
+	pids := []proc.PID{fly.PID, goro.PID}
+	before := snapshotUsage(m, pids)
+	uf, _ := m.UsageBy("tsc", fly.PID)
+	ug, _ := m.UsageBy("tsc", goro.PID)
+	if uf.User == 0 || ug.User == 0 {
+		t.Fatalf("one guest billed nothing before the kill (fly %d, goro %d)", uf.User, ug.User)
+	}
+	m.Shutdown()
+	requireSameLedgers(t, pids, before, snapshotUsage(m, pids))
+}

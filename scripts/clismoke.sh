@@ -67,6 +67,18 @@ say "chaos crash+reboot+flap"
 say "all"
 "$BIN" all -scale "$SCALE" >/dev/null
 
+# The pprof plumbing: a profiled run must leave non-empty profiles
+# behind, and an unwritable destination must fail up front.
+PROFDIR="$(dirname "$BIN")"
+say "meter with profiles"
+"$BIN" meter O -scale "$SCALE" -cpuprofile "$PROFDIR/cpu.pb.gz" -memprofile "$PROFDIR/mem.pb.gz" >/dev/null
+[ -s "$PROFDIR/cpu.pb.gz" ] || { say "cpu profile missing or empty"; exit 1; }
+[ -s "$PROFDIR/mem.pb.gz" ] || { say "mem profile missing or empty"; exit 1; }
+say "profile path validation"
+if "$BIN" meter O -scale "$SCALE" -cpuprofile /nonexistent-dir/cpu.pb >/dev/null 2>&1; then
+    say "unwritable -cpuprofile path was accepted"; exit 1
+fi
+
 # Lint smoke: the vettool must load and run clean over the CLI package
 # (CI restores SIMLINT_BIN from the per-job cache; locally lint.sh
 # builds it once into bin/).
