@@ -449,3 +449,74 @@ func BenchmarkCampaignAll(b *testing.B) {
 	}
 	b.ReportMetric(artifacts, "artifacts")
 }
+
+// BenchmarkForkedCampaign pins the shared-warmup campaign path: one
+// fork-lab warmup checkpointed and forked into every variant, against
+// building and warming each variant's machine from scratch. Both
+// paths produce byte-identical results (TestForkedCampaignMatches-
+// FreshBuilds in internal/experiments); the forked path just pays the
+// warmup once per campaign instead of once per variant. The image
+// sub-benchmark reports the checkpoint's resident heap size.
+func BenchmarkForkedCampaign(b *testing.B) {
+	spec := ForkLabSpec{Seed: 2010}
+	rates := []uint64{10_000, 20_000, 40_000, 80_000}
+	// The barrier sits deep in the run — the regime the shared-warmup
+	// path exists for: a long common prefix (here ~90% of the
+	// default-spec history, most of it the churn guest thrashing
+	// through swap) swept by short divergent tails. A shallow barrier
+	// shares too little to beat the per-variant restore cost.
+	const warmup = Cycles(250_000_000)
+	b.Run("forked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MeterForkLabCampaign(spec, warmup, rates, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(rates)), "variants")
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pps := range rates {
+				m, err := BuildForkLab(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.RunUntil(warmup); err != nil {
+					b.Fatal(err)
+				}
+				m.NIC().StartFlood(pps)
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				HarvestForkLab(m)
+				m.Shutdown()
+			}
+		}
+		b.ReportMetric(float64(len(rates)), "variants")
+	})
+	b.Run("image", func(b *testing.B) {
+		m, err := BuildForkLab(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.RunUntil(warmup); err != nil {
+			b.Fatal(err)
+		}
+		defer m.Shutdown()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		imgs := make([]*MachineImage, b.N)
+		for i := range imgs {
+			img, err := SnapshotMachine(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			imgs[i] = img
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		b.ReportMetric((float64(after.HeapAlloc)-float64(before.HeapAlloc))/float64(b.N), "B/image")
+		runtime.KeepAlive(imgs)
+	})
+}

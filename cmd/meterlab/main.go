@@ -16,6 +16,12 @@
 //	                                    seeded syscall faults, a scheduled router
 //	                                    crash/reboot, and egress link flap, with
 //	                                    every link's conservation ledger printed
+//	meterlab snapshot -out f [flags]    warm the checkpointable fork-lab machine
+//	                                    to a virtual-time barrier, checkpoint it,
+//	                                    and write a replay manifest to f
+//	meterlab resume -from f [flags]     replay a manifest's warmup, checkpoint,
+//	                                    restore into an independent fork, and run
+//	                                    the fork to completion
 //
 // Flags:
 //
@@ -58,6 +64,12 @@
 //	              after the crash (0 = stays down; requires -crash-at)
 //	-flap s       (chaos only) flap the router→victim egress wire: "first:down:up"
 //	              in virtual seconds (e.g. 0.5:0.1:0.4; up 0 = one outage)
+//	-out f        (snapshot only) replay-manifest output path (required)
+//	-from f       (resume only) replay-manifest input path (required)
+//	-warmup f     (snapshot/resume snapshot side) checkpoint barrier in virtual
+//	              seconds (0 = the fork lab's default mid-run barrier)
+//	-rounds n     (snapshot only) fork-lab churn rounds, scales run length
+//	              (0 = default 60)
 //	-cpuprofile f write a pprof CPU profile of the command to file f
 //	-memprofile f write a pprof heap profile (post-run, after a GC) to file f
 //
@@ -66,6 +78,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -117,6 +130,10 @@ func run(args []string) error {
 	crashAt := fs.Float64("crash-at", 0, "kill the router this many virtual seconds in for 'chaos' (0 = never)")
 	restartAfter := fs.Float64("restart-after", 0, "reboot the router this many virtual seconds after the crash for 'chaos' (0 = stays down; requires -crash-at)")
 	flapStr := fs.String("flap", "", "egress outage windows for 'chaos': first:down:up in virtual seconds (up 0 = one outage)")
+	outPath := fs.String("out", "", "replay-manifest output path for 'snapshot' (required)")
+	fromPath := fs.String("from", "", "replay-manifest input path for 'resume' (required)")
+	warmup := fs.Float64("warmup", 0, "checkpoint barrier for 'snapshot' in virtual seconds (0 = default mid-run barrier)")
+	rounds := fs.Int64("rounds", 0, "fork-lab churn rounds for 'snapshot' (0 = default 60)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the command to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (post-run, after a GC) to this file")
 
@@ -127,7 +144,7 @@ func run(args []string) error {
 		}
 		return nil
 
-	case "run", "all", "meter", "cluster", "chaos":
+	case "run", "all", "meter", "cluster", "chaos", "snapshot", "resume":
 		target := ""
 		if cmd == "run" || cmd == "meter" {
 			if len(rest) == 0 {
@@ -181,6 +198,18 @@ func run(args []string) error {
 					restartAfter: *restartAfter,
 					flap:         *flapStr,
 				}, opts)
+			case "snapshot":
+				return runSnapshot(snapshotFlags{
+					out:    *outPath,
+					warmup: *warmup,
+					rounds: *rounds,
+					pps:    *pps,
+				}, opts)
+			case "resume":
+				return runResume(resumeFlags{
+					from: *fromPath,
+					pps:  *pps,
+				})
 			default:
 				return meterJob(target, *attackKey, opts)
 			}
@@ -518,6 +547,163 @@ func parseVictims(victims string) ([]cpumeter.ClusterVictim, error) {
 		return nil, fmt.Errorf("cluster: no victims in %q (want comma-separated workloads from %s)", victims, strings.Join(known, ", "))
 	}
 	return vs, nil
+}
+
+type snapshotFlags struct {
+	out    string
+	warmup float64
+	rounds int64
+	pps    int64
+}
+
+type resumeFlags struct {
+	from string
+	pps  int64
+}
+
+// checkpointManifest is the replay file the snapshot verb writes and
+// the resume verb replays: the fork-lab spec plus the barrier. A
+// machine history is a pure function of (spec, barrier sequence), so
+// replaying the warmup reconstructs the exact checkpointed state —
+// the manifest is the image, spelled as its recipe.
+type checkpointManifest struct {
+	Kind         string `json:"kind"`
+	Seed         int64  `json:"seed"`
+	Rounds       int    `json:"rounds"`
+	FloodPPS     uint64 `json:"flood_pps"`
+	WarmupCycles uint64 `json:"warmup_cycles"`
+}
+
+const manifestKind = "forklab-checkpoint"
+
+// warmupBarrier resolves the -warmup flag (virtual seconds at the
+// fork lab's clock) to a cycle barrier; zero selects the default.
+func warmupBarrier(warmupSec float64) (cpumeter.Cycles, error) {
+	if warmupSec < 0 {
+		return 0, fmt.Errorf("-warmup %g must be >= 0 virtual seconds", warmupSec)
+	}
+	if warmupSec == 0 {
+		return cpumeter.DefaultForkLabWarmup, nil
+	}
+	return cpumeter.Cycles(warmupSec * float64(cpumeter.DefaultCPUHz)), nil
+}
+
+// warmForkLab builds the fork-lab machine and runs it to the barrier.
+func warmForkLab(spec cpumeter.ForkLabSpec, barrier cpumeter.Cycles) (*cpumeter.Machine, error) {
+	m, err := cpumeter.BuildForkLab(spec)
+	if err != nil {
+		return nil, err
+	}
+	done, err := m.RunUntil(barrier)
+	if err != nil {
+		m.Shutdown()
+		return nil, fmt.Errorf("warmup: %w", err)
+	}
+	if done {
+		m.Shutdown()
+		return nil, fmt.Errorf("warmup finished before the %d-cycle barrier; lower -warmup or raise -rounds", barrier)
+	}
+	return m, nil
+}
+
+// runSnapshot warms the fork-lab machine to the barrier, proves it
+// checkpoints, and writes the replay manifest.
+func runSnapshot(f snapshotFlags, opts cpumeter.Options) error {
+	if f.out == "" {
+		return fmt.Errorf("snapshot: -out is required (where to write the replay manifest)")
+	}
+	if f.rounds < 0 {
+		return fmt.Errorf("snapshot: -rounds %d must be >= 0 (0 = default)", f.rounds)
+	}
+	if f.pps < 0 {
+		return fmt.Errorf("snapshot: -pps %d must be >= 0 (0 = default flood)", f.pps)
+	}
+	barrier, err := warmupBarrier(f.warmup)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	spec := cpumeter.ForkLabSpec{Seed: opts.Seed, Rounds: int(f.rounds), FloodPPS: uint64(f.pps)}
+	m, err := warmForkLab(spec, barrier)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	img, err := cpumeter.SnapshotMachine(m)
+	m.Shutdown()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	manifest := checkpointManifest{
+		Kind:         manifestKind,
+		Seed:         opts.Seed,
+		Rounds:       int(f.rounds),
+		FloodPPS:     uint64(f.pps),
+		WarmupCycles: uint64(barrier),
+	}
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: encode manifest: %w", err)
+	}
+	if err := os.WriteFile(f.out, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	fmt.Printf("snapshot: checkpointed fork lab at cycle %d (%d tasks, %d pending events)\n",
+		img.At(), img.Tasks(), img.PendingEvents())
+	fmt.Printf("  replay manifest written to %s\n", f.out)
+	return nil
+}
+
+// runResume replays a manifest's warmup, snapshots at the barrier,
+// restores the image into an independent fork, and runs the fork to
+// completion — the full checkpoint round trip, in process.
+func runResume(f resumeFlags) error {
+	if f.from == "" {
+		return fmt.Errorf("resume: -from is required (a manifest written by 'meterlab snapshot')")
+	}
+	if f.pps < 0 {
+		return fmt.Errorf("resume: -pps %d must be >= 0 (0 = keep the checkpointed flood)", f.pps)
+	}
+	data, err := os.ReadFile(f.from)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	var manifest checkpointManifest
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		return fmt.Errorf("resume: parse %s: %w", f.from, err)
+	}
+	if manifest.Kind != manifestKind {
+		return fmt.Errorf("resume: %s is not a fork-lab checkpoint manifest (kind %q, want %q)",
+			f.from, manifest.Kind, manifestKind)
+	}
+	if manifest.WarmupCycles == 0 {
+		return fmt.Errorf("resume: manifest %s has a zero warmup barrier", f.from)
+	}
+	spec := cpumeter.ForkLabSpec{Seed: manifest.Seed, Rounds: manifest.Rounds, FloodPPS: manifest.FloodPPS}
+	m, err := warmForkLab(spec, cpumeter.Cycles(manifest.WarmupCycles))
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	img, err := cpumeter.SnapshotMachine(m)
+	m.Shutdown()
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	fork, err := cpumeter.RestoreMachine(img)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	defer fork.Shutdown()
+	if f.pps > 0 {
+		fork.NIC().StartFlood(uint64(f.pps))
+	}
+	if err := fork.Run(); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	out := cpumeter.HarvestForkLab(fork)
+	fmt.Printf("resume: replayed to cycle %d, restored an independent fork, ran it to completion\n", img.At())
+	fmt.Printf("  fork finished at cycle %d: %d faults injected, %d frames received\n",
+		out.Clock, out.Faults, out.RxSeen)
+	fmt.Print(out.Digest)
+	return nil
 }
 
 // runCluster executes one custom cross-machine flood scenario and

@@ -203,3 +203,71 @@ func TestClusterModeRunsDRRWithEWMARed(t *testing.T) {
 		t.Fatalf("run(%v) = %v", args, err)
 	}
 }
+
+// TestSnapshotResumeFlagValidation pins the checkpoint verbs'
+// hardening: missing paths, malformed manifests, and negative knobs
+// all yield usage errors naming the problem before any machine runs
+// to completion.
+func TestSnapshotResumeFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) string {
+		t.Helper()
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	notJSON := writeFile("garbage.json", "{not json")
+	wrongKind := writeFile("wrong.json", `{"kind":"something-else","seed":1,"warmup_cycles":100}`)
+	zeroBarrier := writeFile("zero.json", `{"kind":"forklab-checkpoint","seed":1,"warmup_cycles":0}`)
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"snapshot without out", []string{"snapshot"}, "-out is required"},
+		{"snapshot negative rounds", []string{"snapshot", "-out", dir + "/m.json", "-rounds", "-1"}, ">= 0"},
+		{"snapshot negative pps", []string{"snapshot", "-out", dir + "/m.json", "-pps", "-5"}, ">= 0"},
+		{"snapshot negative warmup", []string{"snapshot", "-out", dir + "/m.json", "-warmup", "-0.5"}, ">= 0"},
+		{"resume without from", []string{"resume"}, "-from is required"},
+		{"resume missing file", []string{"resume", "-from", dir + "/absent.json"}, "no such file"},
+		{"resume malformed manifest", []string{"resume", "-from", notJSON}, "parse"},
+		{"resume wrong manifest kind", []string{"resume", "-from", wrongKind}, "not a fork-lab checkpoint manifest"},
+		{"resume zero barrier", []string{"resume", "-from", zeroBarrier}, "zero warmup barrier"},
+		{"resume negative pps", []string{"resume", "-from", zeroBarrier, "-pps", "-1"}, ">= 0"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: run(%v) accepted", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSnapshotResumeRoundTrip smokes the full checkpoint surface: the
+// snapshot verb warms and checkpoints the fork lab, writing a replay
+// manifest; the resume verb replays it, restores an independent fork,
+// and runs the fork to completion.
+func TestSnapshotResumeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	manifest := t.TempDir() + "/checkpoint.json"
+	if err := run([]string{"snapshot", "-out", manifest}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := run([]string{"resume", "-from", manifest}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	// A barrier past the whole run is refused, not silently forked.
+	if err := run([]string{"snapshot", "-out", manifest, "-warmup", "1000"}); err == nil ||
+		!strings.Contains(err.Error(), "warmup finished before") {
+		t.Fatalf("past-end warmup = %v, want a warmup-finished error", err)
+	}
+}

@@ -427,3 +427,70 @@ func NewMachine(cfg kernel.Config) *kernel.Machine { return kernel.New(cfg) }
 
 // MachineConfig is the low-level machine configuration.
 type MachineConfig = kernel.Config
+
+// Checkpoint & fork: a paused machine (or a whole lockstep cluster)
+// can be snapshotted into an immutable image and restored — any
+// number of times — into independent copies that continue the
+// identical history until their inputs diverge. This is the substrate
+// behind shared-warmup campaigns: run one common prefix, fork the
+// image into every variant.
+type (
+	// Cycles is virtual time in CPU cycles.
+	Cycles = sim.Cycles
+	// Machine is the simulated machine (see NewMachine).
+	Machine = kernel.Machine
+	// MachineImage is one machine's checkpoint (Machine.Snapshot).
+	MachineImage = kernel.MachineImage
+	// MachinePool recycles finished machines' scaffolding across
+	// RestoreMachine calls; not safe for concurrent use.
+	MachinePool = kernel.Pool
+	// ClusterImage is a whole fabric's checkpoint (Cluster.Snapshot).
+	ClusterImage = cluster.ClusterImage
+	// ForkLabSpec parameterises the checkpointable fork-lab scenario.
+	ForkLabSpec = experiments.ForkLabSpec
+	// ForkLabOut is a finished fork-lab run's deterministic outcome.
+	ForkLabOut = experiments.ForkLabOut
+)
+
+// ErrNotSnapshottable reports a machine (or cluster) that cannot be
+// checkpointed: goroutine-driver guests, forkless step guests, or a
+// cluster member already finished, crashed, or rebooted.
+var ErrNotSnapshottable = kernel.ErrNotSnapshottable
+
+// DefaultForkLabWarmup is the fork lab's default mid-run checkpoint
+// barrier.
+const DefaultForkLabWarmup = experiments.DefaultForkLabWarmup
+
+// SnapshotMachine checkpoints a paused machine into an immutable,
+// reusable image.
+func SnapshotMachine(m *kernel.Machine) (*MachineImage, error) { return m.Snapshot() }
+
+// RestoreMachine rebuilds an independent machine from an image; the
+// image remains valid for further restores.
+func RestoreMachine(img *MachineImage) (*kernel.Machine, error) { return kernel.Restore(img) }
+
+// ForkMachine snapshots and restores in one step: the copy continues
+// the identical history until its inputs diverge from the original's.
+func ForkMachine(m *kernel.Machine) (*kernel.Machine, error) { return m.Fork() }
+
+// RestoreCluster rebuilds an independent lockstep fabric from a
+// cluster image.
+func RestoreCluster(img *ClusterImage) (*Cluster, error) { return cluster.Restore(img) }
+
+// BuildForkLab constructs the fork-lab machine: the fully
+// checkpointable micro-scenario behind meterlab's snapshot/resume
+// verbs and the shared-warmup campaign benchmark.
+func BuildForkLab(spec ForkLabSpec) (*kernel.Machine, error) {
+	return experiments.BuildForkLab(spec)
+}
+
+// HarvestForkLab digests a finished fork-lab machine.
+func HarvestForkLab(m *kernel.Machine) *ForkLabOut { return experiments.HarvestForkLab(m) }
+
+// MeterForkLabCampaign runs the shared-warmup flood sweep: one warmup
+// to the barrier (zero selects the default), forked into one variant
+// per flood rate. Byte-identical to building each variant's machine
+// from scratch; the warmup is just paid once.
+func MeterForkLabCampaign(spec ForkLabSpec, warmup sim.Cycles, rates []uint64, parallelism int) ([]*ForkLabOut, error) {
+	return experiments.RunForkLabCampaign(spec, warmup, rates, parallelism)
+}

@@ -367,6 +367,12 @@ type pipe struct {
 	commitClock sim.Cycles  // monotone max of observed offer/kick times
 	kickArmed   bool
 	kickFire    func()
+
+	// id is the pipe's position in the cluster's wiring-order pipe
+	// table — the restore tag stamped on its "pipe-service" events, so
+	// a checkpoint restore can re-point a pending kick at the rebuilt
+	// pipe's kickFire.
+	id uint64
 }
 
 // svcBytes reports the serialisation time of wb wire bytes: the
@@ -719,7 +725,7 @@ func (p *pipe) armKick() {
 	p.kickArmed = true
 	// A flap-down window pushes the kick to the window's end: the
 	// timer is what revives a parked backlog once senders go quiet.
-	p.home.ScheduleEgress(p.flapDefer(p.busyUntil), p.kickFire)
+	p.home.ScheduleEgressTagged(p.flapDefer(p.busyUntil), p.id, p.kickFire)
 }
 
 // Cluster is a set of machines advancing in lockstep plus the links
@@ -746,6 +752,15 @@ type Cluster struct {
 	restartAt []sim.Cycles
 	crashed   []bool
 	prior     [][]*kernel.Machine
+
+	// Checkpoint support. cfg keeps the whole declaration (a restore
+	// rebuilds the wiring from it); pipes is every distinct pipe in
+	// wiring order, indexed by pipe.id; swapFire is the shared-swap
+	// host's reusable IRQ-work callback, late-bound so a restored
+	// machine's pending "irq-work" events can resolve to it.
+	cfg      Config
+	pipes    []*pipe
+	swapFire func()
 }
 
 // newPipe builds one direction's serialisation state from a spec.
@@ -803,33 +818,36 @@ func (c *Cluster) machineDesc(i int) string {
 	return fmt.Sprintf("machine %d", i)
 }
 
-// New builds the machines, assigns each a fabric address (machine i
-// gets Addr(i+1)), wires the links (registering both directions as
-// NIC transmit routes on their sending machines, in Config.Links
-// order: each link contributes its forward direction to From's route
-// list, then its reverse direction to To's, installing
-// direct-neighbor routing-table entries as it goes), applies static
-// Routes, couples any shared swap, and runs every Boot routine. On
-// any error the already-built machines are shut down.
-func New(cfg Config) (*Cluster, error) {
+// shellFrom validates a Config and builds the Cluster shell — every
+// per-machine array sized and filled, no machines yet. New populates
+// the machine slots with fresh kernels; Restore populates them from a
+// checkpoint image. The returned freq/perUs are the cluster timebase.
+func shellFrom(cfg Config) (c *Cluster, freq sim.Hz, perUs sim.Cycles, err error) {
 	if len(cfg.Machines) == 0 {
-		return nil, fmt.Errorf("cluster: no machines")
+		return nil, 0, 0, fmt.Errorf("cluster: no machines")
 	}
-	c := &Cluster{
+	// The image-reuse path keeps a ClusterImage alive across restores,
+	// so the shell's view of the declaration must not alias caller
+	// slices that might be mutated between runs.
+	cfg.Machines = append([]MachineSpec(nil), cfg.Machines...)
+	cfg.Links = append([]LinkSpec(nil), cfg.Links...)
+	cfg.Routes = append([]RouteSpec(nil), cfg.Routes...)
+	c = &Cluster{
 		machines:  make([]*kernel.Machine, len(cfg.Machines)),
 		names:     make([]string, len(cfg.Machines)),
 		service:   make([]bool, len(cfg.Machines)),
 		done:      make([]bool, len(cfg.Machines)),
 		maxCycles: cfg.MaxCycles,
-		specs:     append([]MachineSpec(nil), cfg.Machines...),
+		specs:     cfg.Machines,
 		txRoutes:  make([][]func(Frame) bool, len(cfg.Machines)),
 		routeTab:  make([]map[Addr]int, len(cfg.Machines)),
 		crashAt:   make([]sim.Cycles, len(cfg.Machines)),
 		restartAt: make([]sim.Cycles, len(cfg.Machines)),
 		crashed:   make([]bool, len(cfg.Machines)),
 		prior:     make([][]*kernel.Machine, len(cfg.Machines)),
+		cfg:       cfg,
 	}
-	freq := cfg.Machines[0].Config.CPUHz
+	freq = cfg.Machines[0].Config.CPUHz
 	if freq == 0 {
 		freq = sim.DefaultCPUHz
 	}
@@ -843,31 +861,88 @@ func New(cfg Config) (*Cluster, error) {
 			f = sim.DefaultCPUHz
 		}
 		if f != freq {
-			return nil, fmt.Errorf("cluster: machine %d runs at %d Hz, machine 0 at %d Hz (one timebase required)", i, f, freq)
+			return nil, 0, 0, fmt.Errorf("cluster: machine %d runs at %d Hz, machine 0 at %d Hz (one timebase required)", i, f, freq)
 		}
 		if ms.Name != "" {
 			if prev, dup := seenNames[ms.Name]; dup {
-				return nil, fmt.Errorf("cluster: machines %d and %d both named %q (names must be unique)", prev, i, ms.Name)
+				return nil, 0, 0, fmt.Errorf("cluster: machines %d and %d both named %q (names must be unique)", prev, i, ms.Name)
 			}
 			seenNames[ms.Name] = i
 		}
 		if ms.RestartAfter > 0 && ms.CrashAt == 0 {
-			return nil, fmt.Errorf("cluster: machine %d sets RestartAfter without CrashAt (nothing to restart)", i)
+			return nil, 0, 0, fmt.Errorf("cluster: machine %d sets RestartAfter without CrashAt (nothing to restart)", i)
 		}
 		if ms.CrashAt > 0 && cfg.SharedSwap != nil {
-			return nil, fmt.Errorf("cluster: machine %d arms CrashAt under a shared swap device (crash/restart does not compose with cross-machine swap billing)", i)
+			return nil, 0, 0, fmt.Errorf("cluster: machine %d arms CrashAt under a shared swap device (crash/restart does not compose with cross-machine swap billing)", i)
 		}
 		c.crashAt[i] = ms.CrashAt
 		c.names[i] = ms.Name
 		c.service[i] = ms.Service
-		c.machines[i] = kernel.New(ms.Config)
-		c.machines[i].NIC().SetAddr(Addr(i + 1))
 	}
-	perUs := sim.Cycles(uint64(freq) / 1_000_000)
+	perUs = sim.Cycles(uint64(freq) / 1_000_000)
 	if perUs == 0 {
 		perUs = 1
 	}
+	return c, freq, perUs, nil
+}
+
+// New builds the machines, assigns each a fabric address (machine i
+// gets Addr(i+1)), wires the links (registering both directions as
+// NIC transmit routes on their sending machines, in Config.Links
+// order: each link contributes its forward direction to From's route
+// list, then its reverse direction to To's, installing
+// direct-neighbor routing-table entries as it goes), applies static
+// Routes, couples any shared swap, and runs every Boot routine. On
+// any error the already-built machines are shut down.
+func New(cfg Config) (*Cluster, error) {
+	c, freq, perUs, err := shellFrom(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, ms := range c.cfg.Machines {
+		c.machines[i] = kernel.New(ms.Config)
+		c.machines[i].NIC().SetAddr(Addr(i + 1))
+	}
+	if err := c.wire(freq, perUs, false); err != nil {
+		return nil, err
+	}
+	for i, ms := range c.cfg.Machines {
+		if ms.Boot == nil {
+			continue
+		}
+		if err := ms.Boot(c, c.machines[i]); err != nil {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: boot machine %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// wire builds every link, pipe, and route from the stored Config onto
+// the current machine set, snapshots the routing table, computes the
+// lookahead, and couples any shared swap. It is the common back half
+// of New and the checkpoint Restore path: on the restore path
+// (restored true) the machines already carry their addresses, tables,
+// and disk-channel horizons, so wiring only re-registers the transmit
+// closures (in the identical order, preserving route indices) and
+// re-points the shared swap channel instead of creating a fresh one.
+// On any error the already-built machines are shut down.
+func (c *Cluster) wire(freq sim.Hz, perUs sim.Cycles, restored bool) error {
+	cfg := c.cfg
 	shared := make(map[string]*pipe)
+	// Every distinct pipe is registered in wiring order; its position
+	// is its checkpoint identity (pipe.id), the restore tag its
+	// "pipe-service" kick events carry. Bottleneck-shared pipes are
+	// registered once, at their first declaring link.
+	seenPipes := make(map[*pipe]bool)
+	addPipe := func(p *pipe) {
+		if seenPipes[p] {
+			return
+		}
+		seenPipes[p] = true
+		p.id = uint64(len(c.pipes))
+		c.pipes = append(c.pipes, p)
+	}
 	// nbrRoute[on] maps a directly connected neighbor index to the
 	// first route on machine `on` that reaches it — what static
 	// RouteSpecs resolve Via through.
@@ -887,11 +962,11 @@ func New(cfg Config) (*Cluster, error) {
 	for li, ls := range cfg.Links {
 		if ls.From < 0 || ls.From >= len(c.machines) || ls.To < 0 || ls.To >= len(c.machines) {
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: link %d connects %d->%d, but machine indices range over 0..%d", li, ls.From, ls.To, len(c.machines)-1)
+			return fmt.Errorf("cluster: link %d connects %d->%d, but machine indices range over 0..%d", li, ls.From, ls.To, len(c.machines)-1)
 		}
 		if ls.From == ls.To {
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: link %d is a self-link on %s (loopback is not a wire)", li, c.machineDesc(ls.From))
+			return fmt.Errorf("cluster: link %d is a self-link on %s (loopback is not a wire)", li, c.machineDesc(ls.From))
 		}
 		qdisc := ls.Qdisc
 		switch qdisc {
@@ -900,24 +975,24 @@ func New(cfg Config) (*Cluster, error) {
 		case QdiscFIFO, QdiscDRR:
 		default:
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: link %d selects unknown qdisc %q (have %q, %q)", li, ls.Qdisc, QdiscFIFO, QdiscDRR)
+			return fmt.Errorf("cluster: link %d selects unknown qdisc %q (have %q, %q)", li, ls.Qdisc, QdiscFIFO, QdiscDRR)
 		}
 		if qdisc != QdiscDRR && ls.QuantumBytes != 0 {
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: link %d sets QuantumBytes %d without Qdisc %q (FIFO has no per-flow quantum)", li, ls.QuantumBytes, QdiscDRR)
+			return fmt.Errorf("cluster: link %d sets QuantumBytes %d without Qdisc %q (FIFO has no per-flow quantum)", li, ls.QuantumBytes, QdiscDRR)
 		}
 		if qdisc == QdiscDRR && ls.PacketsPerSecond == UnlimitedPPS {
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: link %d arms qdisc %q on an infinite-rate wire (no queue to schedule)", li, QdiscDRR)
+			return fmt.Errorf("cluster: link %d arms qdisc %q on an infinite-rate wire (no queue to schedule)", li, QdiscDRR)
 		}
 		if (ls.Flap != nil || ls.RevFlap != nil) && ls.Bottleneck != "" {
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: link %d arms flap windows on bottleneck %q (a shared pipe cannot take per-link outages)", li, ls.Bottleneck)
+			return fmt.Errorf("cluster: link %d arms flap windows on bottleneck %q (a shared pipe cannot take per-link outages)", li, ls.Bottleneck)
 		}
 		for _, fs := range []*FlapSpec{ls.Flap, ls.RevFlap} {
 			if fs != nil && fs.DownUs == 0 {
 				c.Shutdown()
-				return nil, fmt.Errorf("cluster: link %d flap window has DownUs 0 (an outage must have a length)", li)
+				return fmt.Errorf("cluster: link %d flap window has DownUs 0 (an outage must have a length)", li)
 			}
 		}
 		latUs := ls.LatencyUs
@@ -929,7 +1004,7 @@ func New(cfg Config) (*Cluster, error) {
 		if ls.RED != nil {
 			if err := ls.RED.validate(fwdPipe.depth); err != nil {
 				c.Shutdown()
-				return nil, fmt.Errorf("cluster: link %d: %w", li, err)
+				return fmt.Errorf("cluster: link %d: %w", li, err)
 			}
 		}
 		if ls.Bottleneck != "" {
@@ -939,7 +1014,7 @@ func New(cfg Config) (*Cluster, error) {
 				if b.gap != fwdPipe.gap || b.depth != fwdPipe.depth || !redEqual(b.red, fwdPipe.red) ||
 					(b.drr != nil) != (fwdPipe.drr != nil) || b.quantum != fwdPipe.quantum {
 					c.Shutdown()
-					return nil, fmt.Errorf("cluster: link %d bottleneck %q resolves to gap=%d depth=%d red=%v drr=%v quantum=%d, earlier link resolved gap=%d depth=%d red=%v drr=%v quantum=%d",
+					return fmt.Errorf("cluster: link %d bottleneck %q resolves to gap=%d depth=%d red=%v drr=%v quantum=%d, earlier link resolved gap=%d depth=%d red=%v drr=%v quantum=%d",
 						li, ls.Bottleneck, fwdPipe.gap, fwdPipe.depth, fwdPipe.red, fwdPipe.drr != nil, fwdPipe.quantum,
 						b.gap, b.depth, b.red, b.drr != nil, b.quantum)
 				}
@@ -965,6 +1040,8 @@ func New(cfg Config) (*Cluster, error) {
 		rev.pipe.applyFlap(ls.RevFlap, perUs)
 		fwd.downAt = cfg.Machines[ls.To].CrashAt
 		rev.downAt = cfg.Machines[ls.From].CrashAt
+		addPipe(fwdPipe)
+		addPipe(rev.pipe)
 		if fwdPipe.drr != nil {
 			fwd.tag = fwdPipe.register(fwd)
 		}
@@ -978,7 +1055,7 @@ func New(cfg Config) (*Cluster, error) {
 	for ri, rs := range cfg.Routes {
 		if err := c.installRoute(rs, nbrRoute); err != nil {
 			c.Shutdown()
-			return nil, fmt.Errorf("cluster: route %d: %w", ri, err)
+			return fmt.Errorf("cluster: route %d: %w", ri, err)
 		}
 	}
 	// Snapshot every machine's post-wiring routing table so a
@@ -1006,21 +1083,12 @@ func New(cfg Config) (*Cluster, error) {
 		c.lookahead = sim.Cycles(uint64(freq) / kernel.DefaultHZ)
 	}
 	if ss := cfg.SharedSwap; ss != nil {
-		if err := c.wireSharedSwap(ss, freq, perUs); err != nil {
+		if err := c.wireSharedSwap(ss, freq, perUs, restored); err != nil {
 			c.Shutdown()
-			return nil, err
+			return err
 		}
 	}
-	for i, ms := range cfg.Machines {
-		if ms.Boot == nil {
-			continue
-		}
-		if err := ms.Boot(c, c.machines[i]); err != nil {
-			c.Shutdown()
-			return nil, fmt.Errorf("cluster: boot machine %d: %w", i, err)
-		}
-	}
-	return c, nil
+	return nil
 }
 
 // addTxRoute registers a link direction's Send as a transmit route on
@@ -1064,7 +1132,11 @@ func (c *Cluster) installRoute(rs RouteSpec, nbrRoute []map[int]int) error {
 
 // wireSharedSwap couples the spec'd machines' disks through one
 // shared occupancy channel and bills the host for every client I/O.
-func (c *Cluster) wireSharedSwap(ss *SharedSwapSpec, freq sim.Hz, perUs sim.Cycles) error {
+// On the checkpoint-restore path (restored true) the host's disk
+// already carries the shared channel's horizons from the image (every
+// sharer held the same channel, so the host's clone is authoritative);
+// the clients are re-pointed at it instead of a fresh idle channel.
+func (c *Cluster) wireSharedSwap(ss *SharedSwapSpec, freq sim.Hz, perUs sim.Cycles, restored bool) error {
 	if ss.Host < 0 || ss.Host >= len(c.machines) {
 		return fmt.Errorf("cluster: shared swap host %d out of range (%d machines)", ss.Host, len(c.machines))
 	}
@@ -1072,17 +1144,23 @@ func (c *Cluster) wireSharedSwap(ss *SharedSwapSpec, freq sim.Hz, perUs sim.Cycl
 		return fmt.Errorf("cluster: shared swap declares no clients")
 	}
 	seen := map[int]bool{ss.Host: true}
-	ch := device.NewDiskChannel()
 	host := c.machines[ss.Host]
-	host.Disk().Share(ch)
+	ch := host.Disk().Channel()
+	if !restored {
+		ch = device.NewDiskChannel()
+		host.Disk().Share(ch)
+	}
 	svcUs := ss.ServiceUs
 	if svcUs == 0 {
 		svcUs = DefaultSwapServiceUs
 	}
 	svc := sim.Cycles(svcUs) * perUs
 	// One reusable service callback per cluster: the per-I/O path
-	// allocates nothing.
+	// allocates nothing. It is also recorded on the cluster so a
+	// checkpoint restore can re-point the host's pending "irq-work"
+	// events at it.
 	svcFire := host.IRQWork(device.IRQDisk, svc)
+	c.swapFire = svcFire
 	for _, ci := range ss.Clients {
 		if ci < 0 || ci >= len(c.machines) {
 			return fmt.Errorf("cluster: shared swap client %d out of range (%d machines)", ci, len(c.machines))
@@ -1183,6 +1261,58 @@ func (c *Cluster) Now() sim.Cycles {
 // down.
 func (c *Cluster) Run() error {
 	for {
+		st, err := c.round(0)
+		if err != nil {
+			return err
+		}
+		if st == roundAllDone {
+			return nil
+		}
+	}
+}
+
+// RunUntil advances lockstep rounds until every machine has finished
+// (returning true) or the cluster's next round would start at or past
+// the virtual-time barrier `stop` (returning false). At a false
+// return every machine stands quiesced at a common round boundary at
+// or after stop — the state Snapshot captures — and a subsequent Run
+// or RunUntil continues the same history the restored image replays.
+//
+// Slicing a run with RunUntil clamps round windows to the barrier, so
+// the round structure — and therefore the exact interleaving of
+// cross-machine event insertion — can differ from an unsliced Run of
+// the same Config. A cluster history is a pure function of (Config,
+// the sequence of barriers it was advanced through); two runs that
+// share a prefix of barriers share that prefix of history.
+func (c *Cluster) RunUntil(stop sim.Cycles) (bool, error) {
+	for {
+		st, err := c.round(stop)
+		if err != nil {
+			return false, err
+		}
+		switch st {
+		case roundAllDone:
+			return true, nil
+		case roundPaused:
+			return false, nil
+		}
+	}
+}
+
+// round outcomes.
+const (
+	roundRan     = iota // one lockstep round executed
+	roundAllDone        // every machine has finished
+	roundPaused         // stop barrier reached before the round ran
+)
+
+// round executes one lockstep round. With stop nonzero the round is
+// clamped to the barrier: a round whose base has reached stop does
+// not run (roundPaused), and a round spanning it ends exactly there.
+// A window narrower than the lookahead is always safe — the lookahead
+// is an upper bound on how far a round may reach, not a lower one.
+func (c *Cluster) round(stop sim.Cycles) (int, error) {
+	{
 		// The barrier base: the earliest time any unfinished machine
 		// can make progress on its own. A pending crash is scheduled
 		// work even when the machine is blocked on network input — it
@@ -1217,7 +1347,7 @@ func (c *Cluster) Run() error {
 			haveWork = true
 		}
 		if allDone {
-			return nil
+			return roundAllDone, nil
 		}
 		if !haveWork {
 			// Every unfinished machine is blocked on network input with
@@ -1239,15 +1369,21 @@ func (c *Cluster) Run() error {
 						c.done[i] = true
 					}
 				}
-				return nil
+				return roundAllDone, nil
 			}
 			c.Shutdown()
-			return ErrStalled
+			return 0, ErrStalled
+		}
+		if stop > 0 && tmin >= stop {
+			return roundPaused, nil
 		}
 		target := tmin + c.lookahead
+		if stop > 0 && target > stop {
+			target = stop
+		}
 		if target > c.maxCycles {
 			c.Shutdown()
-			return fmt.Errorf("cluster: exceeded %d virtual cycles (runaway scenario?)", c.maxCycles)
+			return 0, fmt.Errorf("cluster: exceeded %d virtual cycles (runaway scenario?)", c.maxCycles)
 		}
 		// Reboot any crashed machine whose restart instant this round
 		// reaches, before the round runs: the fresh incarnation then
@@ -1256,7 +1392,7 @@ func (c *Cluster) Run() error {
 			if at := c.restartAt[i]; at > 0 && at <= target {
 				if err := c.restart(i, at); err != nil {
 					c.Shutdown()
-					return err
+					return 0, err
 				}
 			}
 		}
@@ -1273,7 +1409,7 @@ func (c *Cluster) Run() error {
 			done, err := m.RunUntil(limit)
 			if err != nil {
 				c.Shutdown()
-				return fmt.Errorf("cluster: machine %d: %w", i, err)
+				return 0, fmt.Errorf("cluster: machine %d: %w", i, err)
 			}
 			c.done[i] = done
 			if done {
@@ -1286,6 +1422,7 @@ func (c *Cluster) Run() error {
 				c.crash(i)
 			}
 		}
+		return roundRan, nil
 	}
 }
 

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"repro/internal/guest"
 	"repro/internal/sim"
 )
@@ -116,12 +118,51 @@ func (g *forwarderStep) afterForward(ctx guest.Context, _ guest.Resume) guest.St
 	return g.retry.Begin(ctx, g.recvOp, g.budget, g.recvDone)
 }
 
+// fork clones the daemon for a checkpoint: the copy's continuations
+// and retry are rebound onto the clone, so both daemons resume the
+// same activation against their own machines. recvOp captures nothing
+// and is shared; fwdOp closes over the held frame and is rebuilt.
+func (g *forwarderStep) fork(cur guest.Step) (guest.Forked, error) {
+	c := *g
+	c.recvDone = c.afterRecv
+	c.fwdOp = func(ctx guest.Context) {
+		//simlint:errno-ok resumable post: the errno arrives in the next activation's Resume
+		ctx.NetForward(c.frame)
+	}
+	c.fwdDone = c.afterForward
+	c.wait = c.afterWait
+	var op guest.RetryOp
+	var done guest.RetryDone
+	switch {
+	case guest.SameOp(g.retry.Op(), g.recvOp):
+		op, done = c.recvOp, c.recvDone
+	case guest.SameOp(g.retry.Op(), g.fwdOp):
+		op, done = c.fwdOp, c.fwdDone
+	}
+	g.retry.ForkInto(&c.retry, op, done)
+	s, ok := guest.RebindStep(cur,
+		[]guest.Step{g.start, g.afterWait, g.afterLookup, g.retry.Self()},
+		[]guest.Step{c.start, c.afterWait, c.afterLookup, c.retry.Self()})
+	if !ok {
+		return guest.Forked{}, fmt.Errorf("cluster: forwarder holds an unrecognised continuation")
+	}
+	return guest.Forked{Step: s, Fork: c.fork, State: &c}, nil
+}
+
 // ForwarderStep returns the forwarding guest as a resumable state
 // machine for the flyweight driver. See Forwarder for the daemon's
 // semantics; the two are the same machine.
 func ForwarderStep(lookup sim.Cycles) guest.Step {
+	step, _ := ForwarderGuest(lookup)
+	return step
+}
+
+// ForwarderGuest returns the forwarding daemon's first activation
+// plus its fork hook, for spawn sites that want the router
+// checkpointable (kernel.SpawnConfig{Step: step, Fork: fork}).
+func ForwarderGuest(lookup sim.Cycles) (guest.Step, guest.ForkFunc) {
 	g := &forwarderStep{lookup: lookup, budget: forwarderBudget(lookup)}
-	return g.start
+	return g.start, g.fork
 }
 
 // Forwarder returns the forwarding guest a router machine runs: it

@@ -1,0 +1,243 @@
+// Cluster checkpoint/fork: Snapshot captures a whole lockstep fabric
+// — every machine's kernel image plus every link's and pipe's wire
+// state — at a round boundary (the quiesced instant RunUntil leaves
+// the cluster at), and Restore rebuilds an independent cluster that
+// continues the identical history. The image is immutable and
+// reusable: restoring it twice yields two clusters that diverge only
+// through post-restore inputs, which is what a campaign's shared-
+// warmup fork amounts to one level up from kernel.Machine.Fork.
+//
+// Scope: a cluster is snapshottable while every member is live. A
+// finished, crashed, or reboot-pending machine is a retired
+// incarnation whose ledgers the original cluster owns; checkpoint
+// before the failure instead — a snapshot taken with CrashAt still
+// pending replays the crash, the restart, and the per-incarnation
+// ledgers identically on both sides. Guests that transmit host-side
+// on captured *Link handles (rather than through the kernel routing
+// table via NetSend/NetForward) do not survive a cluster restore:
+// the restored fabric has its own links, so such guests must be
+// declared forkless and checkpointed before they spawn.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// linkDirImage is one link direction's serialisable state.
+type linkDirImage struct {
+	sent      uint64
+	delivered uint64
+	dropped   uint64
+	queued    uint64
+	marked    uint64
+	earlyDrop uint64
+	downAt    sim.Cycles
+}
+
+// pipeImage is one pipe's serialisable dynamic state. The static
+// shape (rate, depth, RED policy, qdisc, flap schedule) is rebuilt
+// from the Config; only what the run mutated is carried.
+type pipeImage struct {
+	lastArrival sim.Cycles
+	rngState    uint64
+	avgFP       uint64
+	busyUntil   sim.Cycles
+	commitClock sim.Cycles
+	kickArmed   bool
+	drr         *device.DRR // frozen backlog clone; nil on FIFO pipes
+	homeIdx     int         // machine whose queue runs the kick timer; -1 on FIFO pipes
+}
+
+// ClusterImage is a Cluster's full checkpoint: the declaration it was
+// built from, one kernel image per machine, the pending crash
+// schedule, and every link direction's and pipe's wire state. Images
+// are immutable — Restore deep-copies all mutable state — so one
+// image serves any number of restores.
+type ClusterImage struct {
+	cfg      Config
+	machines []*kernel.MachineImage
+	crashAt  []sim.Cycles
+	links    []linkDirImage // 2 per declared link: forward, then reverse
+	pipes    []pipeImage    // by pipe id (wiring order)
+}
+
+// At reports the image's lockstep frontier: the earliest machine
+// clock, the instant the restored cluster resumes from.
+func (img *ClusterImage) At() sim.Cycles {
+	var min sim.Cycles
+	for i, mi := range img.machines {
+		if t := mi.At(); i == 0 || t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Machines reports the number of machine images.
+func (img *ClusterImage) Machines() int { return len(img.machines) }
+
+// snapDir captures one link direction.
+func snapDir(l *Link) linkDirImage {
+	return linkDirImage{
+		sent:      l.sent,
+		delivered: l.delivered,
+		dropped:   l.dropped,
+		queued:    l.queued,
+		marked:    l.marked,
+		earlyDrop: l.earlyDrop,
+		downAt:    l.downAt,
+	}
+}
+
+// applyDir overlays one link direction from its image.
+func applyDir(l *Link, di linkDirImage) {
+	//simlint:ledger-ok restore overlay: the image holds a balanced ledger captured at the barrier; all four counters land together
+	l.sent = di.sent
+	//simlint:ledger-ok restore overlay: the image holds a balanced ledger captured at the barrier; all four counters land together
+	l.delivered = di.delivered
+	//simlint:ledger-ok restore overlay: the image holds a balanced ledger captured at the barrier; all four counters land together
+	l.dropped = di.dropped
+	//simlint:ledger-ok restore overlay: the image holds a balanced ledger captured at the barrier; all four counters land together
+	l.queued = di.queued
+	l.marked = di.marked
+	l.earlyDrop = di.earlyDrop
+	l.downAt = di.downAt
+}
+
+// Snapshot captures the cluster's complete deterministic state at a
+// round boundary (between Run rounds — in practice, after a RunUntil
+// barrier). Every machine must be live and individually
+// snapshottable; a finished, crashed, or reboot-pending member makes
+// the cluster unsnapshottable (errors.Is kernel.ErrNotSnapshottable),
+// as does any machine hosting goroutine-driver guests or forkless
+// step guests. A still-pending CrashAt schedule is plain data and is
+// carried: the restored cluster takes the crash, reboot, and
+// incarnation split identically.
+func (c *Cluster) Snapshot() (*ClusterImage, error) {
+	for i := range c.machines {
+		if c.done[i] || c.crashed[i] || c.restartAt[i] > 0 || len(c.prior[i]) > 0 {
+			return nil, fmt.Errorf("cluster: %s has finished, crashed, or rebooted; snapshot requires every machine live: %w",
+				c.machineDesc(i), kernel.ErrNotSnapshottable)
+		}
+	}
+	img := &ClusterImage{
+		cfg:      c.cfg,
+		machines: make([]*kernel.MachineImage, len(c.machines)),
+		crashAt:  append([]sim.Cycles(nil), c.crashAt...),
+	}
+	for i, m := range c.machines {
+		mi, err := m.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", c.machineDesc(i), err)
+		}
+		img.machines[i] = mi
+	}
+	for _, l := range c.links {
+		img.links = append(img.links, snapDir(l), snapDir(l.rev))
+	}
+	for _, p := range c.pipes {
+		pi := pipeImage{
+			lastArrival: p.lastArrival,
+			rngState:    p.rng.State(),
+			avgFP:       p.avgFP,
+			busyUntil:   p.busyUntil,
+			commitClock: p.commitClock,
+			kickArmed:   p.kickArmed,
+			homeIdx:     -1,
+		}
+		if p.drr != nil {
+			pi.drr = p.drr.Clone()
+			for i, m := range c.machines {
+				if m.NIC() == p.home {
+					pi.homeIdx = i
+					break
+				}
+			}
+			if pi.homeIdx < 0 {
+				return nil, fmt.Errorf("cluster: pipe %d's kick timer is homed on a retired machine: %w",
+					p.id, kernel.ErrNotSnapshottable)
+			}
+		}
+		img.pipes = append(img.pipes, pi)
+	}
+	return img, nil
+}
+
+// Restore rebuilds an independent cluster from an image: machines are
+// restored from their kernel images (pending cluster-owned events —
+// DRR kick timers, shared-swap service work — are re-pointed at the
+// rebuilt wiring), links and pipes are rewired from the declaration
+// in the identical order, and the wire state is overlaid. Boot
+// routines do NOT run again: the tasks they spawned are part of the
+// machine images. The restored cluster continues the image's history
+// under the same barrier sequence; the image remains valid for
+// further restores.
+func Restore(img *ClusterImage) (*Cluster, error) {
+	c, freq, perUs, err := shellFrom(img.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Cluster-owned events restore through late-bound lookups: the
+	// pipes and the shared-swap callback are wired after the machines,
+	// but nothing fires until the cluster advances.
+	ext := func(kind string, tag uint64) (func(), bool) {
+		switch kind {
+		case "pipe-service":
+			return func() { c.pipes[tag].kickFire() }, true
+		case "irq-work":
+			return func() { c.swapFire() }, true
+		}
+		return nil, false
+	}
+	for i, mi := range img.machines {
+		m, err := kernel.RestoreWith(mi, ext)
+		if err != nil {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: restore %s: %w", c.machineDesc(i), err)
+		}
+		c.machines[i] = m
+	}
+	if err := c.wire(freq, perUs, true); err != nil {
+		return nil, err
+	}
+	copy(c.crashAt, img.crashAt)
+	if len(img.links) != 2*len(c.links) || len(img.pipes) != len(c.pipes) {
+		c.Shutdown()
+		return nil, fmt.Errorf("cluster: image wiring mismatch: %d link directions and %d pipes in image, %d and %d rebuilt",
+			len(img.links), len(img.pipes), 2*len(c.links), len(c.pipes))
+	}
+	for i, l := range c.links {
+		applyDir(l, img.links[2*i])
+		applyDir(l.rev, img.links[2*i+1])
+	}
+	for i, p := range c.pipes {
+		pi := img.pipes[i]
+		p.lastArrival = pi.lastArrival
+		p.rng.SetState(pi.rngState)
+		p.avgFP = pi.avgFP
+		p.busyUntil = pi.busyUntil
+		p.commitClock = pi.commitClock
+		p.kickArmed = pi.kickArmed
+		if pi.drr != nil {
+			// Clone again: the image's backlog stays frozen for reuse.
+			p.drr = pi.drr.Clone()
+			p.home = c.machines[pi.homeIdx].NIC()
+		}
+	}
+	return c, nil
+}
+
+// Fork snapshots the cluster and restores an independent copy: both
+// continue the identical history from the fork instant until their
+// inputs diverge. The snapshot's validity rules apply.
+func (c *Cluster) Fork() (*Cluster, error) {
+	img, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return Restore(img)
+}

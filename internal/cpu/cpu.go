@@ -138,6 +138,14 @@ func New(freq sim.Hz) *CPU {
 // Clock returns the CPU's clock.
 func (c *CPU) Clock() *sim.Clock { return c.clock }
 
+// Clone returns an independent CPU with the same cost model, mode,
+// per-mode totals, and an equally-advanced clock (checkpoint restore).
+func (c *CPU) Clone() *CPU {
+	cp := *c
+	cp.clock = c.clock.Clone()
+	return &cp
+}
+
 // Costs returns the active cost model.
 func (c *CPU) Costs() CostModel { return c.costs }
 

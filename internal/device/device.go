@@ -120,6 +120,15 @@ type pendingFrame struct {
 	f   Frame
 }
 
+// Restore tags for "nic-rx" events (sim.Event.Tag): which of the
+// NIC's three reusable fire callbacks a pending delivery uses, so a
+// checkpoint restore can rebuild the Fire closure from the tag alone.
+const (
+	nicRxFlood uint64 = 1 // rxFire: the local flood generator's next packet
+	nicRxExt   uint64 = 2 // extFire: an injected payload-less packet
+	nicRxFrame uint64 = 3 // frameFire: an injected addressed frame
+)
+
 // NewNIC wires a NIC to the machine's event queue and clock. deliver
 // is invoked once per received packet in event context.
 func NewNIC(queue *sim.EventQueue, clock *sim.Clock, rng *sim.Rand, deliver func()) *NIC {
@@ -155,7 +164,7 @@ func NewNIC(queue *sim.EventQueue, clock *sim.Clock, rng *sim.Rand, deliver func
 // receive interrupt — and are unaffected by StartFlood/StopFlood,
 // which drive the local flood generator only.
 func (n *NIC) InjectRx(at sim.Cycles) {
-	n.queue.Schedule(at, "nic-rx", n.extFire)
+	n.queue.ScheduleTagged(at, "nic-rx", nicRxExt, n.extFire)
 }
 
 // InjectRxFrame schedules delivery of one addressed frame (arriving
@@ -165,7 +174,7 @@ func (n *NIC) InjectRx(at sim.Cycles) {
 func (n *NIC) InjectRxFrame(at sim.Cycles, f Frame) {
 	n.pushFrame(pendingFrame{at: at, seq: n.frameSeq, f: f})
 	n.frameSeq++
-	n.queue.Schedule(at, "nic-rx", n.frameFire)
+	n.queue.ScheduleTagged(at, "nic-rx", nicRxFrame, n.frameFire)
 }
 
 // TakeRxFrame returns the frame belonging to the receive interrupt
@@ -242,6 +251,13 @@ func (n *NIC) Now() sim.Cycles { return n.clock.Now() }
 // does not mistake a machine waiting on queued frames for a stall.
 func (n *NIC) ScheduleEgress(at sim.Cycles, fn func()) {
 	n.queue.Schedule(at, "pipe-service", fn)
+}
+
+// ScheduleEgressTagged is ScheduleEgress with a caller-chosen restore
+// tag (a cluster passes the pipe's id, so a checkpoint restore can
+// rebuild the service timer's Fire closure from the event image).
+func (n *NIC) ScheduleEgressTagged(at sim.Cycles, tag uint64, fn func()) {
+	n.queue.ScheduleTagged(at, "pipe-service", tag, fn)
 }
 
 // SetAddr assigns this NIC its fabric address (a cluster does this at
@@ -362,8 +378,60 @@ func (n *NIC) scheduleNext() {
 			interval = 1
 		}
 	}
-	n.pending = n.queue.Schedule(n.clock.Now()+interval, "nic-rx", n.rxFire)
+	n.pending = n.queue.ScheduleTagged(n.clock.Now()+interval, "nic-rx", nicRxFlood, n.rxFire)
 }
+
+// Clone returns a NIC for a restored machine, wired to the new
+// machine's queue, clock, rng, and IRQ-delivery sink, carrying over
+// all generator, receive-path, and counter state. Transmit routes are
+// deliberately NOT cloned — they are closures into external wiring
+// (cluster link pipes) that the owner re-registers after restore; the
+// address→route table is carried so re-registration in the original
+// order resolves identically.
+func (n *NIC) Clone(queue *sim.EventQueue, clock *sim.Clock, rng *sim.Rand, deliver func()) *NIC {
+	c := NewNIC(queue, clock, rng, deliver)
+	c.rate, c.rateFrac, c.jitter, c.active = n.rate, n.rateFrac, n.jitter, n.active
+	c.received = n.received
+	if len(n.frameQ) > 0 {
+		c.frameQ = append([]pendingFrame(nil), n.frameQ...)
+	}
+	c.frameSeq = n.frameSeq
+	c.lastFrame, c.hasFrame = n.lastFrame, n.hasFrame
+	c.addr = n.addr
+	if n.table != nil {
+		c.table = make(map[Addr]int, len(n.table))
+		//simlint:unordered-ok deep copy into a map keyed identically
+		for a, r := range n.table {
+			c.table[a] = r
+		}
+	}
+	c.txCarried, c.txDropped = n.txCarried, n.txDropped
+	return c
+}
+
+// RestoreFire resolves a pending "nic-rx" event's restore tag to the
+// matching reusable fire callback on this (restored) NIC.
+func (n *NIC) RestoreFire(tag uint64) (func(), bool) {
+	switch tag {
+	case nicRxFlood:
+		return n.rxFire, true
+	case nicRxExt:
+		return n.extFire, true
+	case nicRxFrame:
+		return n.frameFire, true
+	}
+	return nil, false
+}
+
+// FloodTag reports whether a "nic-rx" restore tag identifies the
+// flood generator's own in-flight delivery (the one event the NIC
+// holds a cancellable pointer to).
+func FloodTag(tag uint64) bool { return tag == nicRxFlood }
+
+// AdoptPending re-points the flood generator's in-flight delivery at
+// the restored event, so StopFlood on the restored machine cancels
+// the right entry.
+func (n *NIC) AdoptPending(e *sim.Event) { n.pending = e }
 
 // DiskChannel is the occupancy state of one physical swap device:
 // the completion horizons of its read and write channels. Each Disk
@@ -377,6 +445,13 @@ type DiskChannel struct {
 
 // NewDiskChannel returns an idle shared-device state.
 func NewDiskChannel() *DiskChannel { return &DiskChannel{} }
+
+// Clone returns an independent channel with the same completion
+// horizons (checkpoint restore).
+func (ch *DiskChannel) Clone() *DiskChannel {
+	cp := *ch
+	return &cp
+}
 
 // Disk is the swap device. Reads (swap-ins, which block a faulting
 // process) serialise on the read channel; writebacks go through a
@@ -404,6 +479,26 @@ func NewDisk(queue *sim.EventQueue, clock *sim.Clock, latency sim.Cycles) *Disk 
 // before any I/O is submitted.
 func (d *Disk) Share(ch *DiskChannel) { d.ch = ch }
 
+// Channel returns the device channel this disk's I/O serialises on.
+func (d *Disk) Channel() *DiskChannel { return d.ch }
+
+// Clone returns a Disk for a restored machine, wired to the new
+// machine's queue and clock, with the channel horizons and I/O
+// counters carried over. A disk that shared a channel must be
+// re-pointed (Share) at the restored shared channel afterwards; the
+// OnIO hook, a closure into external wiring, is likewise the owner's
+// to re-register.
+func (d *Disk) Clone(queue *sim.EventQueue, clock *sim.Clock) *Disk {
+	return &Disk{
+		queue:   queue,
+		clock:   clock,
+		latency: d.latency,
+		ch:      d.ch.Clone(),
+		ios:     d.ios,
+		writes:  d.writes,
+	}
+}
+
 // OnIO registers a per-submission hook invoked with each I/O's
 // completion time, in the submitter's context. A cluster uses it to
 // bill the host serving a remotely mounted swap device.
@@ -417,7 +512,12 @@ func (d *Disk) Writes() uint64 { return d.writes }
 
 // Submit enqueues one blocking page read (swap-in) and schedules done
 // at completion. Reads serialise behind in-flight reads only.
-func (d *Disk) Submit(done func()) {
+func (d *Disk) Submit(done func()) { d.SubmitTagged(0, done) }
+
+// SubmitTagged is Submit with a restore tag recorded on the
+// completion event (the kernel passes the faulting PID, so a restore
+// can rebuild the wake-up closure from the event image alone).
+func (d *Disk) SubmitTagged(tag uint64, done func()) {
 	start := d.clock.Now()
 	if d.ch.readBusy > start {
 		start = d.ch.readBusy
@@ -425,7 +525,7 @@ func (d *Disk) Submit(done func()) {
 	complete := start + d.latency
 	d.ch.readBusy = complete
 	d.ios++
-	d.queue.Schedule(complete, "disk-read", done)
+	d.queue.ScheduleTagged(complete, "disk-read", tag, done)
 	if d.notify != nil {
 		d.notify(complete)
 	}

@@ -108,6 +108,34 @@ func NewDRR(quantumBytes uint64) *DRR {
 	return &DRR{quantum: quantumBytes, flows: make(map[uint32]*drrFlow)}
 }
 
+// Clone returns an independent deep copy of the scheduler: per-flow
+// backlogs (compacted), deficits, byte totals, and the ring's
+// activation order are preserved exactly, so the clone's dequeue and
+// buffer-steal sequences replay the original's bit-for-bit.
+func (d *DRR) Clone() *DRR {
+	c := &DRR{
+		quantum: d.quantum,
+		flows:   make(map[uint32]*drrFlow, len(d.flows)),
+		count:   d.count,
+		bytes:   d.bytes,
+	}
+	//simlint:unordered-ok deep copy into a map keyed identically; the order-bearing state is the ring, rebuilt below
+	for id, fl := range d.flows {
+		cf := &drrFlow{id: fl.id, deficit: fl.deficit, bytes: fl.bytes}
+		if n := fl.len(); n > 0 {
+			cf.q = append(make([]QdiscEntry, 0, n), fl.q[fl.head:]...)
+		}
+		c.flows[id] = cf
+	}
+	if len(d.ring) > 0 {
+		c.ring = make([]*drrFlow, len(d.ring))
+		for i, fl := range d.ring {
+			c.ring[i] = c.flows[fl.id]
+		}
+	}
+	return c
+}
+
 // Len reports queued frames across all flows.
 func (d *DRR) Len() int { return d.count }
 

@@ -33,12 +33,22 @@ func resolveParallelism(parallelism, n int) int {
 // pool of the given size (zero = all cores, clamped to n). fn must
 // write its result into its own slot of a caller-owned slice; slots
 // are disjoint, so no further synchronization is needed. This is the
-// one pool implementation behind RunAll and cpumeter.ReproduceAll.
+// one pool implementation behind Campaign and cpumeter.ReproduceAll.
 func RunIndexed(n, parallelism int, fn func(i int)) {
+	RunIndexedWorkers(n, parallelism, func(_, i int) { fn(i) })
+}
+
+// RunIndexedWorkers is RunIndexed with worker identity: fn(w, i) runs
+// spec i on worker w in [0, workers), so callers can give each worker
+// private non-thread-safe state (a kernel.Pool of recycled machine
+// shells, say) without locking. Worker-to-spec assignment is load-
+// driven and NOT deterministic — only per-slot results may depend on
+// it, never anything aggregated across slots.
+func RunIndexedWorkers(n, parallelism int, fn func(worker, i int)) {
 	workers := resolveParallelism(parallelism, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -51,12 +61,12 @@ func RunIndexed(n, parallelism int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		wg.Add(1) //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 		//simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
-		go func() {
+		go func(w int) {
 			defer wg.Done()       //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 			for i := range next { //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
@@ -65,24 +75,37 @@ func RunIndexed(n, parallelism int, fn func(i int)) {
 	wg.Wait()   //simlint:gotime-ok campaign pool; runs are independent seeded machines merged in index order
 }
 
-// RunAll executes every spec on its own fresh machine, fanning the
-// runs across a worker pool of the given size (zero = all cores), and
-// returns the results in declaration order. On failure it reports the
-// error of the earliest-declared failing spec, so error output is as
-// deterministic as success output.
-func RunAll(specs []RunSpec, parallelism int) ([]*RunOut, error) {
-	outs := make([]*RunOut, len(specs))
+// Campaign is the one fan-out runner behind every RunAll* helper: it
+// executes run(spec) for every spec on the worker pool (parallelism
+// zero = all cores) and returns the results in declaration order. On
+// failure it reports the error of the earliest-declared failing spec
+// — "<kind> run <i> (<desc(spec)>): <cause>" — so error output is as
+// deterministic as success output. kind names the campaign family in
+// that message; desc renders one spec for it.
+func Campaign[Spec, Out any](kind string, specs []Spec, parallelism int,
+	run func(Spec) (Out, error), desc func(Spec) string) ([]Out, error) {
+	outs := make([]Out, len(specs))
 	errs := make([]error, len(specs))
 	RunIndexed(len(specs), parallelism, func(i int) {
-		outs[i], errs[i] = Run(specs[i])
+		outs[i], errs[i] = run(specs[i])
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("campaign run %d (%s/%s): %w",
-				i, specs[i].Workload, key(specs[i].Attack), err)
+			return nil, fmt.Errorf("%s run %d (%s): %w", kind, i, desc(specs[i]), err)
 		}
 	}
 	return outs, nil
+}
+
+// RunAll executes every spec on its own fresh machine and returns the
+// results in declaration order.
+//
+// Deprecated: RunAll is Campaign over Run; new callers should use
+// Campaign directly. Kept as a thin wrapper for the pre-generic API.
+func RunAll(specs []RunSpec, parallelism int) ([]*RunOut, error) {
+	return Campaign("campaign", specs, parallelism, Run, func(s RunSpec) string {
+		return fmt.Sprintf("%s/%s", s.Workload, key(s.Attack))
+	})
 }
 
 // Matrix accumulates a campaign's run declarations. Runners Add every

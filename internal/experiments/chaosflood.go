@@ -400,18 +400,12 @@ func chaosFloodKey(spec ChaosFloodSpec) string {
 
 // RunAllChaosFloods executes every scenario on its own lockstep
 // machine set across the campaign worker pool — the RunAll contract.
+//
+// Deprecated: RunAllChaosFloods is Campaign("chaosflood", ...) over RunChaosFlood;
+// new callers should use Campaign directly. Kept as a thin wrapper
+// for the pre-generic API.
 func RunAllChaosFloods(specs []ChaosFloodSpec, parallelism int) ([]*ChaosFloodOut, error) {
-	outs := make([]*ChaosFloodOut, len(specs))
-	errs := make([]error, len(specs))
-	RunIndexed(len(specs), parallelism, func(i int) {
-		outs[i], errs[i] = RunChaosFlood(specs[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("chaosflood run %d (%s): %w", i, chaosFloodKey(specs[i]), err)
-		}
-	}
-	return outs, nil
+	return Campaign("chaosflood", specs, parallelism, RunChaosFlood, chaosFloodKey)
 }
 
 // chaosFloodBase is the shared flood under every chaos scenario: the

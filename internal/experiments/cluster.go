@@ -313,18 +313,12 @@ func clusterKey(spec ClusterRunSpec) string {
 // machine set, sharding whole clusters across the campaign worker
 // pool, and returns results in declaration order with the earliest
 // declared failure reported — the RunAll contract, one level up.
+//
+// Deprecated: RunAllClusters is Campaign("cluster", ...) over RunCluster;
+// new callers should use Campaign directly. Kept as a thin wrapper
+// for the pre-generic API.
 func RunAllClusters(specs []ClusterRunSpec, parallelism int) ([]*ClusterOut, error) {
-	outs := make([]*ClusterOut, len(specs))
-	errs := make([]error, len(specs))
-	RunIndexed(len(specs), parallelism, func(i int) {
-		outs[i], errs[i] = RunCluster(specs[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster run %d (%s): %w", i, clusterKey(specs[i]), err)
-		}
-	}
-	return outs, nil
+	return Campaign("cluster", specs, parallelism, RunCluster, clusterKey)
 }
 
 // victimBillSeconds reads a victim's billed (user, system) seconds

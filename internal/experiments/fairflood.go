@@ -274,18 +274,12 @@ func fairFloodKey(spec FairFloodSpec) string {
 
 // RunAllFairFloods executes every scenario on its own lockstep
 // machine set across the campaign worker pool — the RunAll contract.
+//
+// Deprecated: RunAllFairFloods is Campaign("fairflood", ...) over RunFairFlood;
+// new callers should use Campaign directly. Kept as a thin wrapper
+// for the pre-generic API.
 func RunAllFairFloods(specs []FairFloodSpec, parallelism int) ([]*FairFloodOut, error) {
-	outs := make([]*FairFloodOut, len(specs))
-	errs := make([]error, len(specs))
-	RunIndexed(len(specs), parallelism, func(i int) {
-		outs[i], errs[i] = RunFairFlood(specs[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("fairflood run %d (%s): %w", i, fairFloodKey(specs[i]), err)
-		}
-	}
-	return outs, nil
+	return Campaign("fairflood", specs, parallelism, RunFairFlood, fairFloodKey)
 }
 
 // Artifact parameters: MTU junk at 4000 pps (~2.4x the 30k-slot

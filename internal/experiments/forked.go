@@ -1,0 +1,77 @@
+// The shared-warmup campaign path: when every variant of a sweep
+// shares a common prefix (boot, spawn, a warmup burn-in), building
+// and re-running that prefix once per variant is pure waste. A
+// ForkedCampaign runs the prefix once, checkpoints the machine at a
+// virtual-time barrier, and forks the image into every variant —
+// each worker restoring into a recycled shell from its own
+// kernel.Pool. The forked path is byte-identical to building and
+// warming each variant's machine from scratch: a machine history is a
+// pure function of (config, barrier sequence, post-fork inputs), and
+// all three match.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// ForkedCampaign amortises one warmup prefix across a variant
+// fan-out. build constructs the warmup machine — every guest must be
+// a forkable flyweight (kernel.SpawnConfig.Fork), or the checkpoint
+// is refused with kernel.ErrNotSnapshottable. The machine runs to the
+// warmup barrier (in cycles; zero checkpoints the freshly built
+// machine), is snapshotted, and each variant receives its own
+// restored copy to perturb, run, and harvest; results return in
+// declaration order. The machine a variant receives is owned by the
+// campaign: it is recycled into the worker's pool after the variant
+// returns, so variants must not retain it.
+func ForkedCampaign[Out any](build func() (*kernel.Machine, error), warmup sim.Cycles,
+	parallelism int, variants []func(*kernel.Machine) (Out, error)) ([]Out, error) {
+	m, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("forked campaign: warmup build: %w", err)
+	}
+	if warmup > 0 {
+		done, err := m.RunUntil(warmup)
+		if err != nil {
+			m.Shutdown()
+			return nil, fmt.Errorf("forked campaign: warmup: %w", err)
+		}
+		if done {
+			m.Shutdown()
+			return nil, fmt.Errorf("forked campaign: warmup finished before the %d-cycle barrier; nothing left to fork", warmup)
+		}
+	}
+	img, err := m.Snapshot()
+	m.Shutdown()
+	if err != nil {
+		return nil, fmt.Errorf("forked campaign: checkpoint: %w", err)
+	}
+	outs := make([]Out, len(variants))
+	errs := make([]error, len(variants))
+	workers := resolveParallelism(parallelism, len(variants))
+	// One machine pool per worker: Pool is not safe for concurrent
+	// use, and per-worker pools need no locking — each index w is
+	// touched by exactly one worker goroutine.
+	pools := make([]*kernel.Pool, workers)
+	for w := range pools {
+		pools[w] = new(kernel.Pool)
+	}
+	RunIndexedWorkers(len(variants), workers, func(w, i int) {
+		vm, err := pools[w].Get(img)
+		if err != nil {
+			errs[i] = fmt.Errorf("restore: %w", err)
+			return
+		}
+		outs[i], errs[i] = variants[i](vm)
+		pools[w].Put(vm)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("forked run %d: %w", i, err)
+		}
+	}
+	return outs, nil
+}

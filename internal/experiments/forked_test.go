@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestForkedCampaignMatchesFreshBuilds pins the shared-warmup
+// guarantee: a campaign that warms one machine and forks its image
+// into every variant is byte-identical to building, warming, and
+// perturbing each variant's machine from scratch — the checkpoint
+// changes where the warmup cycles are paid, never what the variants
+// compute.
+func TestForkedCampaignMatchesFreshBuilds(t *testing.T) {
+	spec := ForkLabSpec{Seed: 77}
+	rates := []uint64{10_000, 20_000, 40_000, 80_000, 160_000}
+
+	// Parallelism 3 over 5 variants forces every worker pool to
+	// recycle at least one machine shell through Put/Get.
+	got, err := RunForkLabCampaign(spec, DefaultForkLabWarmup, rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rates) {
+		t.Fatalf("campaign returned %d results, want %d", len(got), len(rates))
+	}
+
+	for i, pps := range rates {
+		m, err := BuildForkLab(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := m.RunUntil(DefaultForkLabWarmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatal("fork lab finished before the default warmup barrier; the campaign would have nothing to fork")
+		}
+		m.NIC().StartFlood(pps)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := HarvestForkLab(m)
+		m.Shutdown()
+		if got[i].Digest != want.Digest {
+			t.Fatalf("variant %d (%d pps) diverged from its fresh-built twin:\n--- fresh\n%s--- forked\n%s",
+				i, pps, want.Digest, got[i].Digest)
+		}
+	}
+
+	// And the pool layout must not matter: a serial campaign renders
+	// the same bytes as the parallel one.
+	serial, err := RunForkLabCampaign(spec, DefaultForkLabWarmup, rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		if serial[i].Digest != got[i].Digest {
+			t.Fatalf("variant %d differs between serial and parallel campaigns", i)
+		}
+	}
+}
+
+// TestForkedCampaignWarmupPastEnd pins the refusal: a barrier the
+// machine finishes before is a configuration error, not a silent
+// fork of a dead machine.
+func TestForkedCampaignWarmupPastEnd(t *testing.T) {
+	_, err := RunForkLabCampaign(ForkLabSpec{Seed: 5}, 1<<40, []uint64{40_000}, 1)
+	if err == nil || !strings.Contains(err.Error(), "warmup finished before") {
+		t.Fatalf("campaign with a past-end warmup = %v, want a warmup-finished error", err)
+	}
+}

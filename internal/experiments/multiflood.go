@@ -168,18 +168,12 @@ func multiFloodKey(spec MultiFloodSpec) string {
 
 // RunAllMultiFloods executes every scenario on its own lockstep
 // machine set across the campaign worker pool — the RunAll contract.
+//
+// Deprecated: RunAllMultiFloods is Campaign("multiflood", ...) over RunMultiFlood;
+// new callers should use Campaign directly. Kept as a thin wrapper
+// for the pre-generic API.
 func RunAllMultiFloods(specs []MultiFloodSpec, parallelism int) ([]*MultiFloodOut, error) {
-	outs := make([]*MultiFloodOut, len(specs))
-	errs := make([]error, len(specs))
-	RunIndexed(len(specs), parallelism, func(i int) {
-		outs[i], errs[i] = RunMultiFlood(specs[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("multiflood run %d (%s): %w", i, multiFloodKey(specs[i]), err)
-		}
-	}
-	return outs, nil
+	return Campaign("multiflood", specs, parallelism, RunMultiFlood, multiFloodKey)
 }
 
 // multiFloodBottleneckPPS is the artifact's shared ingress capacity:

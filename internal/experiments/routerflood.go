@@ -290,18 +290,12 @@ func routerFloodKey(spec RouterFloodSpec) string {
 
 // RunAllRouterFloods executes every scenario on its own lockstep
 // machine set across the campaign worker pool — the RunAll contract.
+//
+// Deprecated: RunAllRouterFloods is Campaign("routerflood", ...) over RunRouterFlood;
+// new callers should use Campaign directly. Kept as a thin wrapper
+// for the pre-generic API.
 func RunAllRouterFloods(specs []RouterFloodSpec, parallelism int) ([]*RouterFloodOut, error) {
-	outs := make([]*RouterFloodOut, len(specs))
-	errs := make([]error, len(specs))
-	RunIndexed(len(specs), parallelism, func(i int) {
-		outs[i], errs[i] = RunRouterFlood(specs[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("routerflood run %d (%s): %w", i, routerFloodKey(specs[i]), err)
-		}
-	}
-	return outs, nil
+	return Campaign("routerflood", specs, parallelism, RunRouterFlood, routerFloodKey)
 }
 
 // Artifact parameters: two attackers share a router whose 30k-pps

@@ -200,18 +200,12 @@ func swapFloodKey(spec SwapFloodSpec) string {
 
 // RunAllSwapFloods executes every scenario on its own lockstep
 // machine set across the campaign worker pool — the RunAll contract.
+//
+// Deprecated: RunAllSwapFloods is Campaign("swapflood", ...) over RunSwapFlood;
+// new callers should use Campaign directly. Kept as a thin wrapper
+// for the pre-generic API.
 func RunAllSwapFloods(specs []SwapFloodSpec, parallelism int) ([]*SwapFloodOut, error) {
-	outs := make([]*SwapFloodOut, len(specs))
-	errs := make([]error, len(specs))
-	RunIndexed(len(specs), parallelism, func(i int) {
-		outs[i], errs[i] = RunSwapFlood(specs[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("swapflood run %d (%s): %w", i, swapFloodKey(specs[i]), err)
-		}
-	}
-	return outs, nil
+	return Campaign("swapflood", specs, parallelism, RunSwapFlood, swapFloodKey)
 }
 
 // CrossMachineExceptionFlood regenerates the cluster-level exception

@@ -372,6 +372,11 @@ type SpawnConfig struct {
 	// Step runs the guest on the flyweight driver: a resumable state
 	// machine with no goroutine and no parked stack (see guest.Step).
 	Step guest.Step
+	// Fork, when set on a Step task, makes the guest checkpointable:
+	// Snapshot calls it to clone the guest's continuation and state
+	// (see guest.ForkFunc). A Step task without Fork — and any started
+	// Body task — makes the machine return ErrNotSnapshottable.
+	Fork guest.ForkFunc
 }
 
 // Spawn creates a runnable process outside any fork chain.
@@ -402,6 +407,7 @@ func (m *Machine) Spawn(sc SpawnConfig) (*proc.Proc, error) {
 	if sc.Step != nil {
 		t.stepFn = sc.Step
 		t.stepCtx.t = t
+		t.forkFn = sc.Fork
 	}
 	t.billable = true
 	m.groupCount[p.TGID]++
@@ -605,6 +611,14 @@ func (m *Machine) IRQWork(irq device.IRQ, cost sim.Cycles) func() {
 // partition this machine exports).
 func (m *Machine) ScheduleIRQWork(at sim.Cycles, work func()) {
 	m.queue.Schedule(at, "irq-work", work)
+}
+
+// ScheduleIRQWorkTagged is ScheduleIRQWork with a caller-chosen
+// restore tag, so a cluster snapshot can re-resolve the pending work
+// to the equivalent callback on a restored machine (kernel restore
+// alone rejects "irq-work" events; see Restore).
+func (m *Machine) ScheduleIRQWorkTagged(at sim.Cycles, tag uint64, work func()) {
+	m.queue.ScheduleTagged(at, "irq-work", tag, work)
 }
 
 // Shutdown releases the machine's guest goroutines without running to
@@ -922,7 +936,7 @@ func (m *Machine) wakeAfterLatency(t *task) {
 	}
 	t.wakePending = true
 	at := m.clock.Now() + m.wakeLatency(t.p.Nice())
-	m.queue.Schedule(at, "wake", t.wakeFire)
+	m.queue.ScheduleTagged(at, "wake", uint64(t.p.PID), t.wakeFire)
 }
 
 // timerTick is the periodic timer interrupt: sample-charge the

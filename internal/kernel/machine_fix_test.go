@@ -38,6 +38,7 @@ func (r *irqRecorder) Usage(proc.PID) metering.Usage          { return metering.
 func (r *irqRecorder) OnReap(parent, child proc.PID)          {}
 func (r *irqRecorder) ChildrenUsage(proc.PID) metering.Usage  { return metering.Usage{} }
 func (r *irqRecorder) Snapshot() map[proc.PID]metering.Usage  { return nil }
+func (r *irqRecorder) Clone() metering.Accountant             { return r }
 func (r *irqRecorder) OnInterrupt(irq device.IRQ, _ *proc.Proc, d sim.Cycles) {
 	r.sum[irq] += d
 	r.count[irq]++

@@ -126,7 +126,7 @@ func (m *Machine) beginRequest(t *task, r *request) {
 		wakeAt := m.clock.Now() + r.cycles
 		t.blockedAt = m.clock.Now()
 		m.blockCurrent(proc.Blocked)
-		m.queue.Schedule(wakeAt, "sleep-wake", t.sleepFire)
+		m.queue.ScheduleTagged(wakeAt, "sleep-wake", uint64(t.p.PID), t.sleepFire)
 
 	case rqNice:
 		st.Syscalls++
@@ -292,7 +292,7 @@ func (m *Machine) serviceAccess(t *task, r *request, skipWatch bool) {
 		// Block until the swap-in completes (IRQ first, then wake).
 		t.blockedAt = m.clock.Now()
 		m.blockCurrent(proc.Blocked)
-		m.disk.Submit(t.swapInFire)
+		m.disk.SubmitTagged(uint64(t.p.PID), t.swapInFire)
 		return
 	}
 	m.grantNow(t)

@@ -85,6 +85,14 @@ type task struct {
 	stepFn  guest.Step
 	stepCtx stepCtx
 
+	// forkFn clones the flyweight guest's continuation and state for a
+	// machine checkpoint (see guest.ForkFunc); nil guests are not
+	// snapshottable. guestState is the restored guest's state struct
+	// (Forked.State), exposed via Machine.GuestState so a harvest layer
+	// can read results out of a forked machine's guests.
+	forkFn     guest.ForkFunc
+	guestState any
+
 	// grant parks the guest goroutine across task switches: a send
 	// both completes the task's request and hands it the engine; a
 	// close (machine shutdown) unwinds the guest via killPanic. Nil

@@ -276,3 +276,54 @@ func (m *Memory) lruMoveToTail(p *pageState) {
 func DiskLatency(freq sim.Hz) sim.Cycles {
 	return sim.Cycles(freq / 200) // 5 ms
 }
+
+// Clone returns an independent deep copy of the whole memory
+// subsystem for checkpoint restore, plus the old→new Space mapping so
+// callers can re-point their Space references. The intrusive LRU list
+// is rebuilt by walking head→tail, so future eviction order is
+// identical to the original's.
+func (m *Memory) Clone() (*Memory, map[*Space]*Space) {
+	cm := &Memory{
+		pageSize:    m.pageSize,
+		totalFrames: m.totalFrames,
+		usedFrames:  m.usedFrames,
+		swapIns:     m.swapIns,
+		swapOuts:    m.swapOuts,
+	}
+	smap := make(map[*Space]*Space, len(m.spaces))
+	// pmap carries each page to its clone so the LRU walk below can
+	// link the copies in the original recency order.
+	var pmap map[*pageState]*pageState
+	var pages int
+	for _, s := range m.spaces {
+		pages += len(s.pages)
+	}
+	pmap = make(map[*pageState]*pageState, pages)
+	cm.spaces = make([]*Space, len(m.spaces))
+	for i, s := range m.spaces {
+		cs := &Space{
+			mem:        cm,
+			name:       s.name,
+			resident:   s.resident,
+			minor:      s.minor,
+			major:      s.major,
+			evictedOut: s.evictedOut,
+			released:   s.released,
+		}
+		if s.pages != nil {
+			cs.pages = make(map[uint64]*pageState, len(s.pages))
+			//simlint:unordered-ok deep copy into a map keyed identically; no iteration-order-dependent state is produced
+			for vp, p := range s.pages {
+				cp := &pageState{space: cs, vpage: p.vpage, present: p.present, swapped: p.swapped, dirty: p.dirty}
+				cs.pages[vp] = cp
+				pmap[p] = cp
+			}
+		}
+		cm.spaces[i] = cs
+		smap[s] = cs
+	}
+	for p := m.lruHead; p != nil; p = p.next {
+		cm.lruPushTail(pmap[p])
+	}
+	return cm, smap
+}

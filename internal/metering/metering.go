@@ -99,6 +99,9 @@ type Accountant interface {
 	ChildrenUsage(pid proc.PID) Usage
 	// Snapshot returns all per-entity usages, keyed by TGID.
 	Snapshot() map[proc.PID]Usage
+	// Clone returns an independent deep copy of the accountant and its
+	// ledgers, for checkpoint restore.
+	Clone() Accountant
 }
 
 // ledger accumulates usage keyed by TGID, plus a children bucket fed
@@ -187,6 +190,31 @@ func (l *ledger) usage(pid proc.PID) Usage {
 	return Usage{}
 }
 
+// clone deep-copies both ledgers. The last-charged cache is carried
+// over (re-pointed at the cloned entry) so the clone's lookup
+// behaviour matches the original's from the first charge.
+func (l *ledger) clone() ledger {
+	c := ledger{
+		byTGID:   make(map[proc.PID]*Usage, len(l.byTGID)),
+		children: make(map[proc.PID]*Usage, len(l.children)),
+	}
+	//simlint:unordered-ok deep copy into a map keyed identically
+	for pid, u := range l.byTGID {
+		cu := *u
+		c.byTGID[pid] = &cu
+	}
+	//simlint:unordered-ok deep copy into a map keyed identically
+	for pid, u := range l.children {
+		cu := *u
+		c.children[pid] = &cu
+	}
+	if l.last != nil {
+		c.lastTGID = l.lastTGID
+		c.last = c.byTGID[l.lastTGID]
+	}
+	return c
+}
+
 func (l *ledger) snapshot() map[proc.PID]Usage {
 	out := make(map[proc.PID]Usage, len(l.byTGID))
 	//simlint:unordered-ok map-to-map copy; callers order via SortedPIDs
@@ -240,6 +268,11 @@ func (a *JiffyAccountant) ChildrenUsage(pid proc.PID) Usage { return a.l.childre
 // Snapshot implements Accountant.
 func (a *JiffyAccountant) Snapshot() map[proc.PID]Usage { return a.l.snapshot() }
 
+// Clone implements Accountant.
+func (a *JiffyAccountant) Clone() Accountant {
+	return &JiffyAccountant{tick: a.tick, l: a.l.clone()}
+}
+
 // TSCAccountant charges exact slice lengths. Interrupt time is still
 // billed to the current task (system time), like Linux but precise.
 type TSCAccountant struct {
@@ -277,6 +310,9 @@ func (a *TSCAccountant) ChildrenUsage(pid proc.PID) Usage { return a.l.childrenU
 
 // Snapshot implements Accountant.
 func (a *TSCAccountant) Snapshot() map[proc.PID]Usage { return a.l.snapshot() }
+
+// Clone implements Accountant.
+func (a *TSCAccountant) Clone() Accountant { return &TSCAccountant{l: a.l.clone()} }
 
 // ProcessAwareAccountant is the paper's fine-grained scheme: exact
 // slices plus interrupt time diverted to SystemPID.
@@ -317,6 +353,11 @@ func (a *ProcessAwareAccountant) ChildrenUsage(pid proc.PID) Usage { return a.l.
 
 // Snapshot implements Accountant.
 func (a *ProcessAwareAccountant) Snapshot() map[proc.PID]Usage { return a.l.snapshot() }
+
+// Clone implements Accountant.
+func (a *ProcessAwareAccountant) Clone() Accountant {
+	return &ProcessAwareAccountant{l: a.l.clone()}
+}
 
 // Multi fans hooks out to several accountants so one run yields every
 // scheme's view of the same execution. The charge hooks iterate the
@@ -416,6 +457,17 @@ func (m *Multi) Snapshot() map[proc.PID]Usage {
 		return nil
 	}
 	return m.accts[0].Snapshot()
+}
+
+// Clone implements Accountant: every registered scheme is cloned in
+// registration order. The result is a *Multi, so callers restoring a
+// machine can assert it back.
+func (m *Multi) Clone() Accountant {
+	accts := make([]Accountant, len(m.accts))
+	for i, a := range m.accts {
+		accts[i] = a.Clone()
+	}
+	return NewMulti(accts...)
 }
 
 // Interface compliance checks.

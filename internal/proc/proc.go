@@ -281,3 +281,72 @@ func (t *Table) Len() int { return len(t.tasks) }
 func (t *Table) Remove(pid PID) {
 	delete(t.tasks, pid)
 }
+
+// Clone returns an independent deep copy of the table and every
+// registered task, plus the old→new task mapping so callers can
+// re-point their own references (scheduler queues, ptrace links,
+// address spaces). SchedData/AcctData slots are copied by reference
+// value only when nil; non-nil slots are left nil for their owning
+// subsystem's clone to rebuild, since proc cannot deep-copy opaque
+// state.
+func (t *Table) Clone() (*Table, map[*Proc]*Proc) {
+	ct := &Table{next: t.next, tasks: make(map[PID]*Proc, len(t.tasks))}
+	pmap := make(map[*Proc]*Proc, len(t.tasks))
+	//simlint:unordered-ok deep copy into a map keyed identically; linkage below resolves via pmap, not iteration order
+	for pid, p := range t.tasks {
+		cp := &Proc{
+			PID:      p.PID,
+			TGID:     p.TGID,
+			Name:     p.Name,
+			State:    p.State,
+			ExitCode: p.ExitCode,
+			nice:     p.nice,
+			Debug:    p.Debug,
+			InKernel: p.InKernel,
+		}
+		if p.Pending != nil {
+			cp.Pending = append([]Signal(nil), p.Pending...)
+		}
+		if p.Env != nil {
+			cp.Env = make(map[string]string, len(p.Env))
+			//simlint:unordered-ok deep copy into a map keyed identically
+			for k, v := range p.Env {
+				cp.Env[k] = v
+			}
+		}
+		ct.tasks[pid] = cp
+		pmap[p] = cp
+	}
+	// Second pass: re-link the tree and ptrace edges through the
+	// mapping. A parent/tracer outside the table (already reaped and
+	// removed) keeps pointing at the old object only if unmapped —
+	// preserve it as-is so diagnostics stay truthful.
+	//simlint:unordered-ok linkage pass; each task's edges are rewritten independently of visit order
+	for p, cp := range pmap {
+		if p.Parent != nil {
+			if np, ok := pmap[p.Parent]; ok {
+				cp.Parent = np
+			} else {
+				cp.Parent = p.Parent
+			}
+		}
+		if p.Tracer != nil {
+			if np, ok := pmap[p.Tracer]; ok {
+				cp.Tracer = np
+			} else {
+				cp.Tracer = p.Tracer
+			}
+		}
+		if len(p.Children) > 0 {
+			cp.Children = make([]*Proc, len(p.Children))
+			for i, c := range p.Children {
+				if nc, ok := pmap[c]; ok {
+					cp.Children[i] = nc
+				} else {
+					cp.Children[i] = c
+				}
+			}
+		}
+	}
+	return ct, pmap
+}

@@ -41,6 +41,12 @@ type Scheduler interface {
 	ShouldPreempt(cur, woken *proc.Proc) bool
 	// Runnable reports the number of queued tasks.
 	Runnable() int
+	// Clone returns an independent copy of the scheduler for
+	// checkpoint restore. pmap maps each original task to its clone;
+	// Clone re-points queue entries through it and rebuilds the
+	// per-task SchedData slots on the cloned tasks (proc.Table.Clone
+	// leaves them nil).
+	Clone(pmap map[*proc.Proc]*proc.Proc) Scheduler
 }
 
 // niceIndex maps a nice value to a 0..39 array index.
@@ -55,11 +61,64 @@ type o1Data struct {
 	exhausted bool       // slice ran out while running (→ expired array)
 }
 
+// prioArray is one of the O(1) scheduler's two priority arrays. The
+// bucket storage grows lazily to the highest nice index ever queued
+// instead of inlining all 40 slice headers, so an idle machine's
+// scheduler is a few words rather than ~2 KB — which dominates both
+// resident memory and checkpoint image size when thousands of
+// machines are resident (see BenchmarkResidentMachines).
+type prioArray struct {
+	buckets [][]*proc.Proc
+}
+
+func (a *prioArray) push(idx int, p *proc.Proc) {
+	for len(a.buckets) <= idx {
+		a.buckets = append(a.buckets, nil)
+	}
+	a.buckets[idx] = append(a.buckets[idx], p)
+}
+
+// remove deletes p from bucket idx, reporting whether it was present.
+func (a *prioArray) remove(idx int, p *proc.Proc) bool {
+	if idx >= len(a.buckets) {
+		return false
+	}
+	q := a.buckets[idx]
+	for i, t := range q {
+		if t == p {
+			a.buckets[idx] = append(q[:i:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// clone deep-copies the array, re-pointing entries through pmap.
+// Bucket order is preserved exactly: it is the FIFO order within a
+// priority level.
+func (a *prioArray) clone(pmap map[*proc.Proc]*proc.Proc) prioArray {
+	if len(a.buckets) == 0 {
+		return prioArray{}
+	}
+	c := prioArray{buckets: make([][]*proc.Proc, len(a.buckets))}
+	for i, q := range a.buckets {
+		if len(q) == 0 {
+			continue
+		}
+		cq := make([]*proc.Proc, len(q))
+		for j, p := range q {
+			cq[j] = pmap[p]
+		}
+		c.buckets[i] = cq
+	}
+	return c
+}
+
 // O1 is the active/expired priority-array scheduler.
 type O1 struct {
 	cyclesPerMs sim.Cycles
-	active      [40][]*proc.Proc
-	expired     [40][]*proc.Proc
+	active      prioArray
+	expired     prioArray
 	n           int
 }
 
@@ -120,9 +179,9 @@ func (s *O1) Enqueue(p *proc.Proc) {
 		d.exhausted = false
 	}
 	if toExpired {
-		s.expired[idx] = append(s.expired[idx], p)
+		s.expired.push(idx, p)
 	} else {
-		s.active[idx] = append(s.active[idx], p)
+		s.active.push(idx, p)
 	}
 	s.n++
 }
@@ -134,17 +193,10 @@ func (s *O1) Remove(p *proc.Proc) {
 		return
 	}
 	idx := niceIndex(p.Nice())
-	for a, arr := range [2]*[40][]*proc.Proc{&s.active, &s.expired} {
-		_ = a
-		q := arr[idx]
-		for i, t := range q {
-			if t == p {
-				arr[idx] = append(q[:i:i], q[i+1:]...)
-				d.queued = false
-				s.n--
-				return
-			}
-		}
+	if s.active.remove(idx, p) || s.expired.remove(idx, p) {
+		d.queued = false
+		s.n--
+		return
 	}
 	// Queued flag set but not found indicates corruption; clear and
 	// continue rather than panic, keeping the simulation robust.
@@ -155,13 +207,13 @@ func (s *O1) Remove(p *proc.Proc) {
 // active arrays drain, swap with expired (a scheduling epoch).
 func (s *O1) PickNext() *proc.Proc {
 	for round := 0; round < 2; round++ {
-		for idx := 0; idx < 40; idx++ {
-			q := s.active[idx]
+		for idx := 0; idx < len(s.active.buckets); idx++ {
+			q := s.active.buckets[idx]
 			if len(q) == 0 {
 				continue
 			}
 			p := q[0]
-			s.active[idx] = q[1:]
+			s.active.buckets[idx] = q[1:]
 			s.data(p).queued = false
 			s.n--
 			return p
@@ -205,6 +257,24 @@ func (s *O1) ShouldPreempt(cur, woken *proc.Proc) bool {
 
 // Runnable implements Scheduler.
 func (s *O1) Runnable() int { return s.n }
+
+// Clone implements Scheduler. Every cloned task whose original holds
+// an o1Data slot gets a fresh copy (remaining timeslice and the
+// exhausted flag persist across blocks, so non-queued tasks carry
+// state too); both priority arrays are rebuilt in identical order.
+func (s *O1) Clone(pmap map[*proc.Proc]*proc.Proc) Scheduler {
+	c := &O1{cyclesPerMs: s.cyclesPerMs, n: s.n}
+	//simlint:unordered-ok each task's SchedData slot is rebuilt independently; no cross-task state depends on visit order
+	for p, cp := range pmap {
+		if d, ok := p.SchedData.(*o1Data); ok {
+			dd := *d
+			cp.SchedData = &dd
+		}
+	}
+	c.active = s.active.clone(pmap)
+	c.expired = s.expired.clone(pmap)
+	return c
+}
 
 // --- CFS-like scheduler ---
 
@@ -346,6 +416,29 @@ func (s *CFS) ShouldPreempt(cur, woken *proc.Proc) bool {
 
 // Runnable implements Scheduler.
 func (s *CFS) Runnable() int { return len(s.h) }
+
+// Clone implements Scheduler. The heap slice is copied element-for-
+// element, so the clone's internal layout — and therefore every
+// future sift decision — matches the original exactly. cfsData.index
+// values are preserved by the struct copy.
+func (s *CFS) Clone(pmap map[*proc.Proc]*proc.Proc) Scheduler {
+	c := &CFS{cyclesPerMs: s.cyclesPerMs, seq: s.seq, minVruntime: s.minVruntime}
+	//simlint:unordered-ok each task's SchedData slot is rebuilt independently; no cross-task state depends on visit order
+	for p, cp := range pmap {
+		if d, ok := p.SchedData.(*cfsData); ok {
+			dd := *d
+			cp.SchedData = &dd
+		}
+	}
+	if len(s.h) > 0 {
+		c.h = make(cfsHeap, len(s.h))
+		for i, e := range s.h {
+			np := pmap[e.p]
+			c.h[i] = cfsEntry{p: np, d: np.SchedData.(*cfsData)}
+		}
+	}
+	return c
+}
 
 type cfsEntry struct {
 	p *proc.Proc

@@ -57,6 +57,13 @@ func (c *Clock) AdvanceTo(t Cycles) {
 	c.now = t
 }
 
+// Clone returns an independent clock at the same frequency and
+// current time (checkpoint restore).
+func (c *Clock) Clone() *Clock {
+	cp := *c
+	return &cp
+}
+
 // Seconds converts a cycle count to virtual seconds at this clock's
 // frequency.
 func (c *Clock) Seconds(d Cycles) float64 {

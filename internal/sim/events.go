@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"sort"
 )
 
 // Event is a callback scheduled to fire at a virtual time. Events
@@ -16,6 +17,11 @@ type Event struct {
 	At   Cycles
 	Kind string // diagnostic label, e.g. "timer", "nic-rx"
 	Fire func()
+	// Tag disambiguates events of one Kind for checkpoint restore: a
+	// snapshot records (Kind, Tag) and the restore path rebuilds the
+	// Fire closure from them (e.g. Kind "sleep-wake" + Tag pid). Zero
+	// for singleton kinds.
+	Tag uint64
 
 	seq   uint64
 	index int // heap index; -1 once popped or cancelled
@@ -54,15 +60,26 @@ func (q *EventQueue) Len() int { return len(q.h) }
 // returning the event so the caller can cancel it. The event is drawn
 // from the free list when one is available.
 func (q *EventQueue) Schedule(at Cycles, kind string, fn func()) *Event {
+	return q.ScheduleTagged(at, kind, 0, fn)
+}
+
+// ScheduleTagged is Schedule with a restore tag (see Event.Tag).
+func (q *EventQueue) ScheduleTagged(at Cycles, kind string, tag uint64, fn func()) *Event {
 	q.seq++
+	return q.insert(at, kind, tag, q.seq, fn)
+}
+
+// insert enqueues an event with an explicit sequence number, drawing
+// from the free list when possible.
+func (q *EventQueue) insert(at Cycles, kind string, tag, seq uint64, fn func()) *Event {
 	var e *Event
 	if n := len(q.free); n > 0 {
 		e = q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		e.At, e.Kind, e.Fire, e.seq = at, kind, fn, q.seq
+		e.At, e.Kind, e.Fire, e.Tag, e.seq = at, kind, fn, tag, seq
 	} else {
-		e = &Event{At: at, Kind: kind, Fire: fn, seq: q.seq}
+		e = &Event{At: at, Kind: kind, Fire: fn, Tag: tag, seq: seq}
 	}
 	heap.Push(&q.h, e)
 	if kind == KindTimer {
@@ -128,6 +145,81 @@ func (q *EventQueue) Pop() *Event {
 		q.timers--
 	}
 	return e
+}
+
+// EventImage is one pending event's serialisable identity: everything
+// but the Fire closure, which a restore rebuilds from (Kind, Tag).
+// Seq is preserved exactly because same-time events fire in sequence
+// order — a restored queue must replay the identical tie-breaks.
+type EventImage struct {
+	At   Cycles
+	Kind string
+	Tag  uint64
+	Seq  uint64
+}
+
+// QueueImage is an EventQueue's full serialisable state.
+type QueueImage struct {
+	// Events are the pending events in firing order.
+	Events []EventImage
+	// Seq is the queue's insertion counter: the next Schedule call on
+	// a restored queue draws Seq+1, exactly as the original would.
+	Seq uint64
+	// FreeLen is the free-list population. Free events hold no live
+	// state; restoring the count keeps a restored machine's allocation
+	// behaviour aligned with the original's.
+	FreeLen int
+}
+
+// Snapshot captures the queue's pending events (in firing order), its
+// insertion counter, and its free-list population.
+func (q *EventQueue) Snapshot() QueueImage {
+	img := QueueImage{Seq: q.seq, FreeLen: len(q.free)}
+	img.Events = make([]EventImage, len(q.h))
+	for i, e := range q.h {
+		img.Events[i] = EventImage{At: e.At, Kind: e.Kind, Tag: e.Tag, Seq: e.seq}
+	}
+	sort.Slice(img.Events, func(i, j int) bool {
+		if img.Events[i].At != img.Events[j].At {
+			return img.Events[i].At < img.Events[j].At
+		}
+		return img.Events[i].Seq < img.Events[j].Seq
+	})
+	return img
+}
+
+// RestoreInto rebuilds this (empty) queue from an image: each pending
+// event is re-created with its exact original sequence number and the
+// Fire closure the resolver returns for its (Kind, Tag). The heap's
+// internal layout may differ from the original's, but pops compare
+// (At, Seq) — a strict total order — so firing order is identical.
+// The restored events are returned aligned with img.Events so callers
+// can re-wire held event pointers (e.g. a NIC's pending rx event).
+func (q *EventQueue) RestoreInto(img QueueImage, resolve func(kind string, tag uint64) func()) []*Event {
+	out := make([]*Event, len(img.Events))
+	for i, ei := range img.Events {
+		out[i] = q.insert(ei.At, ei.Kind, ei.Tag, ei.Seq, resolve(ei.Kind, ei.Tag))
+	}
+	q.seq = img.Seq
+	for len(q.free) < img.FreeLen {
+		q.free = append(q.free, &Event{index: -1})
+	}
+	return out
+}
+
+// Reset empties the queue for reuse, moving pending events to the
+// free list and zeroing the counters while keeping the heap's and
+// free list's capacity — the restore-into-recycled-machine path uses
+// it so rebuilding a queue allocates no fresh events.
+func (q *EventQueue) Reset() {
+	for _, e := range q.h {
+		e.index = -1
+		e.Fire = nil
+		q.free = append(q.free, e)
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+	q.timers = 0
 }
 
 type eventHeap []*Event

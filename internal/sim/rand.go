@@ -8,6 +8,10 @@ import "math/rand" //simlint:wallclock-ok deterministic seeded source only; rand
 // exactly given the same seed.
 type Rand struct {
 	*rand.Rand
+	// src is the generator behind Rand. Retaining it makes the
+	// stream's entire mutable state (8 bytes) observable, which is
+	// what lets a machine checkpoint capture and replay it exactly.
+	src *source
 }
 
 // source is a splitmix64 generator: 8 bytes of state versus
@@ -32,7 +36,26 @@ func (s *source) Seed(seed int64) { s.state = uint64(seed) }
 
 // NewRand returns a deterministic source for the given seed.
 func NewRand(seed int64) *Rand {
-	return &Rand{Rand: rand.New(&source{state: uint64(seed)})}
+	src := &source{state: uint64(seed)}
+	return &Rand{Rand: rand.New(src), src: src}
+}
+
+// State returns the stream's entire mutable state: the splitmix64
+// counter. Two streams with equal state produce identical draws
+// forever.
+func (r *Rand) State() uint64 { return r.src.state }
+
+// SetState overwrites the stream's state, aligning it with another
+// stream's State() so the two replay identically from here on.
+func (r *Rand) SetState(s uint64) { r.src.state = s }
+
+// Clone returns an independent stream positioned at the same state:
+// the clone and the original draw the same future values but do not
+// affect each other.
+func (r *Rand) Clone() *Rand {
+	c := NewRand(0)
+	c.src.state = r.src.state
+	return c
 }
 
 // Jitter returns a value in [base - spread/2, base + spread/2),

@@ -15,11 +15,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The pinned gate set: the kernel hot path (both guest drivers), the
-# resident-memory footprint, and the heaviest cluster artifacts (the
+# resident-memory footprint, the heaviest cluster artifacts (the
 # routed fabric, the qdisc layer, and the chaos overlay with its
-# crash/restart machinery). BenchmarkMachineSteps also matches the
-# BenchmarkMachineStepsDriver flyweight/goroutine A/B pair.
-PINNED='BenchmarkMachineSteps|BenchmarkResidentMachines|BenchmarkRouterFlood|BenchmarkFairFlood|BenchmarkChaosFlood'
+# crash/restart machinery), and the checkpoint/fork campaign path.
+# BenchmarkMachineSteps also matches the BenchmarkMachineStepsDriver
+# flyweight/goroutine A/B pair.
+PINNED='BenchmarkMachineSteps|BenchmarkResidentMachines|BenchmarkRouterFlood|BenchmarkFairFlood|BenchmarkChaosFlood|BenchmarkForkedCampaign'
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-30}"
 
 if [ "${1:-}" = "--check" ]; then

@@ -67,6 +67,20 @@ say "chaos crash+reboot+flap"
 say "all"
 "$BIN" all -scale "$SCALE" >/dev/null
 
+# Checkpoint round trip: snapshot writes a replay manifest, resume
+# replays it, restores an independent fork, and runs the fork to
+# completion; a missing manifest must fail up front.
+CKPT="$(dirname "$BIN")/checkpoint.json"
+say "snapshot"
+"$BIN" snapshot -out "$CKPT" >/dev/null
+[ -s "$CKPT" ] || { say "snapshot manifest missing or empty"; exit 1; }
+say "resume"
+"$BIN" resume -from "$CKPT" >/dev/null
+say "resume validation"
+if "$BIN" resume -from "$(dirname "$BIN")/absent.json" >/dev/null 2>&1; then
+    say "resume accepted a missing manifest"; exit 1
+fi
+
 # The pprof plumbing: a profiled run must leave non-empty profiles
 # behind, and an unwritable destination must fail up front.
 PROFDIR="$(dirname "$BIN")"
